@@ -1,0 +1,146 @@
+// Experiment X2 — covering-engine ablation: Petrick's method (all minimal
+// covers) versus exact branch-and-bound (one optimal cover) versus the
+// greedy heuristic, on the paper's matrix, on the live biquad matrix and
+// on random matrices of growing size.  This quantifies the design choice
+// DESIGN.md calls out: Petrick gives the complete candidate list the
+// 3rd-order requirement needs, but only the set-cover solvers scale.
+#include <chrono>
+#include <random>
+
+#include "boolcov/petrick.hpp"
+#include "boolcov/setcover.hpp"
+#include "common.hpp"
+
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace mcdft;
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  std::string name;
+  std::size_t vars;
+  std::size_t clauses;
+  std::string petrick;     // "#covers / min size / us"
+  std::string exact;       // "size / nodes / us"
+  std::string greedy;      // "size / us"
+};
+
+template <typename F>
+double TimeUs(F&& f) {
+  const auto t0 = Clock::now();
+  f();
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+Row Evaluate(const std::string& name, const boolcov::CoverProblem& problem) {
+  Row row{name, problem.VariableCount(), problem.Clauses().size(), "", "", ""};
+
+  try {
+    std::vector<boolcov::Cube> sop;
+    boolcov::PetrickOptions options;
+    options.max_products = 50000;
+    const double us = TimeUs([&] {
+      sop = boolcov::PetrickMinimalProducts(problem, options);
+    });
+    std::size_t min_size = sop.empty() ? 0 : sop.front().LiteralCount();
+    row.petrick = std::to_string(sop.size()) + " covers / min " +
+                  std::to_string(min_size) + " / " +
+                  util::FormatTrimmed(us, 0) + "us";
+  } catch (const util::OptimizationError&) {
+    row.petrick = "EXPLODED (limit)";
+  }
+
+  {
+    boolcov::SetCoverResult r;
+    const double us = TimeUs([&] {
+      r = boolcov::ExactSetCover(problem,
+                                 boolcov::UnitWeights(problem.VariableCount()));
+    });
+    row.exact = std::to_string(static_cast<std::size_t>(r.cost)) + " / " +
+                std::to_string(r.stats.nodes_explored) + " nodes / " +
+                util::FormatTrimmed(us, 0) + "us";
+  }
+  {
+    boolcov::SetCoverResult r;
+    const double us = TimeUs([&] {
+      r = boolcov::GreedySetCover(problem,
+                                  boolcov::UnitWeights(problem.VariableCount()));
+    });
+    row.greedy = std::to_string(static_cast<std::size_t>(r.cost)) + " / " +
+                 util::FormatTrimmed(us, 0) + "us";
+  }
+  return row;
+}
+
+boolcov::CoverProblem PaperMatrixProblem() {
+  std::vector<std::vector<bool>> m{
+      {1, 0, 0, 1, 0, 0, 0, 0}, {0, 0, 1, 0, 1, 1, 0, 1},
+      {1, 1, 0, 1, 1, 1, 1, 0}, {0, 0, 0, 0, 1, 1, 0, 0},
+      {1, 1, 1, 1, 1, 0, 0, 0}, {0, 0, 1, 0, 0, 0, 0, 1},
+      {1, 1, 0, 1, 0, 0, 0, 0}};
+  return boolcov::BuildCoverProblem(
+      m, {"fR1", "fR2", "fR3", "fR4", "fR5", "fR6", "fC1", "fC2"});
+}
+
+boolcov::CoverProblem RandomProblem(std::size_t vars, std::size_t clauses,
+                                    double density, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  boolcov::CoverProblem p(vars);
+  for (std::size_t c = 0; c < clauses; ++c) {
+    boolcov::Cube lits(vars);
+    while (lits.Empty()) {
+      for (std::size_t v = 0; v < vars; ++v) {
+        if (coin(rng) < density) lits.Set(v);
+      }
+    }
+    p.AddClause({lits, "f" + std::to_string(c)});
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("X2: covering-engine ablation",
+                     "design-choice study (Petrick vs exact B&B vs greedy)");
+
+  std::vector<Row> rows;
+  rows.push_back(Evaluate("paper Fig.5 matrix", PaperMatrixProblem()));
+
+  {
+    auto fixture = bench::PaperFixture::Make();
+    auto matrix = fixture.campaign.DetectabilityMatrix();
+    std::vector<std::string> labels;
+    for (const auto& f : fixture.campaign.Faults()) labels.push_back(f.Label());
+    rows.push_back(Evaluate("simulated biquad matrix",
+                            boolcov::BuildCoverProblem(matrix, labels)));
+  }
+
+  rows.push_back(Evaluate("random 10x12 d=0.3", RandomProblem(10, 12, 0.3, 1)));
+  rows.push_back(Evaluate("random 16x20 d=0.25", RandomProblem(16, 20, 0.25, 2)));
+  rows.push_back(Evaluate("random 24x30 d=0.2", RandomProblem(24, 30, 0.2, 3)));
+  rows.push_back(Evaluate("random 40x60 d=0.15", RandomProblem(40, 60, 0.15, 4)));
+  rows.push_back(Evaluate("random 64x96 d=0.1", RandomProblem(64, 96, 0.1, 5)));
+
+  util::Table t;
+  t.SetHeader({"problem", "vars", "clauses", "Petrick (all minimal covers)",
+               "exact B&B", "greedy"});
+  for (const auto& r : rows) {
+    t.AddRow({r.name, std::to_string(r.vars), std::to_string(r.clauses),
+              r.petrick, r.exact, r.greedy});
+  }
+  t.SetAlign(3, util::Table::Align::kLeft);
+  t.SetAlign(4, util::Table::Align::kLeft);
+  t.SetAlign(5, util::Table::Align::kLeft);
+  std::printf("%s\n", t.Render().c_str());
+  std::printf(
+      "Reading: on paper-sized matrices Petrick is instant and returns the\n"
+      "complete candidate list the 3rd-order tie-break needs; on larger\n"
+      "spaces it explodes and the exact branch-and-bound (with greedy as a\n"
+      "bound seed) is the right tool -- matching DESIGN.md's choice of\n"
+      "Petrick-first with a set-cover fallback.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Experiment X4 — configuration pre-selection ablation: the paper's
+// conclusion identifies detectability-matrix construction ("extensive
+// fault simulation") as the bottleneck and proposes selecting a candidate
+// subset of configurations from structural information first.  This bench
+// quantifies that idea: for each circuit, run (a) the full campaign over
+// all candidate configurations and (b) the cheap sensitivity screen
+// followed by the full campaign on the selected subset only, and compare
+// cost and result quality.
+#include <chrono>
+
+#include "circuits/zoo.hpp"
+#include "common.hpp"
+#include "core/preselection.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace mcdft;
+  using Clock = std::chrono::steady_clock;
+  bench::PrintHeader("X4: configuration pre-selection ablation",
+                     "Sec. 5 conclusion (fault-simulation bottleneck)");
+
+  util::Table t;
+  t.SetHeader({"circuit", "cands", "full [ms]", "FC%", "<w>%", "kept",
+               "screen+sub [ms]", "FC%", "<w>%", "speedup"});
+
+  for (const char* name : {"biquad", "khn", "leapfrog", "cascade6"}) {
+    const auto& entry = circuits::FindInZoo(name);
+    auto block = entry.build();
+    core::DftCircuit circuit = core::DftCircuit::Transform(block);
+    auto fault_list = faults::MakeDeviationFaults(circuit.Circuit());
+
+    auto space = circuit.Space();
+    std::vector<core::ConfigVector> candidates;
+    if (space.OpampCount() > 5) {
+      candidates = space.UpToKFollowers(2);
+    } else {
+      candidates = space.AllNonTransparent();
+    }
+
+    auto options = core::MakePaperCampaignOptions();
+    options.points_per_decade = 25;
+    options.tolerance->samples = 24;
+
+    const auto t0 = Clock::now();
+    auto full = core::RunCampaign(circuit, fault_list, candidates, options);
+    const double full_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+    const auto t1 = Clock::now();
+    core::PreselectionOptions pre_options;
+    pre_options.extra_configs = space.OpampCount();  // headroom scales up
+    auto pre = core::PreselectConfigurations(circuit, fault_list, candidates,
+                                             pre_options);
+    auto sub = core::RunCampaign(circuit, fault_list, pre.selected, options);
+    const double sub_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t1).count();
+
+    t.AddRow({name, std::to_string(candidates.size()),
+              util::FormatTrimmed(full_ms, 0),
+              util::FormatTrimmed(100.0 * full.Coverage(), 1),
+              util::FormatTrimmed(100.0 * full.AverageOmegaDet(), 1),
+              std::to_string(pre.selected.size()),
+              util::FormatTrimmed(sub_ms, 0),
+              util::FormatTrimmed(100.0 * sub.Coverage(), 1),
+              util::FormatTrimmed(100.0 * sub.AverageOmegaDet(), 1),
+              util::FormatTrimmed(full_ms / sub_ms, 2) + "x"});
+  }
+  std::printf("%s\n", t.Render().c_str());
+  std::printf(
+      "Reading: the screen (coarse-grid sensitivities + an analytic\n"
+      "tolerance-envelope proxy) keeps a small complementary subset of the\n"
+      "candidate configurations; the expensive Monte-Carlo campaign then\n"
+      "runs only on those.  Coverage is preserved where the proxy tracks\n"
+      "the real envelope; some omega-detectability headroom is the price --\n"
+      "exactly the trade the paper anticipates for its future-work idea.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared fixture for the paper-reproduction benches: the default biquad,
+// the paper fault list, the campaign at the paper operating point, and the
+// paper's published reference numbers for side-by-side reporting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "circuits/biquad.hpp"
+#include "core/report.hpp"
+
+namespace mcdft::bench {
+
+/// Everything the experiment binaries need, computed once per process.
+struct PaperFixture {
+  core::DftCircuit circuit;
+  std::vector<faults::Fault> fault_list;
+  core::CampaignResult campaign;
+
+  static PaperFixture Make() {
+    core::DftCircuit circuit = circuits::BuildDftBiquad();
+    auto fault_list = faults::MakeDeviationFaults(circuit.Circuit());
+    auto campaign =
+        core::RunCampaign(circuit, fault_list,
+                          circuit.Space().AllNonTransparent(),
+                          core::MakePaperCampaignOptions());
+    return PaperFixture{std::move(circuit), std::move(fault_list),
+                        std::move(campaign)};
+  }
+};
+
+/// Paper reference values (Renovell et al. 1998) for the comparison lines.
+struct PaperReference {
+  static constexpr double kInitialCoverage = 0.25;        // Sec. 2
+  static constexpr double kInitialAvgOmegaDet = 0.125;    // Graph 1
+  static constexpr double kDftCoverage = 1.0;             // Sec. 3.2
+  static constexpr double kBruteAvgOmegaDet = 0.683;      // Graph 2
+  static constexpr double kOptimizedAvgOmegaDet = 0.325;  // Sec. 4.2
+  static constexpr std::size_t kMinimalSetSize = 2;       // {C2, C5}
+  static constexpr std::size_t kPartialOpamps = 2;        // Sec. 4.3
+  static constexpr double kPartialAvgOmegaDet = 0.525;    // Table 4
+};
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& paper_artifact) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Reproduces: %s (Renovell/Azais/Bertrand, DATE 1998)\n",
+              paper_artifact.c_str());
+  std::printf("================================================================\n\n");
+}
+
+inline void PrintComparison(const std::string& metric, double paper,
+                            double measured, const char* unit = "%") {
+  std::printf("  %-46s paper: %6.1f%s   measured: %6.1f%s\n", metric.c_str(),
+              paper, unit, measured, unit);
+}
+
+}  // namespace mcdft::bench

@@ -1,0 +1,62 @@
+// Experiment E7 — paper Section 4.2 + Graph 3: configuration-count
+// optimization.  Selects the minimal configuration set, breaks ties with
+// the 3rd-order omega-detectability requirement, and prints the per-fault
+// comparison between no DFT, brute-force DFT and the optimized set.
+#include "common.hpp"
+#include "core/bist.hpp"
+
+int main() {
+  using namespace mcdft;
+  bench::PrintHeader("E7: configuration-number optimization",
+                     "Sec. 4.2 + Graph 3 (optimized DFT application)");
+
+  auto fixture = bench::PaperFixture::Make();
+  const auto& campaign = fixture.campaign;
+  core::DftOptimizer optimizer(fixture.circuit, campaign);
+  auto sel = optimizer.OptimizeConfigurationCount();
+  std::printf("%s\n", core::RenderSelection(sel, campaign).c_str());
+
+  const std::size_t c0 = campaign.RowOf(core::ConfigVector(3));
+  std::vector<double> initial, brute, optimized;
+  for (const auto& d : campaign.PerConfig()[c0].faults) {
+    initial.push_back(d.omega_detectability);
+  }
+  for (const auto& d : campaign.BestCase()) {
+    brute.push_back(d.omega_detectability);
+  }
+  for (const auto& d : campaign.BestCase(sel.selected.rows.Variables())) {
+    optimized.push_back(d.omega_detectability);
+  }
+  std::printf("%s\n", core::RenderOmegaBars(
+                          campaign.Faults(),
+                          {{"no DFT", initial},
+                           {"brute force", brute},
+                           {"optimized", optimized}},
+                          "w-detectability, per fault (paper Graph 3)")
+                          .c_str());
+
+  std::printf("Summary vs paper:\n");
+  bench::PrintComparison("minimal set size",
+                         bench::PaperReference::kMinimalSetSize,
+                         static_cast<double>(sel.selected.configs.size()),
+                         " configs");
+  bench::PrintComparison("<w-det> of S_opt",
+                         100.0 * bench::PaperReference::kOptimizedAvgOmegaDet,
+                         100.0 * sel.selected.avg_omega_det);
+  // BIST sequencing of the optimized set (the paper's Sec. 4.2 on-chip
+  // generation motivation): order the selected configurations to minimize
+  // selection-line toggles from the power-on state.
+  auto schedule = core::ScheduleConfigurations(sel.selected.configs);
+  std::printf("BIST schedule for S_opt:");
+  for (const auto& cv : schedule.order) {
+    std::printf(" %s(%s)", cv.Name().c_str(), cv.BitString().c_str());
+  }
+  std::printf("\n  selection-line toggles: %zu (index order would need %zu)\n",
+              schedule.toggles, schedule.naive_toggles);
+
+  std::printf(
+      "\nShape check: the optimized set keeps 100%% coverage with far fewer\n"
+      "configurations, paying with a lower <w-det> than brute force\n"
+      "(\"the cost to be paid for a short test procedure\").\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Experiment E6 — paper Section 4.1: the fundamental requirement.  Builds
+// the covering expression xi from the detectability matrix, extracts the
+// essential configurations, reduces the matrix (Fig. 6) and expands to the
+// sum-of-products of all minimal covering sets.
+#include "common.hpp"
+
+int main() {
+  using namespace mcdft;
+  bench::PrintHeader("E6: fundamental requirement (covering problem)",
+                     "Sec. 4.1 (xi expression, essentials, Fig. 6, SOP)");
+
+  auto fixture = bench::PaperFixture::Make();
+  core::DftOptimizer optimizer(fixture.circuit, fixture.campaign);
+  auto fundamental = optimizer.SolveFundamental();
+  std::printf("%s\n",
+              core::RenderFundamental(fundamental, fixture.campaign).c_str());
+
+  std::printf("Minimal covering sets (each keeps maximum fault coverage):\n");
+  for (const auto& cover : fundamental.minimal_covers) {
+    auto scored = optimizer.Score(cover);
+    std::printf("  %-22s  configs: %zu  coverage: %5.1f%%  <w-det>: %5.1f%%\n",
+                core::RowSetName(fixture.campaign, cover).c_str(),
+                cover.LiteralCount(), 100.0 * scored.coverage,
+                100.0 * scored.avg_omega_det);
+  }
+  std::printf(
+      "\nShape check vs paper: essential configuration(s) exist, the\n"
+      "reduced matrix is small, and several alternative minimal covers\n"
+      "remain for the 2nd-order requirement to choose between\n"
+      "(the paper finds {C1,C2} and {C2,C5} with essential C2).\n");
+  return 0;
+}

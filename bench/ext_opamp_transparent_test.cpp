@@ -1,0 +1,54 @@
+// Experiment X3 — opamp-internal fault testing through the transparent
+// configuration (paper Sec. 3.1: "the transparent configuration ... is
+// used to test faults inside opamps", ref [5]), plus fault diagnosis by
+// configuration signature for both opamp and passive faults.
+#include "common.hpp"
+#include "core/diagnosis.hpp"
+
+int main() {
+  using namespace mcdft;
+  bench::PrintHeader("X3: transparent-configuration opamp test + diagnosis",
+                     "Sec. 3.1 transparent configuration usage (ref [5])");
+
+  core::DftCircuit circuit = circuits::BuildDftBiquad();
+
+  // --- Go/no-go screen in the transparent configuration -----------------
+  auto result = core::RunOpampTransparentTest(circuit);
+  std::printf("Opamp fault screen (all opamps in follower mode, the output\n"
+              "must reproduce the input):\n");
+  for (const auto& v : result.screen) {
+    std::printf("  %-18s %sdetected   w-det = %5.1f%%  peak dev %5.1f%%\n",
+                v.fault.Label().c_str(), v.detectable ? "" : "NOT ",
+                100.0 * v.omega_detectability, 100.0 * v.peak_deviation);
+  }
+  std::printf("Screen coverage: %.1f%% of the opamp fault list\n\n",
+              100.0 * result.screen_coverage);
+
+  // --- Localization by quantized signatures ------------------------------
+  std::printf("Localization campaign (transparent + single-follower "
+              "configurations, 4-level dictionary):\n\n%s\n",
+              core::RenderDiagnosis(result.diagnosis, result.localization)
+                  .c_str());
+
+  // --- Passive-fault diagnosis on the paper campaign --------------------
+  auto fixture = bench::PaperFixture::Make();
+  std::printf("Passive-fault diagnosis over the paper campaign (boolean "
+              "signatures):\n\n%s\n",
+              core::RenderDiagnosis(core::Diagnose(fixture.campaign),
+                                    fixture.campaign)
+                  .c_str());
+  auto quantized = core::Diagnose(fixture.campaign, core::DiagnosisOptions{4});
+  std::printf("... and with the 4-level dictionary: resolution %.1f%% -> "
+              "%.1f%%, distinguishable pairs %.1f%% -> %.1f%%\n",
+              100.0 * core::Diagnose(fixture.campaign).resolution,
+              100.0 * quantized.resolution,
+              100.0 * core::Diagnose(fixture.campaign)
+                          .pairwise_distinguishability,
+              100.0 * quantized.pairwise_distinguishability);
+  std::printf(
+      "\nReading: the DFT technique is not only a detection lever -- the\n"
+      "configuration signatures localize faults, and the transparent\n"
+      "configuration gives a cheap end-to-end opamp screen exactly as the\n"
+      "paper describes.\n");
+  return 0;
+}

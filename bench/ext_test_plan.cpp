@@ -1,0 +1,80 @@
+// Experiment X5 — from metric to tester program: compile the campaign into
+// a minimal multi-frequency test plan (the multifrequency ATPG view of the
+// paper's refs [12][13]) and compare the plan under three scenarios:
+//   (a) all configurations available (brute-force DFT),
+//   (b) the Sec. 4.2 optimized configuration set S_opt,
+//   (c) a magnitude-only tester (no phase measurement).
+#include "common.hpp"
+#include "core/test_plan.hpp"
+#include "core/test_quality.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+void Summarize(const char* name, const mcdft::core::TestPlan& plan) {
+  std::printf("  %-28s %2zu measurements, %zu reconfigs, ~%ss, coverage %s%%\n",
+              name, plan.steps.size(), plan.reconfigurations,
+              mcdft::util::FormatTrimmed(plan.estimated_time_s, 2).c_str(),
+              mcdft::util::FormatTrimmed(100.0 * plan.coverage, 1).c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcdft;
+  bench::PrintHeader("X5: multi-frequency test-plan generation",
+                     "test-stimulus selection (paper Sec. 2, refs [12][13])");
+
+  auto fixture = bench::PaperFixture::Make();
+  core::DftOptimizer optimizer(fixture.circuit, fixture.campaign);
+
+  // (a) Plan over every configuration.
+  auto plan_all = core::GenerateTestPlan(fixture.campaign);
+  std::printf("%s\n",
+              core::RenderTestPlan(plan_all, fixture.campaign).c_str());
+
+  // (b) Plan restricted to the optimized configuration set.
+  auto sel = optimizer.OptimizeConfigurationCount();
+  core::TestPlanOptions sopt_options;
+  sopt_options.rows = sel.selected.rows.Variables();
+  auto plan_sopt = core::GenerateTestPlan(fixture.campaign, sopt_options);
+  std::printf("Plan restricted to S_opt = %s:\n%s\n",
+              core::RowSetName(fixture.campaign, sel.selected.rows).c_str(),
+              core::RenderTestPlan(plan_sopt, fixture.campaign).c_str());
+
+  // (c) Magnitude-only tester.
+  core::TestPlanOptions mag_options;
+  mag_options.mode = core::MeasurementMode::kMagnitude;
+  auto plan_mag = core::GenerateTestPlan(fixture.campaign, mag_options);
+
+  std::printf("Scenario summary:\n");
+  Summarize("vector tester, all configs", plan_all);
+  Summarize("vector tester, S_opt", plan_sopt);
+  Summarize("magnitude-only tester", plan_mag);
+  if (!plan_mag.uncovered.empty()) {
+    std::printf("  magnitude-only tester cannot cover:");
+    for (const auto& f : plan_mag.uncovered) {
+      std::printf(" %s", f.Label().c_str());
+    }
+    std::printf("  (phase-only deviations)\n");
+  }
+  // --- Monte-Carlo validation of the plan on the "tester floor" ---------
+  std::printf("\nMonte-Carlo test quality of the all-config vector plan\n"
+              "(in-tolerance spread +/-3%%, 64 good samples, 16 faulty\n"
+              "samples per fault):\n\n");
+  core::TestQualityOptions quality;
+  auto report = core::EvaluateTestQuality(fixture.circuit, plan_all,
+                                          fixture.fault_list,
+                                          core::MeasurementMode::kComplex,
+                                          quality);
+  std::printf("%s", core::RenderTestQuality(report).c_str());
+
+  std::printf(
+      "\nReading: a handful of (configuration, frequency) measurements\n"
+      "replaces full response sweeps; restricting to S_opt trades a\n"
+      "little plan freedom for fewer reconfigurations; the phase\n"
+      "measurement matters -- some faults are invisible to a\n"
+      "magnitude-only tester -- and the margin-aware point selection\n"
+      "keeps escapes low under process spread.\n");
+  return 0;
+}

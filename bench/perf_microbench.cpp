@@ -1,0 +1,203 @@
+// P1 — performance microbenchmarks (google-benchmark): the solver kernels
+// and pipeline stages whose cost dominates a multi-configuration campaign.
+// The paper's conclusion identifies fault-simulation volume as the
+// technique's bottleneck; these benches quantify each contributor.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "boolcov/petrick.hpp"
+#include "boolcov/setcover.hpp"
+#include "circuits/biquad.hpp"
+#include "circuits/cascade.hpp"
+#include "core/campaign.hpp"
+#include "faults/simulator.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/sparse_lu.hpp"
+#include "testability/tolerance.hpp"
+
+namespace {
+
+using namespace mcdft;
+
+linalg::Matrix RandomDense(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  linalg::Matrix m(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      m.At(r, c) = linalg::Complex(u(rng), u(rng));
+    }
+    m.At(r, r) += linalg::Complex(2.0 * n, 0.0);
+  }
+  return m;
+}
+
+linalg::CsrMatrix RandomSparse(std::size_t n, double density,
+                               std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  linalg::TripletMatrix t(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    t.Add(r, r, linalg::Complex(3.0 + u(rng), u(rng)));
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r != c && coin(rng) < density) {
+        t.Add(r, c, linalg::Complex(u(rng), u(rng)) * 0.3);
+      }
+    }
+  }
+  return linalg::CsrMatrix(t);
+}
+
+void BM_DenseLuFactorSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  linalg::Matrix a = RandomDense(n, 42);
+  linalg::Vector b(n, linalg::Complex(1.0, 0.5));
+  for (auto _ : state) {
+    linalg::LuFactorization lu(a);
+    benchmark::DoNotOptimize(lu.Solve(b));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_DenseLuFactorSolve)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_SparseLuFactorSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  linalg::CsrMatrix a = RandomSparse(n, 4.0 / static_cast<double>(n), 42);
+  linalg::Vector b(n, linalg::Complex(1.0, 0.5));
+  for (auto _ : state) {
+    linalg::SparseLu lu(a);
+    benchmark::DoNotOptimize(lu.Solve(b));
+  }
+}
+BENCHMARK(BM_SparseLuFactorSolve)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BiquadAcPoint(benchmark::State& state) {
+  auto block = circuits::BuildBiquad();
+  spice::MnaSystem system(block.netlist);
+  double f = 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.SolveAcHz(f));
+    f = f < 1e5 ? f * 1.01 : 100.0;
+  }
+}
+BENCHMARK(BM_BiquadAcPoint);
+
+void BM_BiquadAcSweep(benchmark::State& state) {
+  auto block = circuits::BuildBiquad();
+  const auto sweep =
+      spice::SweepSpec::Decade(10.0, 1e5, static_cast<std::size_t>(state.range(0)));
+  spice::AcAnalyzer analyzer(block.netlist);
+  spice::Probe probe{block.netlist.FindNode("out3"), spice::kGround, "v"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.Run(sweep, probe));
+  }
+  state.counters["points"] = static_cast<double>(sweep.PointCount());
+}
+BENCHMARK(BM_BiquadAcSweep)->Arg(10)->Arg(50);
+
+void BM_FaultSimulationCampaign(benchmark::State& state) {
+  auto block = circuits::BuildBiquad();
+  auto faults_list = faults::MakeDeviationFaults(block.netlist);
+  faults::FaultSimulator sim(
+      block.netlist, spice::SweepSpec::Decade(10.0, 1e5, 25),
+      spice::Probe{block.netlist.FindNode("out3"), spice::kGround, "v"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Run(faults_list));
+  }
+}
+BENCHMARK(BM_FaultSimulationCampaign);
+
+void BM_ToleranceEnvelope(benchmark::State& state) {
+  auto block = circuits::BuildBiquad();
+  auto faults_list = faults::MakeDeviationFaults(block.netlist);
+  std::vector<std::string> sites;
+  for (const auto& f : faults_list) sites.push_back(f.Device());
+  testability::ToleranceModel model;
+  model.samples = static_cast<std::size_t>(state.range(0));
+  const auto sweep = spice::SweepSpec::Decade(10.0, 1e5, 25);
+  spice::Probe probe{block.netlist.FindNode("out3"), spice::kGround, "v"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testability::ComputeToleranceEnvelope(
+        block.netlist, sweep, probe, sites, model, 0.25));
+  }
+}
+BENCHMARK(BM_ToleranceEnvelope)->Arg(16)->Arg(48);
+
+void BM_FullBiquadCampaign(benchmark::State& state) {
+  core::DftCircuit circuit = circuits::BuildDftBiquad();
+  auto fault_list = faults::MakeDeviationFaults(circuit.Circuit());
+  auto options = core::MakePaperCampaignOptions();
+  options.points_per_decade = 10;
+  options.tolerance->samples = 8;
+  auto configs = circuit.Space().AllNonTransparent();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::RunCampaign(circuit, fault_list, configs, options));
+  }
+}
+BENCHMARK(BM_FullBiquadCampaign);
+
+void BM_Cascade6AcPoint(benchmark::State& state) {
+  auto block = circuits::BuildCascade6();
+  spice::MnaOptions options;
+  options.backend = state.range(0) == 0 ? spice::SolverBackend::kDense
+                                        : spice::SolverBackend::kSparse;
+  spice::MnaSystem system(block.netlist, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.SolveAcHz(1234.5));
+  }
+  state.SetLabel(state.range(0) == 0 ? "dense" : "sparse");
+}
+BENCHMARK(BM_Cascade6AcPoint)->Arg(0)->Arg(1);
+
+boolcov::CoverProblem RandomCover(std::size_t vars, std::size_t clauses,
+                                  double density, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  boolcov::CoverProblem p(vars);
+  for (std::size_t c = 0; c < clauses; ++c) {
+    boolcov::Cube lits(vars);
+    while (lits.Empty()) {
+      for (std::size_t v = 0; v < vars; ++v) {
+        if (coin(rng) < density) lits.Set(v);
+      }
+    }
+    p.AddClause({lits, ""});
+  }
+  return p;
+}
+
+void BM_PetrickExpansion(benchmark::State& state) {
+  auto p = RandomCover(static_cast<std::size_t>(state.range(0)),
+                       static_cast<std::size_t>(state.range(0)) + 4, 0.3, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(boolcov::PetrickMinimalProducts(p));
+  }
+}
+BENCHMARK(BM_PetrickExpansion)->Arg(7)->Arg(12)->Arg(16);
+
+void BM_ExactSetCover(benchmark::State& state) {
+  auto p = RandomCover(static_cast<std::size_t>(state.range(0)),
+                       static_cast<std::size_t>(state.range(0)) + 10, 0.2, 9);
+  auto w = boolcov::UnitWeights(p.VariableCount());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(boolcov::ExactSetCover(p, w));
+  }
+}
+BENCHMARK(BM_ExactSetCover)->Arg(16)->Arg(32)->Arg(48);
+
+void BM_GreedySetCover(benchmark::State& state) {
+  auto p = RandomCover(static_cast<std::size_t>(state.range(0)),
+                       static_cast<std::size_t>(state.range(0)) + 10, 0.2, 9);
+  auto w = boolcov::UnitWeights(p.VariableCount());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(boolcov::GreedySetCover(p, w));
+  }
+}
+BENCHMARK(BM_GreedySetCover)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

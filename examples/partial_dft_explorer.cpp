@@ -1,0 +1,123 @@
+// Interactive cost/benefit exploration of the DFT optimization on any
+// circuit of the zoo, with user-defined cost models.
+//
+// Usage:
+//   ./build/examples/partial_dft_explorer --circuit leapfrog
+//   ./build/examples/partial_dft_explorer --circuit biquad --eps 0.1 \
+//        --tol 0.05 --sec-per-point 0.01 --reconfig-sec 2 \
+//        --area-per-opamp 120 --area-per-line 15
+//
+// Options:
+//   --circuit NAME      circuit from the zoo (default: biquad); --list shows all
+//   --eps X             tester accuracy epsilon (default 0.08)
+//   --tol X             component tolerance for the envelope (default 0.03)
+//   --samples N         Monte-Carlo samples (default 48; 0 disables envelope)
+//   --max-followers K   structural config pre-selection for big circuits
+//   --sec-per-point X   test-time model: seconds per AC point (default 5m)
+//   --reconfig-sec X    test-time model: reconfiguration time (default 1)
+//   --area-per-opamp X  area model: units per configurable opamp (default 100)
+//   --area-per-line X   area model: units per selection line (default 10)
+
+#include <cstdio>
+
+#include "circuits/zoo.hpp"
+#include "core/bist.hpp"
+#include "core/report.hpp"
+#include "core/test_plan.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcdft;
+  util::CliArgs args(argc, argv);
+
+  if (args.Has("list")) {
+    std::printf("Available circuits:\n");
+    for (const auto& entry : circuits::Zoo()) {
+      std::printf("  %-10s %s\n", entry.name.c_str(),
+                  entry.description.c_str());
+    }
+    return 0;
+  }
+
+  const auto& entry = circuits::FindInZoo(args.GetString("circuit", "biquad"));
+  auto block = entry.build();
+  core::DftCircuit circuit = core::DftCircuit::Transform(block);
+  auto fault_list = faults::MakeDeviationFaults(circuit.Circuit());
+
+  auto options = core::MakePaperCampaignOptions();
+  options.criteria.epsilon = args.GetDouble("eps", 0.08);
+  const int samples = args.GetInt("samples", 48);
+  if (samples <= 0) {
+    options.tolerance.reset();
+  } else {
+    options.tolerance->samples = static_cast<std::size_t>(samples);
+    options.tolerance->component_tolerance = args.GetDouble("tol", 0.03);
+  }
+
+  auto space = circuit.Space();
+  const std::size_t default_k = space.OpampCount() > 5 ? 2 : space.OpampCount();
+  const std::size_t max_followers = static_cast<std::size_t>(
+      args.GetInt("max-followers", static_cast<int>(default_k)));
+  auto configs = space.UpToKFollowers(max_followers);
+  std::erase_if(configs, [](const core::ConfigVector& cv) {
+    return cv.IsTransparent();
+  });
+
+  std::printf("Circuit: %s  (%zu opamps, %zu faults, %zu configurations)\n\n",
+              entry.description.c_str(), space.OpampCount(), fault_list.size(),
+              configs.size());
+  auto campaign = core::RunCampaign(circuit, fault_list, configs, options);
+  std::printf("%s\n", core::RenderOmegaTable(campaign).c_str());
+
+  core::DftOptimizer optimizer(circuit, campaign);
+  auto fundamental = optimizer.SolveFundamental();
+  std::printf("%s\n", core::RenderFundamental(fundamental, campaign).c_str());
+
+  // --- 2nd-order requirement: three cost models side by side -----------
+  core::ConfigCountCost config_cost;
+  core::TestTimeCost time_cost(args.GetDouble("sec-per-point", 5e-3),
+                               args.GetDouble("reconfig-sec", 1.0));
+  core::SiliconAreaCost area_cost(args.GetDouble("area-per-opamp", 100.0),
+                                  args.GetDouble("area-per-line", 10.0));
+  for (const core::CostFunction* cost :
+       {static_cast<const core::CostFunction*>(&config_cost),
+        static_cast<const core::CostFunction*>(&time_cost),
+        static_cast<const core::CostFunction*>(&area_cost)}) {
+    try {
+      auto sel = optimizer.Optimize(*cost);
+      std::printf("%s\n", core::RenderSelection(sel, campaign).c_str());
+    } catch (const util::Error& e) {
+      std::printf("cost '%s': %s\n\n", cost->Name().c_str(), e.what());
+    }
+  }
+
+  // --- Partial DFT -------------------------------------------------------
+  try {
+    auto part = optimizer.OptimizePartialDft();
+    std::printf("%s\n",
+                core::RenderPartialDft(part, campaign, circuit).c_str());
+  } catch (const util::Error& e) {
+    std::printf("partial DFT: %s\n", e.what());
+  }
+
+  // --- Compile the tester program for the config-count optimum ----------
+  try {
+    auto sel = optimizer.OptimizeConfigurationCount();
+    core::TestPlanOptions plan_options;
+    plan_options.rows = sel.selected.rows.Variables();
+    auto plan = core::GenerateTestPlan(campaign, plan_options);
+    std::printf("%s\n", core::RenderTestPlan(plan, campaign).c_str());
+
+    auto schedule = core::ScheduleConfigurations(sel.selected.configs);
+    std::printf("BIST schedule:");
+    for (const auto& cv : schedule.order) {
+      std::printf(" %s", cv.Name().c_str());
+    }
+    std::printf("  (%zu selection-line toggles; index order: %zu)\n",
+                schedule.toggles, schedule.naive_toggles);
+  } catch (const util::Error& e) {
+    std::printf("test plan: %s\n", e.what());
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "boolcov/petrick.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mcdft::boolcov {
+
+namespace {
+
+/// Insert `candidate` into an absorbed SOP: drop it if some existing term
+/// is a subset of it; otherwise remove every existing term it is a subset
+/// of, then append.
+void InsertAbsorbed(std::vector<Cube>& sop, const Cube& candidate) {
+  for (const auto& t : sop) {
+    if (t.SubsetOf(candidate)) return;  // candidate absorbed
+  }
+  std::erase_if(sop, [&](const Cube& t) { return candidate.SubsetOf(t); });
+  sop.push_back(candidate);
+}
+
+std::vector<Cube> Expand(const CoverProblem& problem,
+                         const PetrickOptions& options, bool absorb) {
+  std::vector<Cube> sop{Cube(problem.VariableCount())};  // the identity product
+  for (const auto& clause : problem.Clauses()) {
+    std::vector<Cube> next;
+    next.reserve(sop.size());
+    const auto vars = clause.literals.Variables();
+    for (const auto& term : sop) {
+      // Distribute: term * (v1 + v2 + ...) = term.v1 + term.v2 + ...
+      // In absorbing mode, a term that already satisfies the clause passes
+      // unchanged (idempotence: the distributed variants are all absorbed
+      // by it anyway).  Raw mode distributes literally, reproducing the
+      // paper's intermediate expansion including redundant products.
+      if (absorb && !term.Intersect(clause.literals).Empty()) {
+        InsertAbsorbed(next, term);
+        continue;
+      }
+      for (std::size_t v : vars) {
+        Cube grown = term;
+        grown.Set(v);
+        if (absorb) {
+          InsertAbsorbed(next, grown);
+        } else {
+          next.push_back(grown);
+        }
+      }
+      if (next.size() > options.max_products) {
+        throw util::OptimizationError(
+            "Petrick expansion exceeded " +
+            std::to_string(options.max_products) +
+            " products; use the set-cover heuristics instead");
+      }
+    }
+    sop = std::move(next);
+  }
+
+  if (!absorb) {
+    // Deduplicate exact repeats (the distribution law creates them when a
+    // variable appears in several clauses).
+    std::unordered_set<Cube, Cube::Hash> seen;
+    std::vector<Cube> unique;
+    for (const auto& t : sop) {
+      if (seen.insert(t).second) unique.push_back(t);
+    }
+    sop = std::move(unique);
+  }
+  std::sort(sop.begin(), sop.end(), Cube::OrderBySize);
+  return sop;
+}
+
+}  // namespace
+
+std::vector<Cube> PetrickMinimalProducts(const CoverProblem& problem,
+                                         const PetrickOptions& options) {
+  return Expand(problem, options, /*absorb=*/true);
+}
+
+std::vector<Cube> PetrickRawExpansion(const CoverProblem& problem,
+                                      const PetrickOptions& options) {
+  return Expand(problem, options, /*absorb=*/false);
+}
+
+}  // namespace mcdft::boolcov

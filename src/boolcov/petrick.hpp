@@ -1,0 +1,35 @@
+// Petrick's method: expand a product-of-sums covering expression into the
+// sum-of-products of its irredundant solutions, with on-the-fly absorption
+// (x + x.y = x) to keep the intermediate SOP minimal.
+#pragma once
+
+#include "boolcov/pos.hpp"
+
+namespace mcdft::boolcov {
+
+/// Expansion limits.  The method is worst-case exponential; the limits trip
+/// an OptimizationError instead of letting a pathological matrix take the
+/// process down (the caller can fall back to setcover.hpp heuristics).
+struct PetrickOptions {
+  std::size_t max_products = 200000;  ///< abort above this many live terms
+};
+
+/// All irredundant product terms satisfying the POS expression, sorted by
+/// Cube::OrderBySize (fewest literals first, then lexicographic).
+///
+/// After absorption the result is exactly the set of minimal covers in the
+/// subset-order sense: every returned cube satisfies every clause, and no
+/// returned cube is a superset of another.  (The paper's expanded xi
+/// expression lists *all* product terms before discarding dominated ones;
+/// RawExpansion reproduces that intermediate form for the Sec. 4.1 bench.)
+std::vector<Cube> PetrickMinimalProducts(const CoverProblem& problem,
+                                         const PetrickOptions& options = {});
+
+/// The literal distribution-law expansion without the final absorption,
+/// i.e. one product per choice function of the clauses, deduplicated.  Only
+/// sensible for small problems (the paper's 8-fault biquad); guarded by the
+/// same limit.
+std::vector<Cube> PetrickRawExpansion(const CoverProblem& problem,
+                                      const PetrickOptions& options = {});
+
+}  // namespace mcdft::boolcov

@@ -1,0 +1,105 @@
+#include "boolcov/pos.hpp"
+
+namespace mcdft::boolcov {
+
+CoverProblem::CoverProblem(std::size_t variable_count)
+    : nvars_(variable_count) {}
+
+void CoverProblem::AddClause(Clause clause) {
+  if (clause.literals.VariableCount() != nvars_) {
+    throw util::OptimizationError("clause over wrong variable universe");
+  }
+  if (clause.literals.Empty()) {
+    throw util::OptimizationError(
+        "unsatisfiable requirement '" + clause.label +
+        "': no variable can cover it");
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+Cube CoverProblem::EssentialVariables() const {
+  Cube essential(nvars_);
+  for (const auto& c : clauses_) {
+    if (c.literals.LiteralCount() == 1) {
+      essential = essential.Union(c.literals);
+    }
+  }
+  return essential;
+}
+
+CoverProblem CoverProblem::ReduceBy(const Cube& chosen) const {
+  CoverProblem reduced(nvars_);
+  for (const auto& c : clauses_) {
+    if (c.literals.Intersect(chosen).Empty()) {
+      reduced.clauses_.push_back(c);
+    }
+  }
+  return reduced;
+}
+
+std::size_t CoverProblem::AbsorbClauses() {
+  std::vector<Clause> kept;
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    bool absorbed = false;
+    for (std::size_t j = 0; j < clauses_.size() && !absorbed; ++j) {
+      if (i == j) continue;
+      const bool j_subset_i = clauses_[j].literals.SubsetOf(clauses_[i].literals);
+      if (!j_subset_i) continue;
+      const bool equal = clauses_[i].literals == clauses_[j].literals;
+      // Strict subset absorbs; among equals keep only the first occurrence.
+      if (!equal || j < i) absorbed = true;
+    }
+    if (absorbed) {
+      ++removed;
+    } else {
+      kept.push_back(clauses_[i]);
+    }
+  }
+  clauses_ = std::move(kept);
+  return removed;
+}
+
+std::string CoverProblem::ToString(
+    const std::function<std::string(std::size_t)>& namer) const {
+  if (clauses_.empty()) return "1";
+  std::string out;
+  for (const auto& c : clauses_) {
+    out += "(";
+    const auto vars = c.literals.Variables();
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (i != 0) out += "+";
+      out += namer(vars[i]);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+CoverProblem BuildCoverProblem(const std::vector<std::vector<bool>>& detects,
+                               const std::vector<std::string>& fault_labels) {
+  if (detects.empty()) {
+    throw util::OptimizationError("empty detectability matrix");
+  }
+  const std::size_t nvars = detects.size();
+  const std::size_t nfaults = detects.front().size();
+  for (const auto& row : detects) {
+    if (row.size() != nfaults) {
+      throw util::OptimizationError("ragged detectability matrix");
+    }
+  }
+  if (fault_labels.size() != nfaults) {
+    throw util::OptimizationError("fault label count does not match matrix");
+  }
+  CoverProblem problem(nvars);
+  for (std::size_t j = 0; j < nfaults; ++j) {
+    Clause clause{Cube(nvars), fault_labels[j]};
+    for (std::size_t i = 0; i < nvars; ++i) {
+      if (detects[i][j]) clause.literals.Set(i);
+    }
+    problem.AddClause(std::move(clause));
+  }
+  return problem;
+}
+
+}  // namespace mcdft::boolcov

@@ -1,0 +1,69 @@
+// The covering problem in product-of-sums form: the paper's expression
+//   xi = prod_over_faults ( sum_over_configs d_ij * C_i )
+// with essential-variable extraction and matrix reduction (Sec. 4.1).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "boolcov/cube.hpp"
+
+namespace mcdft::boolcov {
+
+/// One sum factor of the POS expression: the set of variables whose
+/// presence satisfies it, tagged with a label (the fault it covers).
+struct Clause {
+  Cube literals;
+  std::string label;
+};
+
+/// Product-of-sums covering problem over `variable_count` variables.
+class CoverProblem {
+ public:
+  explicit CoverProblem(std::size_t variable_count);
+
+  std::size_t VariableCount() const { return nvars_; }
+
+  /// Append a clause.  Throws OptimizationError when it has no literals:
+  /// that requirement is unsatisfiable (a fault no configuration detects).
+  void AddClause(Clause clause);
+
+  const std::vector<Clause>& Clauses() const { return clauses_; }
+
+  /// Variables appearing in exactly-one-literal clauses: the paper's
+  /// *essential configurations*, which every solution must contain.
+  Cube EssentialVariables() const;
+
+  /// The reduced problem after committing to `chosen` variables: clauses
+  /// containing any chosen variable are satisfied and dropped (the paper's
+  /// reduced fault detectability matrix, Fig. 6).
+  CoverProblem ReduceBy(const Cube& chosen) const;
+
+  /// Drop absorbed clauses: a clause whose literal set contains another
+  /// clause's literal set is implied by it and removed.  Returns the number
+  /// of clauses removed.
+  std::size_t AbsorbClauses();
+
+  /// True when no clauses remain (everything covered).
+  bool Satisfied() const { return clauses_.empty(); }
+
+  /// Render like the paper: "(C0+C2+C4+C6).(C2+C4+C6)..." using a
+  /// variable-name callback.
+  std::string ToString(
+      const std::function<std::string(std::size_t)>& namer) const;
+
+ private:
+  std::size_t nvars_;
+  std::vector<Clause> clauses_;
+};
+
+/// Build the covering problem from a detectability matrix: `detects[i][j]`
+/// says variable (configuration) i detects fault j.  `fault_labels` sizes
+/// must match the column count.  Faults detected by no configuration throw
+/// OptimizationError (maximum coverage is then impossible and the caller
+/// must drop them explicitly — see core/optimizer.hpp).
+CoverProblem BuildCoverProblem(const std::vector<std::vector<bool>>& detects,
+                               const std::vector<std::string>& fault_labels);
+
+}  // namespace mcdft::boolcov

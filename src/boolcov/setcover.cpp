@@ -1,0 +1,169 @@
+#include "boolcov/setcover.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mcdft::boolcov {
+
+std::vector<double> UnitWeights(std::size_t n) {
+  return std::vector<double>(n, 1.0);
+}
+
+namespace {
+
+void CheckWeights(const CoverProblem& problem,
+                  const std::vector<double>& weights) {
+  if (weights.size() != problem.VariableCount()) {
+    throw util::OptimizationError("weight vector size mismatch");
+  }
+  for (double w : weights) {
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      throw util::OptimizationError("set-cover weights must be positive");
+    }
+  }
+}
+
+double CostOf(const Cube& chosen, const std::vector<double>& weights) {
+  double c = 0.0;
+  for (std::size_t v : chosen.Variables()) c += weights[v];
+  return c;
+}
+
+/// Recursive branch and bound.
+class BnB {
+ public:
+  BnB(const std::vector<double>& weights, std::size_t nvars)
+      : weights_(weights), best_cost_(std::numeric_limits<double>::infinity()),
+        best_(nvars) {}
+
+  void Run(CoverProblem problem, Cube chosen, double cost) {
+    ++stats_.nodes_explored;
+
+    // Essential extraction: forced choices cost nothing to branch on.
+    Cube essential = problem.EssentialVariables();
+    if (!essential.Empty()) {
+      for (std::size_t v : essential.Variables()) {
+        if (!chosen.Test(v)) {
+          cost += weights_[v];
+          chosen.Set(v);
+        }
+      }
+      problem = problem.ReduceBy(essential);
+    }
+    if (cost >= best_cost_) return;
+    if (problem.Satisfied()) {
+      best_cost_ = cost;
+      best_ = chosen;
+      ++stats_.best_updates;
+      return;
+    }
+    problem.AbsorbClauses();
+
+    // Lower bound: each uncovered clause needs at least its cheapest
+    // literal, but one variable can satisfy many clauses, so divide by the
+    // largest number of clauses any single variable could satisfy.
+    double sum_cheapest = 0.0;
+    std::vector<std::size_t> occurrence(problem.VariableCount(), 0);
+    for (const auto& cl : problem.Clauses()) {
+      double cheapest = std::numeric_limits<double>::infinity();
+      for (std::size_t v : cl.literals.Variables()) {
+        cheapest = std::min(cheapest, weights_[v]);
+        ++occurrence[v];
+      }
+      sum_cheapest += cheapest;
+    }
+    const std::size_t max_occ =
+        *std::max_element(occurrence.begin(), occurrence.end());
+    if (cost + sum_cheapest / static_cast<double>(std::max<std::size_t>(
+                                  max_occ, 1)) >=
+        best_cost_) {
+      return;
+    }
+
+    // Branch on the shortest clause: one subtree per literal choice.
+    const auto& clauses = problem.Clauses();
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < clauses.size(); ++i) {
+      if (clauses[i].literals.LiteralCount() <
+          clauses[pick].literals.LiteralCount()) {
+        pick = i;
+      }
+    }
+    // Prefer cheap, high-occurrence literals first to find good incumbents
+    // early (tighter pruning later).
+    auto vars = clauses[pick].literals.Variables();
+    std::sort(vars.begin(), vars.end(), [&](std::size_t a, std::size_t b) {
+      const double ra = weights_[a] / (occurrence[a] + 1.0);
+      const double rb = weights_[b] / (occurrence[b] + 1.0);
+      return ra < rb;
+    });
+    for (std::size_t v : vars) {
+      Cube child_chosen = chosen;
+      child_chosen.Set(v);
+      Cube just_v(problem.VariableCount());
+      just_v.Set(v);
+      Run(problem.ReduceBy(just_v), std::move(child_chosen),
+          cost + weights_[v]);
+    }
+  }
+
+  double best_cost() const { return best_cost_; }
+  const Cube& best() const { return best_; }
+  const SetCoverStats& stats() const { return stats_; }
+
+ private:
+  const std::vector<double>& weights_;
+  double best_cost_;
+  Cube best_;
+  SetCoverStats stats_;
+};
+
+}  // namespace
+
+SetCoverResult ExactSetCover(const CoverProblem& problem,
+                             const std::vector<double>& weights) {
+  CheckWeights(problem, weights);
+  BnB solver(weights, problem.VariableCount());
+  solver.Run(problem, Cube(problem.VariableCount()), 0.0);
+  if (!std::isfinite(solver.best_cost())) {
+    throw util::OptimizationError("no feasible cover exists");
+  }
+  return SetCoverResult{solver.best(), solver.best_cost(), solver.stats()};
+}
+
+SetCoverResult GreedySetCover(const CoverProblem& problem,
+                              const std::vector<double>& weights) {
+  CheckWeights(problem, weights);
+  CoverProblem remaining = problem;
+  Cube chosen(problem.VariableCount());
+  SetCoverStats stats;
+  while (!remaining.Satisfied()) {
+    ++stats.nodes_explored;
+    // Count clause coverage per variable.
+    std::vector<std::size_t> covers(problem.VariableCount(), 0);
+    for (const auto& cl : remaining.Clauses()) {
+      for (std::size_t v : cl.literals.Variables()) ++covers[v];
+    }
+    std::size_t best_v = problem.VariableCount();
+    double best_ratio = 0.0;
+    for (std::size_t v = 0; v < covers.size(); ++v) {
+      if (covers[v] == 0) continue;
+      const double ratio = static_cast<double>(covers[v]) / weights[v];
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_v = v;
+      }
+    }
+    if (best_v == problem.VariableCount()) {
+      throw util::OptimizationError("no feasible cover exists");
+    }
+    chosen.Set(best_v);
+    Cube just_v(problem.VariableCount());
+    just_v.Set(best_v);
+    remaining = remaining.ReduceBy(just_v);
+  }
+  return SetCoverResult{chosen, CostOf(chosen, weights), stats};
+}
+
+}  // namespace mcdft::boolcov

@@ -1,0 +1,56 @@
+#include "circuits/ackerberg.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mcdft::circuits {
+
+double AckerbergParams::F0() const {
+  return std::sqrt(r5 / (r4 * r3 * r6 * c1 * c2)) / (2.0 * std::numbers::pi);
+}
+
+core::AnalogBlock BuildAckerberg(const AckerbergParams& p) {
+  core::AnalogBlock block;
+  block.name = "Ackerberg-Mossberg-style biquad (inverter inside the loop)";
+  block.input_node = "in";
+  block.output_node = "out3";
+  block.opamps = {"OP1", "OP2", "OP3"};
+
+  spice::Netlist& nl = block.netlist;
+  nl.SetTitle(block.name);
+  nl.AddVoltageSource("VIN", "in", "0", 0.0, 1.0);
+
+  // OP1: lossy inverting integrator.
+  nl.AddResistor("R1", "in", "n1", p.r1);
+  nl.AddCapacitor("C1", "n1", "out1", p.c1);
+  nl.AddResistor("R2", "n1", "out1", p.r2);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP1", nl.Node("0"),
+                                               nl.Node("n1"), nl.Node("out1"),
+                                               p.opamp));
+
+  // OP2: unity inverter between the two integrators (the AM arrangement:
+  // the sign inversion lives inside the resonator loop, so the second
+  // integration is effectively non-inverting).
+  nl.AddResistor("R4", "out1", "n2", p.r4);
+  nl.AddResistor("R5", "n2", "out2", p.r5);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP2", nl.Node("0"),
+                                               nl.Node("n2"), nl.Node("out2"),
+                                               p.opamp));
+
+  // OP3: inverting integrator closing at the low-pass output.
+  nl.AddResistor("R3", "out2", "n3", p.r3);
+  nl.AddCapacitor("C2", "n3", "out3", p.c2);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP3", nl.Node("0"),
+                                               nl.Node("n3"), nl.Node("out3"),
+                                               p.opamp));
+
+  // Loop closure back to the summing node.
+  nl.AddResistor("R6", "out3", "n1", p.r6);
+  return block;
+}
+
+core::DftCircuit BuildDftAckerberg(const AckerbergParams& params) {
+  return core::DftCircuit::Transform(BuildAckerberg(params));
+}
+
+}  // namespace mcdft::circuits

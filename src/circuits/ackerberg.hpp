@@ -1,0 +1,38 @@
+// Ackerberg-Mossberg-style biquad: lossy inverting integrator, then the
+// unity inverter, then the second integrator — the sign inversion sits
+// *inside* the resonator loop, making the second integration effectively
+// non-inverting.  Same component census as the Tow-Thomas biquad (3
+// opamps, R1..R6, C1, C2) but a different stage ordering, so its
+// configuration signatures differ — a good contrast circuit for the
+// optimizer.
+#pragma once
+
+#include "core/dft_transform.hpp"
+
+namespace mcdft::circuits {
+
+/// Component values.  Defaults match the Tow-Thomas defaults
+/// (f0 ~= 1 kHz, Q ~= 0.95, unity DC gain) for apples-to-apples contrast.
+struct AckerbergParams {
+  double r1 = 15.9e3;  ///< input resistor
+  double r2 = 15.1e3;  ///< damping resistor (Q)
+  double r3 = 15.9e3;  ///< integrator-coupling resistor
+  double r4 = 10e3;    ///< inverter input resistor
+  double r5 = 10e3;    ///< inverter feedback resistor
+  double r6 = 15.9e3;  ///< loop feedback resistor
+  double c1 = 10e-9;
+  double c2 = 10e-9;
+  spice::OpampModel opamp = {};
+
+  /// Ideal resonance frequency 1/(2*pi*sqrt(R3 R6 C1 C2)).
+  double F0() const;
+};
+
+/// Functional block: AC source "VIN" at "in", low-pass output "out3",
+/// chain OP1, OP2, OP3.
+core::AnalogBlock BuildAckerberg(const AckerbergParams& params = {});
+
+/// Brute-force DFT-modified Ackerberg-Mossberg biquad.
+core::DftCircuit BuildDftAckerberg(const AckerbergParams& params = {});
+
+}  // namespace mcdft::circuits

@@ -1,0 +1,58 @@
+#include "circuits/biquad.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mcdft::circuits {
+
+double BiquadParams::F0() const {
+  return std::sqrt(r5 / (r3 * r6 * c1 * c2 * r4)) / (2.0 * std::numbers::pi);
+}
+
+double BiquadParams::Q() const {
+  return r2 * c1 * 2.0 * std::numbers::pi * F0();
+}
+
+core::AnalogBlock BuildBiquad(const BiquadParams& p) {
+  core::AnalogBlock block;
+  block.name = "Tow-Thomas biquadratic filter";
+  block.input_node = "in";
+  block.output_node = "out3";
+  block.opamps = {"OP1", "OP2", "OP3"};
+
+  spice::Netlist& nl = block.netlist;
+  nl.SetTitle(block.name);
+  nl.AddVoltageSource("VIN", "in", "0", 0.0, 1.0);
+
+  // OP1: lossy inverting integrator (summing node n1).
+  nl.AddResistor("R1", "in", "n1", p.r1);
+  nl.AddCapacitor("C1", "n1", "out1", p.c1);
+  nl.AddResistor("R2", "n1", "out1", p.r2);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP1", nl.Node("0"),
+                                               nl.Node("n1"), nl.Node("out1"),
+                                               p.opamp));
+
+  // OP2: inverting integrator.
+  nl.AddResistor("R3", "out1", "n2", p.r3);
+  nl.AddCapacitor("C2", "n2", "out2", p.c2);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP2", nl.Node("0"),
+                                               nl.Node("n2"), nl.Node("out2"),
+                                               p.opamp));
+
+  // OP3: unity inverter.
+  nl.AddResistor("R4", "out2", "n3", p.r4);
+  nl.AddResistor("R5", "n3", "out3", p.r5);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP3", nl.Node("0"),
+                                               nl.Node("n3"), nl.Node("out3"),
+                                               p.opamp));
+
+  // Resonator loop closure.
+  nl.AddResistor("R6", "out3", "n1", p.r6);
+  return block;
+}
+
+core::DftCircuit BuildDftBiquad(const BiquadParams& params) {
+  return core::DftCircuit::Transform(BuildBiquad(params));
+}
+
+}  // namespace mcdft::circuits

@@ -1,0 +1,51 @@
+// The paper's example circuit (Fig. 1): a biquadratic filter with three
+// opamps, six resistors and two capacitors — the Tow-Thomas two-integrator
+// biquad, the standard topology with exactly this component census.
+//
+//   Vin --R1--+                                   +--R4--+
+//             |                                   |      |
+//            (n1)--[OP1: C1 || R2]--(out1)--R3--(n2)    (n3)--[OP3: R5]--(out3)
+//             |                     [OP2: C2]--(out2)----+
+//             +-----------R6-----------------------------(out3 feedback)
+//
+// OP1 is a lossy inverting integrator, OP2 an inverting integrator and OP3
+// an inverter; R6 closes the resonator loop from the primary output back
+// to the OP1 summing node.  The primary output is out3 (low-pass).
+#pragma once
+
+#include "core/dft_transform.hpp"
+
+namespace mcdft::circuits {
+
+/// Component values.  Defaults give f0 ~= 1 kHz, Q ~= 0.95, unity DC gain
+/// — an operating point whose testability signature reproduces the
+/// qualitative shape of the paper's results (poor functional-configuration
+/// omega-detectability, 100 % multi-configuration coverage, non-trivial
+/// minimal covers, and a 2-of-3-opamp partial DFT).
+struct BiquadParams {
+  double r1 = 15.9e3;  ///< input resistor (DC gain = R6/R1 * R5/R4)
+  double r2 = 15.1e3;  ///< damping resistor across C1 (sets Q)
+  double r3 = 15.9e3;  ///< integrator-coupling resistor
+  double r4 = 10e3;    ///< inverter input resistor
+  double r5 = 10e3;    ///< inverter feedback resistor
+  double r6 = 15.9e3;  ///< loop feedback resistor
+  double c1 = 10e-9;   ///< OP1 integrating capacitor
+  double c2 = 10e-9;   ///< OP2 integrating capacitor
+  spice::OpampModel opamp = {};  ///< opamp model for all three opamps
+
+  /// Ideal-opamp resonance frequency 1/(2*pi*sqrt(R3 R6 C1 C2)) * sqrt(R5/R4).
+  double F0() const;
+
+  /// Ideal-opamp quality factor.
+  double Q() const;
+};
+
+/// Build the functional biquad as an AnalogBlock (AC source "VIN" driving
+/// node "in"; output node "out3"; opamp chain OP1, OP2, OP3).
+core::AnalogBlock BuildBiquad(const BiquadParams& params = {});
+
+/// The paper's full pipeline fixture: the biquad after brute-force DFT
+/// insertion (all three opamps configurable).
+core::DftCircuit BuildDftBiquad(const BiquadParams& params = {});
+
+}  // namespace mcdft::circuits

@@ -1,0 +1,70 @@
+#include "circuits/cascade.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mcdft::circuits {
+
+namespace {
+
+/// Section quality factors of a 6th-order Butterworth cascade.
+constexpr double kQs[3] = {0.5176, 0.7071, 1.9319};
+
+/// One Tow-Thomas biquad, stage index s (1-based), from `in` to its
+/// inverter output "out<s>3".
+void AddBiquadStage(spice::Netlist& nl, int stage, const std::string& in,
+                    const CascadeParams& p, std::vector<std::string>& opamps) {
+  const double w0 = 2.0 * std::numbers::pi * p.f0;
+  const double rint = 1.0 / (w0 * p.c);   // R3/R6 integrator resistors
+  const double rq = kQs[stage - 1] * rint;  // damping resistor (Q)
+  const std::string s = std::to_string(stage);
+  const auto node = [&](const std::string& base) { return base + s; };
+
+  nl.AddResistor("R" + s + "1", in, node("n1_"), rint);
+  nl.AddCapacitor("C" + s + "1", node("n1_"), node("o1_"), p.c);
+  nl.AddResistor("R" + s + "2", node("n1_"), node("o1_"), rq);
+  nl.AddElement(std::make_unique<spice::Opamp>(
+      "OP" + s + "1", nl.Node("0"), nl.Node(node("n1_")), nl.Node(node("o1_")),
+      p.opamp));
+
+  nl.AddResistor("R" + s + "3", node("o1_"), node("n2_"), rint);
+  nl.AddCapacitor("C" + s + "2", node("n2_"), node("o2_"), p.c);
+  nl.AddElement(std::make_unique<spice::Opamp>(
+      "OP" + s + "2", nl.Node("0"), nl.Node(node("n2_")), nl.Node(node("o2_")),
+      p.opamp));
+
+  nl.AddResistor("R" + s + "4", node("o2_"), node("n3_"), p.r);
+  nl.AddResistor("R" + s + "5", node("n3_"), node("o3_"), p.r);
+  nl.AddElement(std::make_unique<spice::Opamp>(
+      "OP" + s + "3", nl.Node("0"), nl.Node(node("n3_")), nl.Node(node("o3_")),
+      p.opamp));
+
+  nl.AddResistor("R" + s + "6", node("o3_"), node("n1_"), rint);
+
+  opamps.push_back("OP" + s + "1");
+  opamps.push_back("OP" + s + "2");
+  opamps.push_back("OP" + s + "3");
+}
+
+}  // namespace
+
+core::AnalogBlock BuildCascade6(const CascadeParams& p) {
+  core::AnalogBlock block;
+  block.name = "6th-order Butterworth cascade (3x Tow-Thomas)";
+  block.input_node = "in";
+  block.output_node = "o3_3";
+
+  spice::Netlist& nl = block.netlist;
+  nl.SetTitle(block.name);
+  nl.AddVoltageSource("VIN", "in", "0", 0.0, 1.0);
+  AddBiquadStage(nl, 1, "in", p, block.opamps);
+  AddBiquadStage(nl, 2, "o3_1", p, block.opamps);
+  AddBiquadStage(nl, 3, "o3_2", p, block.opamps);
+  return block;
+}
+
+core::DftCircuit BuildDftCascade6(const CascadeParams& params) {
+  return core::DftCircuit::Transform(BuildCascade6(params));
+}
+
+}  // namespace mcdft::circuits

@@ -1,0 +1,27 @@
+// 6th-order Butterworth low-pass as a cascade of three Tow-Thomas biquads:
+// nine opamps, 512 configurations.  This is the "more complex analog
+// circuits" case the paper's conclusion announces; it exercises the
+// structural configuration pre-selection (UpToKFollowers) and the
+// scalable set-cover path of the optimizer.
+#pragma once
+
+#include "core/dft_transform.hpp"
+
+namespace mcdft::circuits {
+
+/// Cascade parameters.
+struct CascadeParams {
+  double f0 = 1e3;          ///< Butterworth cutoff (Hz)
+  double r = 10e3;          ///< inverter resistors
+  double c = 10e-9;         ///< integrating capacitors
+  spice::OpampModel opamp = {};
+};
+
+/// Functional block: AC source "VIN" at "in", output "o3_3" (3rd biquad's
+/// inverter output), opamp chain OP11..OP33 in signal order.
+core::AnalogBlock BuildCascade6(const CascadeParams& params = {});
+
+/// Brute-force DFT-modified cascade (9 configurable opamps).
+core::DftCircuit BuildDftCascade6(const CascadeParams& params = {});
+
+}  // namespace mcdft::circuits

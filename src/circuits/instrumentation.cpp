@@ -1,0 +1,50 @@
+#include "circuits/instrumentation.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mcdft::circuits {
+
+double InstrumentationParams::PoleHz() const {
+  return 1.0 / (2.0 * std::numbers::pi * r6 * c1);
+}
+
+core::AnalogBlock BuildInstrumentation(const InstrumentationParams& p) {
+  core::AnalogBlock block;
+  block.name = "3-opamp instrumentation amplifier with output pole";
+  block.input_node = "in";
+  block.output_node = "out3";
+  block.opamps = {"OP1", "OP2", "OP3"};
+
+  spice::Netlist& nl = block.netlist;
+  nl.SetTitle(block.name);
+  nl.AddVoltageSource("VIN", "in", "0", 0.0, 1.0);
+
+  // Input buffers with the shared gain-set resistor R1 (= Rg).
+  nl.AddElement(std::make_unique<spice::Opamp>("OP1", nl.Node("in"),
+                                               nl.Node("na"), nl.Node("out1"),
+                                               p.opamp));
+  nl.AddElement(std::make_unique<spice::Opamp>("OP2", nl.Node("0"),
+                                               nl.Node("nb"), nl.Node("out2"),
+                                               p.opamp));
+  nl.AddResistor("R1", "na", "nb", p.r1);
+  nl.AddResistor("R2", "na", "out1", p.r2);
+  nl.AddResistor("R3", "nb", "out2", p.r3);
+
+  // Difference amplifier with C1 across the feedback resistor.
+  nl.AddResistor("R4", "out1", "nd", p.r4);
+  nl.AddResistor("R6", "nd", "out3", p.r6);
+  nl.AddCapacitor("C1", "nd", "out3", p.c1);
+  nl.AddResistor("R5", "out2", "np", p.r5);
+  nl.AddResistor("R7", "np", "0", p.r7);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP3", nl.Node("np"),
+                                               nl.Node("nd"), nl.Node("out3"),
+                                               p.opamp));
+  return block;
+}
+
+core::DftCircuit BuildDftInstrumentation(const InstrumentationParams& params) {
+  return core::DftCircuit::Transform(BuildInstrumentation(params));
+}
+
+}  // namespace mcdft::circuits

@@ -1,0 +1,39 @@
+// Three-opamp instrumentation amplifier with a single-pole output low-pass
+// (capacitor across the difference-amp feedback resistor).  A mostly-flat
+// circuit with one pole: a contrast case where detectability regions are
+// wide and the optimizer has little redundancy to exploit.
+#pragma once
+
+#include "core/dft_transform.hpp"
+
+namespace mcdft::circuits {
+
+/// Component values.  Defaults: differential gain 1 + 2*R2/R1 = 21,
+/// unity difference stage, output pole at ~1 kHz.
+struct InstrumentationParams {
+  double r1 = 1e3;     ///< gain-set resistor Rg between the buffer V- nodes
+  double r2 = 10e3;    ///< buffer 1 feedback
+  double r3 = 10e3;    ///< buffer 2 feedback
+  double r4 = 10e3;    ///< difference amp input (inverting path)
+  double r5 = 10e3;    ///< difference amp input (non-inverting path)
+  double r6 = 10e3;    ///< difference amp feedback
+  double r7 = 10e3;    ///< difference amp ground leg
+  double c1 = 15.9e-9; ///< across R6: output pole
+  spice::OpampModel opamp = {};
+
+  /// Ideal in-band differential gain.
+  double Gain() const { return 1.0 + (r2 + r3) / r1; }
+
+  /// Output pole frequency 1/(2*pi*R6*C1).
+  double PoleHz() const;
+};
+
+/// Functional block: AC source "VIN" drives the positive input, the
+/// negative input is grounded.  Output "out3", chain OP1, OP2, OP3.
+core::AnalogBlock BuildInstrumentation(const InstrumentationParams& params = {});
+
+/// Brute-force DFT-modified instrumentation amplifier.
+core::DftCircuit BuildDftInstrumentation(
+    const InstrumentationParams& params = {});
+
+}  // namespace mcdft::circuits

@@ -1,0 +1,54 @@
+#include "circuits/khn.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mcdft::circuits {
+
+double KhnParams::F0() const {
+  return 1.0 / (2.0 * std::numbers::pi * std::sqrt(r6 * r7 * c1 * c2));
+}
+
+core::AnalogBlock BuildKhn(const KhnParams& p) {
+  core::AnalogBlock block;
+  block.name = "KHN state-variable filter";
+  block.input_node = "in";
+  block.output_node = "out3";
+  block.opamps = {"OP1", "OP2", "OP3"};
+
+  spice::Netlist& nl = block.netlist;
+  nl.SetTitle(block.name);
+  nl.AddVoltageSource("VIN", "in", "0", 0.0, 1.0);
+
+  // OP1: summer.  HP = (1 + R3/R2)*V(nb) - (R3/R2)*LP with
+  // V(nb) = (Vin/R1 + BP/R4) / (1/R1 + 1/R4 + 1/R5).
+  nl.AddResistor("R1", "in", "nb", p.r1);
+  nl.AddResistor("R4", "out2", "nb", p.r4);
+  nl.AddResistor("R5", "nb", "0", p.r5);
+  nl.AddResistor("R2", "out3", "na", p.r2);
+  nl.AddResistor("R3", "na", "out1", p.r3);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP1", nl.Node("nb"),
+                                               nl.Node("na"), nl.Node("out1"),
+                                               p.opamp));
+
+  // OP2: first inverting integrator (BP = -HP / (s R6 C1)).
+  nl.AddResistor("R6", "out1", "n2", p.r6);
+  nl.AddCapacitor("C1", "n2", "out2", p.c1);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP2", nl.Node("0"),
+                                               nl.Node("n2"), nl.Node("out2"),
+                                               p.opamp));
+
+  // OP3: second inverting integrator (LP = -BP / (s R7 C2)).
+  nl.AddResistor("R7", "out2", "n3", p.r7);
+  nl.AddCapacitor("C2", "n3", "out3", p.c2);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP3", nl.Node("0"),
+                                               nl.Node("n3"), nl.Node("out3"),
+                                               p.opamp));
+  return block;
+}
+
+core::DftCircuit BuildDftKhn(const KhnParams& params) {
+  return core::DftCircuit::Transform(BuildKhn(params));
+}
+
+}  // namespace mcdft::circuits

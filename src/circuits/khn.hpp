@@ -1,0 +1,35 @@
+// KHN (Kerwin-Huelsman-Newcomb) state-variable filter: a summing amplifier
+// and two inverting integrators producing simultaneous HP/BP/LP outputs.
+// Three opamps, seven resistors, two capacitors — the next step up from
+// the paper's biquad for the multi-configuration extension study.
+#pragma once
+
+#include "core/dft_transform.hpp"
+
+namespace mcdft::circuits {
+
+/// Component values.  Defaults give f0 ~= 1 kHz, Q = 5.
+struct KhnParams {
+  double r1 = 10e3;    ///< Vin -> summer non-inverting input
+  double r2 = 10e3;    ///< LP feedback -> summer inverting input
+  double r3 = 10e3;    ///< summer feedback
+  double r4 = 10e3;    ///< BP feedback -> summer non-inverting input
+  double r5 = 1.25e3;  ///< non-inverting input to ground (sets Q)
+  double r6 = 15.9e3;  ///< first integrator resistor
+  double r7 = 15.9e3;  ///< second integrator resistor
+  double c1 = 10e-9;   ///< first integrator capacitor
+  double c2 = 10e-9;   ///< second integrator capacitor
+  spice::OpampModel opamp = {};
+
+  /// Ideal resonance frequency (R2 = R3 assumed by the formula).
+  double F0() const;
+};
+
+/// Functional KHN block: AC source "VIN" at node "in", low-pass output at
+/// "out3", opamp chain OP1 (summer), OP2, OP3 (integrators).
+core::AnalogBlock BuildKhn(const KhnParams& params = {});
+
+/// Brute-force DFT-modified KHN.
+core::DftCircuit BuildDftKhn(const KhnParams& params = {});
+
+}  // namespace mcdft::circuits

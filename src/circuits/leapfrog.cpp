@@ -1,0 +1,68 @@
+#include "circuits/leapfrog.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mcdft::circuits {
+
+double LeapfrogParams::F0() const {
+  return 1.0 / (2.0 * std::numbers::pi * r * c1);
+}
+
+core::AnalogBlock BuildLeapfrog(const LeapfrogParams& p) {
+  core::AnalogBlock block;
+  block.name = "5-opamp leapfrog ladder low-pass (Butterworth 3rd order)";
+  block.input_node = "in";
+  block.output_node = "out5";
+  block.opamps = {"OP1", "OP2", "OP3", "OP4", "OP5"};
+
+  spice::Netlist& nl = block.netlist;
+  nl.SetTitle(block.name);
+  nl.AddVoltageSource("VIN", "in", "0", 0.0, 1.0);
+
+  // OP1: lossy inverting integrator summing Vin and out3.
+  nl.AddResistor("R1", "in", "m1", p.r);
+  nl.AddResistor("R2", "out3", "m1", p.r);
+  nl.AddCapacitor("C1", "m1", "out1", p.c1);
+  nl.AddResistor("R3", "m1", "out1", p.r);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP1", nl.Node("0"),
+                                               nl.Node("m1"), nl.Node("out1"),
+                                               p.opamp));
+
+  // OP2: inverter of out1.
+  nl.AddResistor("R4", "out1", "m2", p.r);
+  nl.AddResistor("R5", "m2", "out2", p.r);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP2", nl.Node("0"),
+                                               nl.Node("m2"), nl.Node("out2"),
+                                               p.opamp));
+
+  // OP3: inverting integrator summing out2 and out5.
+  nl.AddResistor("R6", "out2", "m3", p.r);
+  nl.AddResistor("R7", "out5", "m3", p.r);
+  nl.AddCapacitor("C2", "m3", "out3", p.c2);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP3", nl.Node("0"),
+                                               nl.Node("m3"), nl.Node("out3"),
+                                               p.opamp));
+
+  // OP4: inverter of out3.
+  nl.AddResistor("R8", "out3", "m4", p.r);
+  nl.AddResistor("R9", "m4", "out4", p.r);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP4", nl.Node("0"),
+                                               nl.Node("m4"), nl.Node("out4"),
+                                               p.opamp));
+
+  // OP5: lossy inverting integrator of out4 (load termination).
+  nl.AddResistor("R10", "out4", "m5", p.r);
+  nl.AddCapacitor("C3", "m5", "out5", p.c3);
+  nl.AddResistor("R11", "m5", "out5", p.r);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP5", nl.Node("0"),
+                                               nl.Node("m5"), nl.Node("out5"),
+                                               p.opamp));
+  return block;
+}
+
+core::DftCircuit BuildDftLeapfrog(const LeapfrogParams& params) {
+  return core::DftCircuit::Transform(BuildLeapfrog(params));
+}
+
+}  // namespace mcdft::circuits

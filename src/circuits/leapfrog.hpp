@@ -1,0 +1,41 @@
+// Leapfrog (ladder-simulation) low-pass: an active realization of a
+// doubly-terminated 3rd-order Butterworth LC ladder with three integrators
+// and two inverters (five opamps).  Leapfrog filters have global feedback
+// across stages, making them the hardest case for signal-path DFT — a good
+// stress test for the multi-configuration optimizer.
+//
+// Signal flow (state signs chosen so only available polarities are used):
+//   OP1: lossy inverting integrator  out1 = -(Vin + out3)/(1 + s*tau1)
+//   OP2: inverter                    out2 = -out1
+//   OP3: inverting integrator        out3 = -(out2 + out5)/(s*tau2)
+//   OP4: inverter                    out4 = -out3
+//   OP5: lossy inverting integrator  out5 = -out4/(1 + s*tau3)
+// which realizes V1 = (Vin - I2R)/(1+s*tau1), I2R = (V1 - V3)/(s*tau2),
+// V3 = (I2R - V3)/(s*tau3) with out5 = -V3 as the primary output.
+#pragma once
+
+#include "core/dft_transform.hpp"
+
+namespace mcdft::circuits {
+
+/// Component values.  Defaults: Butterworth g = (1, 2, 1) at ~1 kHz with
+/// all resistors 10k (tau1 = tau3 = 1/w0, tau2 = 2/w0).
+struct LeapfrogParams {
+  double r = 10e3;       ///< every resistor (unity weights everywhere)
+  double c1 = 15.9e-9;   ///< tau1 capacitor (OP1)
+  double c2 = 31.8e-9;   ///< tau2 capacitor (OP3)
+  double c3 = 15.9e-9;   ///< tau3 capacitor (OP5)
+  spice::OpampModel opamp = {};
+
+  /// Ideal cutoff 1/(2*pi*R*C1).
+  double F0() const;
+};
+
+/// Functional block: AC source "VIN" at "in", output "out5",
+/// chain OP1..OP5.  Components R1..R11, C1..C3 (14 fault sites).
+core::AnalogBlock BuildLeapfrog(const LeapfrogParams& params = {});
+
+/// Brute-force DFT-modified leapfrog (5 configurable opamps, 32 configs).
+core::DftCircuit BuildDftLeapfrog(const LeapfrogParams& params = {});
+
+}  // namespace mcdft::circuits

@@ -1,0 +1,31 @@
+#include "circuits/notch.hpp"
+
+namespace mcdft::circuits {
+
+core::AnalogBlock BuildNotch(const NotchParams& p) {
+  // Start from the KHN core: out1 = HP, out2 = BP, out3 = LP.
+  core::AnalogBlock block = BuildKhn(p.khn);
+  block.name = "KHN-based notch (HP + LP summer)";
+  block.output_node = "out4";
+  block.opamps.push_back("OP4");
+
+  spice::Netlist& nl = block.netlist;
+  nl.SetTitle(block.name);
+
+  // OP4: inverting summer of the HP and LP outputs.  With equal gains the
+  // BP term is absent and the transfer function has a zero pair on the
+  // imaginary axis at w0: a true notch.
+  nl.AddResistor("R8", "out1", "n4", p.r8);
+  nl.AddResistor("R9", "out3", "n4", p.r9);
+  nl.AddResistor("R10", "n4", "out4", p.r10);
+  nl.AddElement(std::make_unique<spice::Opamp>("OP4", nl.Node("0"),
+                                               nl.Node("n4"), nl.Node("out4"),
+                                               p.opamp));
+  return block;
+}
+
+core::DftCircuit BuildDftNotch(const NotchParams& params) {
+  return core::DftCircuit::Transform(BuildNotch(params));
+}
+
+}  // namespace mcdft::circuits

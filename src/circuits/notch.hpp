@@ -1,0 +1,31 @@
+// Band-reject (notch) filter: the KHN state-variable core plus a fourth
+// opamp summing the HP and LP outputs — the classical universal-filter
+// notch realization.  The response has a true transmission zero at f0,
+// which exercises the deviation-measurement floor (a pointwise |dT/T|
+// reading would explode at the null).
+#pragma once
+
+#include "circuits/khn.hpp"
+
+namespace mcdft::circuits {
+
+/// Component values: the KHN core plus the summing stage.
+struct NotchParams {
+  KhnParams khn;        ///< state-variable core (f0, Q)
+  double r8 = 10e3;     ///< HP input to the summer
+  double r9 = 10e3;     ///< LP input to the summer
+  double r10 = 10e3;    ///< summer feedback
+  spice::OpampModel opamp = {};
+
+  /// Notch frequency (= the KHN resonance).
+  double F0() const { return khn.F0(); }
+};
+
+/// Functional block: AC source "VIN" at "in", notch output "out4",
+/// chain OP1..OP4.  10 resistors + 2 capacitors (12 fault sites).
+core::AnalogBlock BuildNotch(const NotchParams& params = {});
+
+/// Brute-force DFT-modified notch (4 configurable opamps, 16 configs).
+core::DftCircuit BuildDftNotch(const NotchParams& params = {});
+
+}  // namespace mcdft::circuits

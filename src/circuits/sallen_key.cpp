@@ -1,0 +1,56 @@
+#include "circuits/sallen_key.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mcdft::circuits {
+
+double SallenKeyParams::F0Section1() const {
+  return 1.0 / (2.0 * std::numbers::pi * std::sqrt(r1 * r2 * c1 * c2));
+}
+
+double SallenKeyParams::F0Section2() const {
+  return 1.0 / (2.0 * std::numbers::pi * std::sqrt(r3 * r4 * c3 * c4));
+}
+
+namespace {
+
+/// One unity-gain Sallen-Key LP section from `in` to `out`.
+void AddSection(spice::Netlist& nl, const std::string& suffix,
+                const std::string& in, const std::string& out,
+                const std::string& op_name, double ra, double rb, double ca,
+                double cb, const spice::OpampModel& model) {
+  const std::string x = "x" + suffix;
+  const std::string y = "y" + suffix;
+  nl.AddResistor("R" + suffix + "A", in, x, ra);
+  nl.AddResistor("R" + suffix + "B", x, y, rb);
+  nl.AddCapacitor("C" + suffix + "A", x, out, ca);
+  nl.AddCapacitor("C" + suffix + "B", y, "0", cb);
+  // Unity-gain follower: V- tied to the output node.
+  nl.AddElement(std::make_unique<spice::Opamp>(op_name, nl.Node(y),
+                                               nl.Node(out), nl.Node(out),
+                                               model));
+}
+
+}  // namespace
+
+core::AnalogBlock BuildSallenKey(const SallenKeyParams& p) {
+  core::AnalogBlock block;
+  block.name = "4th-order Sallen-Key Butterworth low-pass";
+  block.input_node = "in";
+  block.output_node = "out2";
+  block.opamps = {"OP1", "OP2"};
+
+  spice::Netlist& nl = block.netlist;
+  nl.SetTitle(block.name);
+  nl.AddVoltageSource("VIN", "in", "0", 0.0, 1.0);
+  AddSection(nl, "1", "in", "out1", "OP1", p.r1, p.r2, p.c1, p.c2, p.opamp);
+  AddSection(nl, "2", "out1", "out2", "OP2", p.r3, p.r4, p.c3, p.c4, p.opamp);
+  return block;
+}
+
+core::DftCircuit BuildDftSallenKey(const SallenKeyParams& params) {
+  return core::DftCircuit::Transform(BuildSallenKey(params));
+}
+
+}  // namespace mcdft::circuits

@@ -1,0 +1,38 @@
+// 4th-order Butterworth low-pass as two cascaded unity-gain Sallen-Key
+// sections.  Two opamps used as followers — a deliberately opamp-poor
+// circuit showing the multi-configuration technique on cascaded stages
+// with only 4 configurations.
+#pragma once
+
+#include "core/dft_transform.hpp"
+
+namespace mcdft::circuits {
+
+/// Component values.  Defaults give a 4th-order Butterworth at ~1 kHz
+/// (section Qs 0.5412 and 1.3066).
+struct SallenKeyParams {
+  // Section 1 (Q = 0.5412).
+  double r1 = 10e3;
+  double r2 = 10e3;
+  double c1 = 17.2e-9;  ///< feedback capacitor (node x -> out1)
+  double c2 = 14.7e-9;  ///< shunt capacitor (node y -> ground)
+  // Section 2 (Q = 1.3066).
+  double r3 = 10e3;
+  double r4 = 10e3;
+  double c3 = 41.6e-9;
+  double c4 = 6.09e-9;
+  spice::OpampModel opamp = {};
+
+  /// Ideal cutoff of section 1.
+  double F0Section1() const;
+  /// Ideal cutoff of section 2.
+  double F0Section2() const;
+};
+
+/// Functional block: AC source "VIN" at "in", output "out2", chain OP1, OP2.
+core::AnalogBlock BuildSallenKey(const SallenKeyParams& params = {});
+
+/// Brute-force DFT-modified cascade.
+core::DftCircuit BuildDftSallenKey(const SallenKeyParams& params = {});
+
+}  // namespace mcdft::circuits

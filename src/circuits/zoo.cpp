@@ -1,0 +1,45 @@
+#include "circuits/zoo.hpp"
+
+#include "circuits/ackerberg.hpp"
+#include "circuits/biquad.hpp"
+#include "circuits/cascade.hpp"
+#include "circuits/instrumentation.hpp"
+#include "circuits/khn.hpp"
+#include "circuits/leapfrog.hpp"
+#include "circuits/notch.hpp"
+#include "circuits/sallen_key.hpp"
+
+namespace mcdft::circuits {
+
+const std::vector<ZooEntry>& Zoo() {
+  static const std::vector<ZooEntry> zoo = {
+      {"biquad", "Tow-Thomas biquad (the paper's Fig. 1; 3 opamps)",
+       [] { return BuildBiquad(); }},
+      {"khn", "KHN state-variable filter (3 opamps)",
+       [] { return BuildKhn(); }},
+      {"ackerberg", "Ackerberg-Mossberg biquad (3 opamps)",
+       [] { return BuildAckerberg(); }},
+      {"sallenkey", "4th-order Sallen-Key Butterworth cascade (2 opamps)",
+       [] { return BuildSallenKey(); }},
+      {"inamp", "3-opamp instrumentation amplifier with output pole",
+       [] { return BuildInstrumentation(); }},
+      {"notch", "KHN-based notch, HP+LP summer (4 opamps)",
+       [] { return BuildNotch(); }},
+      {"leapfrog", "5-opamp leapfrog ladder low-pass",
+       [] { return BuildLeapfrog(); }},
+      {"cascade6", "6th-order Butterworth cascade, 3x Tow-Thomas (9 opamps)",
+       [] { return BuildCascade6(); }},
+  };
+  return zoo;
+}
+
+const ZooEntry& FindInZoo(const std::string& name) {
+  for (const auto& entry : Zoo()) {
+    if (entry.name == name) return entry;
+  }
+  std::string valid;
+  for (const auto& entry : Zoo()) valid += " " + entry.name;
+  throw util::Error("unknown circuit '" + name + "'; valid names:" + valid);
+}
+
+}  // namespace mcdft::circuits

@@ -1,0 +1,27 @@
+// Circuit registry: every bundled circuit by name, for the examples and
+// benches that take a `--circuit` argument.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/dft_transform.hpp"
+
+namespace mcdft::circuits {
+
+/// A registry entry: the functional block builder plus metadata.
+struct ZooEntry {
+  std::string name;         ///< registry key, e.g. "biquad"
+  std::string description;  ///< one-line description
+  std::function<core::AnalogBlock()> build;
+};
+
+/// All bundled circuits with default parameters, in difficulty order.
+const std::vector<ZooEntry>& Zoo();
+
+/// Look up a circuit by name; throws util::Error with the list of valid
+/// names when unknown.
+const ZooEntry& FindInZoo(const std::string& name);
+
+}  // namespace mcdft::circuits

@@ -1,0 +1,145 @@
+#include "core/bist.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mcdft::core {
+
+std::size_t ToggleCount(const ConfigVector& a, const ConfigVector& b) {
+  if (a.BitCount() != b.BitCount()) {
+    throw util::OptimizationError("toggle count across different widths");
+  }
+  std::size_t n = 0;
+  for (std::size_t k = 0; k < a.BitCount(); ++k) {
+    if (a.SelectionOf(k) != b.SelectionOf(k)) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+std::size_t PathToggles(const ConfigVector& start,
+                        const std::vector<ConfigVector>& configs,
+                        const std::vector<std::size_t>& order) {
+  std::size_t total = 0;
+  const ConfigVector* prev = &start;
+  for (std::size_t idx : order) {
+    total += ToggleCount(*prev, configs[idx]);
+    prev = &configs[idx];
+  }
+  return total;
+}
+
+/// Exhaustive branch-and-bound over visit orders (open path from C_0).
+void ExactSearch(const ConfigVector& start,
+                 const std::vector<ConfigVector>& configs,
+                 std::vector<std::size_t>& current, std::vector<bool>& used,
+                 std::size_t cost_so_far, const ConfigVector* last,
+                 std::size_t& best_cost, std::vector<std::size_t>& best) {
+  if (cost_so_far >= best_cost) return;
+  if (current.size() == configs.size()) {
+    best_cost = cost_so_far;
+    best = current;
+    return;
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (used[i]) continue;
+    used[i] = true;
+    current.push_back(i);
+    const std::size_t step = ToggleCount(last ? *last : start, configs[i]);
+    ExactSearch(start, configs, current, used, cost_so_far + step,
+                &configs[i], best_cost, best);
+    current.pop_back();
+    used[i] = false;
+  }
+}
+
+/// Nearest neighbour + 2-opt improvement.
+std::vector<std::size_t> Heuristic(const ConfigVector& start,
+                                   const std::vector<ConfigVector>& configs) {
+  const std::size_t n = configs.size();
+  std::vector<std::size_t> order;
+  std::vector<bool> used(n, false);
+  const ConfigVector* last = &start;
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    std::size_t best_d = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const std::size_t d = ToggleCount(*last, configs[i]);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    last = &configs[best];
+  }
+  // 2-opt passes until no improvement.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t a = 0; a + 1 < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        std::vector<std::size_t> candidate = order;
+        std::reverse(candidate.begin() + static_cast<std::ptrdiff_t>(a),
+                     candidate.begin() + static_cast<std::ptrdiff_t>(b) + 1);
+        if (PathToggles(start, configs, candidate) <
+            PathToggles(start, configs, order)) {
+          order = std::move(candidate);
+          improved = true;
+        }
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+BistSchedule ScheduleConfigurations(std::vector<ConfigVector> configs,
+                                    const BistOptions& options) {
+  if (configs.empty()) {
+    throw util::OptimizationError("cannot schedule zero configurations");
+  }
+  const std::size_t width = configs.front().BitCount();
+  for (const auto& cv : configs) {
+    if (cv.BitCount() != width) {
+      throw util::OptimizationError("mixed-width configuration set");
+    }
+  }
+  const ConfigVector start(width);  // power-on state C_0
+
+  // Naive order: by configuration index.
+  std::vector<ConfigVector> naive = configs;
+  std::sort(naive.begin(), naive.end(),
+            [](const ConfigVector& a, const ConfigVector& b) {
+              return a.Index() < b.Index();
+            });
+  BistSchedule schedule;
+  {
+    const ConfigVector* prev = &start;
+    for (const auto& cv : naive) {
+      schedule.naive_toggles += ToggleCount(*prev, cv);
+      prev = &cv;
+    }
+  }
+
+  std::vector<std::size_t> order;
+  if (configs.size() <= options.exact_limit) {
+    std::vector<std::size_t> current;
+    std::vector<bool> used(configs.size(), false);
+    std::size_t best_cost = std::numeric_limits<std::size_t>::max();
+    ExactSearch(start, configs, current, used, 0, nullptr, best_cost, order);
+  } else {
+    order = Heuristic(start, configs);
+  }
+
+  schedule.toggles = PathToggles(start, configs, order);
+  schedule.order.reserve(configs.size());
+  for (std::size_t idx : order) schedule.order.push_back(configs[idx]);
+  return schedule;
+}
+
+}  // namespace mcdft::core

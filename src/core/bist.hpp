@@ -1,0 +1,46 @@
+// BIST configuration sequencing (paper Sec. 4.2: "if BIST is under
+// consideration, configurations are generated on-chip, and the
+// minimization of the configuration number then simplifies the required
+// test circuitry").
+//
+// Beyond minimizing *how many* configurations run, the on-chip sequencer
+// cares about *in which order*: every selection-line toggle is a switching
+// event with an analog settling penalty, so a good schedule visits the
+// selected configurations in an order minimizing total Hamming distance —
+// a tiny TSP solved exactly for realistic set sizes.
+#pragma once
+
+#include "core/configuration.hpp"
+
+namespace mcdft::core {
+
+/// A configuration schedule.
+struct BistSchedule {
+  /// Visit order (starting from the functional configuration C_0, which is
+  /// the power-on state of the selection lines).
+  std::vector<ConfigVector> order;
+
+  /// Selection-line toggles along the schedule, including the transition
+  /// from C_0 into the first configuration (0 if it IS C_0).
+  std::size_t toggles = 0;
+
+  /// Toggles of the naive (index-sorted) order, for comparison.
+  std::size_t naive_toggles = 0;
+};
+
+/// Sequencer options.
+struct BistOptions {
+  /// Above this set size the exact search (exhaustive permutations with
+  /// pruning) yields to a nearest-neighbour + 2-opt heuristic.
+  std::size_t exact_limit = 10;
+};
+
+/// Order `configs` to minimize total selection-line toggles starting from
+/// the all-zero power-on state.  All vectors must share one bit width.
+BistSchedule ScheduleConfigurations(std::vector<ConfigVector> configs,
+                                    const BistOptions& options = {});
+
+/// Hamming distance between two configuration vectors.
+std::size_t ToggleCount(const ConfigVector& a, const ConfigVector& b);
+
+}  // namespace mcdft::core

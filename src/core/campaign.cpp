@@ -1,0 +1,185 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+
+namespace mcdft::core {
+
+double ConfigResult::AverageOmegaDet() const {
+  return testability::AverageOmegaDetectability(faults);
+}
+
+CampaignResult::CampaignResult(std::vector<faults::Fault> fault_list,
+                               std::vector<ConfigResult> per_config,
+                               testability::ReferenceBand band)
+    : faults_(std::move(fault_list)),
+      per_config_(std::move(per_config)),
+      band_(band) {
+  if (per_config_.empty()) {
+    throw util::AnalysisError("campaign with zero configurations");
+  }
+  for (const auto& cr : per_config_) {
+    if (cr.faults.size() != faults_.size()) {
+      throw util::AnalysisError("campaign configuration rows are ragged");
+    }
+  }
+}
+
+std::vector<std::vector<bool>> CampaignResult::DetectabilityMatrix() const {
+  std::vector<std::vector<bool>> m(ConfigCount(),
+                                   std::vector<bool>(FaultCount(), false));
+  for (std::size_t i = 0; i < ConfigCount(); ++i) {
+    for (std::size_t j = 0; j < FaultCount(); ++j) {
+      m[i][j] = per_config_[i].faults[j].detectable;
+    }
+  }
+  return m;
+}
+
+std::vector<std::vector<double>> CampaignResult::OmegaTable() const {
+  std::vector<std::vector<double>> m(ConfigCount(),
+                                     std::vector<double>(FaultCount(), 0.0));
+  for (std::size_t i = 0; i < ConfigCount(); ++i) {
+    for (std::size_t j = 0; j < FaultCount(); ++j) {
+      m[i][j] = per_config_[i].faults[j].omega_detectability;
+    }
+  }
+  return m;
+}
+
+std::vector<testability::FaultDetectability> CampaignResult::BestCase(
+    const std::vector<std::size_t>& rows) const {
+  std::vector<std::vector<testability::FaultDetectability>> lists;
+  if (rows.empty()) {
+    for (const auto& cr : per_config_) lists.push_back(cr.faults);
+  } else {
+    for (std::size_t r : rows) {
+      if (r >= per_config_.size()) {
+        throw util::OptimizationError("campaign row " + std::to_string(r) +
+                                      " out of range");
+      }
+      lists.push_back(per_config_[r].faults);
+    }
+  }
+  return testability::BestCasePerFault(lists);
+}
+
+double CampaignResult::Coverage(const std::vector<std::size_t>& rows) const {
+  return testability::FaultCoverage(BestCase(rows));
+}
+
+double CampaignResult::AverageOmegaDet(
+    const std::vector<std::size_t>& rows) const {
+  return testability::AverageOmegaDetectability(BestCase(rows));
+}
+
+std::size_t CampaignResult::RowOf(const ConfigVector& cv) const {
+  for (std::size_t i = 0; i < per_config_.size(); ++i) {
+    if (per_config_[i].config == cv) return i;
+  }
+  throw util::OptimizationError("configuration " + cv.Name() +
+                                " was not simulated in this campaign");
+}
+
+namespace {
+
+testability::ReferenceBand ResolveBand(DftCircuit& work,
+                                       const CampaignOptions& options) {
+  double anchor;
+  if (options.anchor_hz) {
+    anchor = *options.anchor_hz;
+  } else {
+    // Estimate from the functional configuration's fault-free response on a
+    // wide exploratory sweep (6 decades around 1 kHz, then refined around
+    // the found passband).
+    ScopedConfiguration functional(
+        work, ConfigVector(work.ConfigurableOpamps().size()));
+    spice::AcAnalyzer analyzer(work.Circuit(), options.mna);
+    spice::Probe probe{work.Circuit().FindNode(work.OutputNode()),
+                       spice::kGround, "v(out)"};
+    const auto wide = spice::SweepSpec::Decade(1e-1, 1e8, 10);
+    anchor = testability::EstimateAnchorFrequency(analyzer.Run(wide, probe));
+  }
+  return testability::ReferenceBand::Around(anchor, options.decades_below,
+                                            options.decades_above,
+                                            options.points_per_decade);
+}
+
+}  // namespace
+
+CampaignOptions MakePaperCampaignOptions() {
+  CampaignOptions options;
+  options.criteria.epsilon = 0.08;
+  options.criteria.relative_floor = 0.25;
+  options.tolerance = testability::ToleranceModel{};  // 3 %, 48 samples
+  options.decades_below = 2.0;
+  options.decades_above = 2.0;
+  options.points_per_decade = 50;
+  return options;
+}
+
+CampaignResult RunCampaign(const DftCircuit& circuit,
+                           const std::vector<faults::Fault>& fault_list,
+                           const std::vector<ConfigVector>& configs,
+                           const CampaignOptions& options) {
+  if (configs.empty()) {
+    throw util::AnalysisError("campaign needs at least one configuration");
+  }
+  if (fault_list.empty()) {
+    throw util::AnalysisError("campaign needs a non-empty fault list");
+  }
+  DftCircuit work = circuit.Clone();
+  const testability::ReferenceBand band = ResolveBand(work, options);
+  const spice::SweepSpec sweep = band.MakeSweep();
+  const spice::Probe probe{work.Circuit().FindNode(work.OutputNode()),
+                           spice::kGround, "v(" + work.OutputNode() + ")"};
+
+  if (options.tolerance && !options.criteria.envelope.empty()) {
+    throw util::AnalysisError(
+        "criteria.envelope must be empty when a tolerance model is set");
+  }
+  std::vector<std::string> fault_sites;
+  if (options.tolerance) {
+    for (const auto& f : fault_list) {
+      if (std::find(fault_sites.begin(), fault_sites.end(), f.Device()) ==
+          fault_sites.end()) {
+        fault_sites.push_back(f.Device());
+      }
+    }
+  }
+
+  std::vector<ConfigResult> per_config;
+  per_config.reserve(configs.size());
+  for (const ConfigVector& cv : configs) {
+    ScopedConfiguration sc(work, cv);
+    testability::DetectionCriteria criteria = options.criteria;
+    if (options.tolerance) {
+      criteria.envelope = testability::ComputeToleranceEnvelope(
+          work.Circuit(), sweep, probe, fault_sites, *options.tolerance,
+          criteria.relative_floor, options.mna);
+    }
+    faults::FaultSimulator simulator(work.Circuit(), sweep, probe, options.mna);
+    ConfigResult row{cv, {}, simulator.SimulateNominal(), {}};
+    row.faults.reserve(fault_list.size());
+    for (const auto& f : fault_list) {
+      row.faults.push_back(testability::AnalyzeFault(
+          f, row.nominal, simulator.SimulateFault(f), criteria));
+    }
+    row.threshold.resize(sweep.PointCount());
+    for (std::size_t i = 0; i < row.threshold.size(); ++i) {
+      row.threshold[i] = criteria.ThresholdAt(i);
+    }
+    row.relative_floor = criteria.relative_floor;
+    per_config.push_back(std::move(row));
+  }
+  return CampaignResult(fault_list, std::move(per_config), band);
+}
+
+CampaignResult AnalyzeFunctionalOnly(const DftCircuit& circuit,
+                                     const std::vector<faults::Fault>& fault_list,
+                                     const CampaignOptions& options) {
+  return RunCampaign(circuit, fault_list,
+                     {ConfigVector(circuit.ConfigurableOpamps().size())},
+                     options);
+}
+
+}  // namespace mcdft::core

@@ -1,0 +1,124 @@
+// The multi-configuration fault-simulation campaign: evaluate every fault
+// in every candidate test configuration, producing the fault detectability
+// matrix (paper Fig. 5) and the omega-detectability table (Table 2).
+#pragma once
+
+#include <optional>
+
+#include "core/dft_transform.hpp"
+#include "testability/metrics.hpp"
+#include "testability/tolerance.hpp"
+
+namespace mcdft::core {
+
+/// Campaign options.
+struct CampaignOptions {
+  testability::DetectionCriteria criteria;  ///< epsilon etc. (Def. 1)
+
+  /// When set, a Monte-Carlo process-tolerance envelope is computed for
+  /// every configuration (over the fault-site components) and added to the
+  /// detection threshold — the realistic reading of the paper's epsilon.
+  /// criteria.envelope must then be empty (it is filled per configuration).
+  std::optional<testability::ToleranceModel> tolerance;
+
+  /// Reference band shape (Def. 2): decades below/above the anchor and the
+  /// sampling density.
+  double decades_below = 2.0;
+  double decades_above = 2.0;
+  std::size_t points_per_decade = 50;
+
+  /// Band anchor frequency (Hz).  Unset = estimate from the functional
+  /// configuration's fault-free response (its -3 dB passband centre).
+  std::optional<double> anchor_hz;
+
+  spice::MnaOptions mna;
+};
+
+/// Per-configuration fault analysis.
+struct ConfigResult {
+  ConfigVector config;
+  std::vector<testability::FaultDetectability> faults;  ///< per fault, in order
+
+  /// Fault-free response of this configuration on the campaign grid
+  /// (empty for synthetic campaigns built from bare matrices).
+  spice::FrequencyResponse nominal;
+
+  /// Detection threshold at each grid point (epsilon + envelope), aligned
+  /// with `nominal`; empty for synthetic campaigns.
+  std::vector<double> threshold;
+
+  /// Deviation-normalization floor the thresholds were applied against
+  /// (criteria.relative_floor at campaign time).
+  double relative_floor = 0.25;
+
+  /// Average omega-detectability over the fault list in this configuration.
+  double AverageOmegaDet() const;
+};
+
+/// Full campaign result: everything Sections 3-4 need.
+class CampaignResult {
+ public:
+  CampaignResult(std::vector<faults::Fault> fault_list,
+                 std::vector<ConfigResult> per_config,
+                 testability::ReferenceBand band);
+
+  const std::vector<faults::Fault>& Faults() const { return faults_; }
+  const std::vector<ConfigResult>& PerConfig() const { return per_config_; }
+  const testability::ReferenceBand& Band() const { return band_; }
+
+  std::size_t ConfigCount() const { return per_config_.size(); }
+  std::size_t FaultCount() const { return faults_.size(); }
+
+  /// The boolean fault detectability matrix d_ij (row = configuration in
+  /// campaign order, column = fault), paper Fig. 5.
+  std::vector<std::vector<bool>> DetectabilityMatrix() const;
+
+  /// The omega-detectability table (same shape), paper Table 2.
+  std::vector<std::vector<double>> OmegaTable() const;
+
+  /// Best-case (per-fault max) verdicts over a subset of configuration rows
+  /// (empty = all rows): the "a fault is tested in its best configuration"
+  /// rule behind Graph 2 and the <w-det> of a chosen configuration set.
+  std::vector<testability::FaultDetectability> BestCase(
+      const std::vector<std::size_t>& rows = {}) const;
+
+  /// Fault coverage achieved using a subset of rows (empty = all).
+  double Coverage(const std::vector<std::size_t>& rows = {}) const;
+
+  /// Average omega-detectability using a subset of rows (empty = all).
+  double AverageOmegaDet(const std::vector<std::size_t>& rows = {}) const;
+
+  /// Row index of a configuration in this campaign; throws
+  /// OptimizationError when the configuration was not simulated.
+  std::size_t RowOf(const ConfigVector& cv) const;
+
+ private:
+  std::vector<faults::Fault> faults_;
+  std::vector<ConfigResult> per_config_;
+  testability::ReferenceBand band_;
+};
+
+/// The campaign settings used by every paper-reproduction experiment in
+/// bench/ and by the integration tests: tester accuracy epsilon = 8 %,
+/// +/-3 % Monte-Carlo process-tolerance envelope (48 samples, fixed seed),
+/// a 25 %-of-peak measurement floor, and the 4-decade reference band of
+/// Definition 2 (2 decades of passband + 2 of stopband, 50 points/decade).
+CampaignOptions MakePaperCampaignOptions();
+
+/// Run the campaign on `circuit` over `configs` (e.g. Space().All() or a
+/// pre-selected subset) and `fault_list`.  The circuit is cloned; the
+/// argument is untouched.  One AC sweep is run per (configuration, fault)
+/// pair plus one nominal sweep per configuration.
+CampaignResult RunCampaign(const DftCircuit& circuit,
+                           const std::vector<faults::Fault>& fault_list,
+                           const std::vector<ConfigVector>& configs,
+                           const CampaignOptions& options = {});
+
+/// Testability of the *unmodified* block (paper Sec. 2): analyze the fault
+/// list on the functional circuit only.  Returns the single-configuration
+/// campaign so the same accessors/metrics apply.
+CampaignResult AnalyzeFunctionalOnly(const DftCircuit& circuit,
+                                     const std::vector<faults::Fault>& fault_list,
+                                     const CampaignOptions& options = {});
+
+}  // namespace mcdft::core

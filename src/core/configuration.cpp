@@ -1,0 +1,152 @@
+#include "core/configuration.hpp"
+
+#include <algorithm>
+
+namespace mcdft::core {
+
+ConfigVector::ConfigVector(std::size_t bit_count) : bits_(bit_count, false) {
+  if (bit_count == 0) {
+    throw util::OptimizationError("configuration vector needs >= 1 bit");
+  }
+}
+
+ConfigVector ConfigVector::FromIndex(std::size_t index, std::size_t bit_count) {
+  ConfigVector cv(bit_count);
+  if (bit_count >= 64 || index >= (std::size_t{1} << bit_count)) {
+    throw util::OptimizationError("configuration index " +
+                                  std::to_string(index) + " out of range");
+  }
+  // sel_1 is the most significant bit of the paper's index.
+  for (std::size_t k = 0; k < bit_count; ++k) {
+    cv.bits_[k] = (index >> (bit_count - 1 - k)) & 1u;
+  }
+  return cv;
+}
+
+ConfigVector ConfigVector::FromBits(const std::string& bits) {
+  if (bits.empty()) {
+    throw util::OptimizationError("empty configuration bit string");
+  }
+  ConfigVector cv(bits.size());
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    if (bits[k] == '1') {
+      cv.bits_[k] = true;
+    } else if (bits[k] != '0') {
+      throw util::OptimizationError("bad configuration bit string '" + bits +
+                                    "'");
+    }
+  }
+  return cv;
+}
+
+bool ConfigVector::SelectionOf(std::size_t k) const {
+  if (k >= bits_.size()) {
+    throw util::OptimizationError("selection bit " + std::to_string(k) +
+                                  " out of range");
+  }
+  return bits_[k];
+}
+
+void ConfigVector::SetSelection(std::size_t k, bool follower) {
+  if (k >= bits_.size()) {
+    throw util::OptimizationError("selection bit " + std::to_string(k) +
+                                  " out of range");
+  }
+  bits_[k] = follower;
+}
+
+std::size_t ConfigVector::Index() const {
+  std::size_t idx = 0;
+  for (bool b : bits_) idx = (idx << 1) | (b ? 1u : 0u);
+  return idx;
+}
+
+std::string ConfigVector::Name() const {
+  return "C" + std::to_string(Index());
+}
+
+std::string ConfigVector::BitString() const {
+  std::string s;
+  s.reserve(bits_.size());
+  for (bool b : bits_) s += b ? '1' : '0';
+  return s;
+}
+
+std::vector<std::size_t> ConfigVector::FollowerPositions() const {
+  std::vector<std::size_t> out;
+  for (std::size_t k = 0; k < bits_.size(); ++k) {
+    if (bits_[k]) out.push_back(k);
+  }
+  return out;
+}
+
+std::size_t ConfigVector::FollowerCount() const {
+  return static_cast<std::size_t>(
+      std::count(bits_.begin(), bits_.end(), true));
+}
+
+bool ConfigVector::IsFunctional() const { return FollowerCount() == 0; }
+
+bool ConfigVector::IsTransparent() const {
+  return FollowerCount() == bits_.size();
+}
+
+ConfigurationSpace::ConfigurationSpace(std::vector<std::string> opamp_names)
+    : opamps_(std::move(opamp_names)) {
+  if (opamps_.empty()) {
+    throw util::OptimizationError("configuration space over zero opamps");
+  }
+  if (opamps_.size() > 20) {
+    throw util::OptimizationError(
+        "configuration space over " + std::to_string(opamps_.size()) +
+        " opamps (2^n too large); use UpToKFollowers-style pre-selection");
+  }
+}
+
+std::size_t ConfigurationSpace::ConfigurationCount() const {
+  return std::size_t{1} << opamps_.size();
+}
+
+ConfigVector ConfigurationSpace::At(std::size_t index) const {
+  return ConfigVector::FromIndex(index, opamps_.size());
+}
+
+std::vector<std::string> ConfigurationSpace::FollowerOpamps(
+    const ConfigVector& cv) const {
+  if (cv.BitCount() != opamps_.size()) {
+    throw util::OptimizationError(
+        "configuration vector does not match this configuration space");
+  }
+  std::vector<std::string> out;
+  for (std::size_t k : cv.FollowerPositions()) out.push_back(opamps_[k]);
+  return out;
+}
+
+std::vector<ConfigVector> ConfigurationSpace::All() const {
+  std::vector<ConfigVector> out;
+  out.reserve(ConfigurationCount());
+  for (std::size_t i = 0; i < ConfigurationCount(); ++i) out.push_back(At(i));
+  return out;
+}
+
+std::vector<ConfigVector> ConfigurationSpace::AllNonTransparent() const {
+  std::vector<ConfigVector> out = All();
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const ConfigVector& cv) {
+                             return cv.IsTransparent();
+                           }),
+            out.end());
+  return out;
+}
+
+std::vector<ConfigVector> ConfigurationSpace::UpToKFollowers(
+    std::size_t k) const {
+  std::vector<ConfigVector> out;
+  for (std::size_t i = 0; i < ConfigurationCount(); ++i) {
+    ConfigVector cv = At(i);
+    if (cv.FollowerCount() <= k) out.push_back(cv);
+  }
+  return out;
+}
+
+}  // namespace mcdft::core

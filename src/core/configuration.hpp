@@ -1,0 +1,104 @@
+// Configuration vectors and the configuration space of a DFT-modified
+// circuit (paper Sec. 3.1, Table 1).
+//
+// A circuit with n configurable opamps has 2^n configurations; the
+// configuration vector CV = (sel_1 ... sel_n) holds one selection bit per
+// configurable opamp (1 = follower mode).  C_0 (all zeros) is the normal
+// functional configuration; C_{2^n-1} (all ones) is the *transparent*
+// configuration that propagates the input straight to the output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcdft::core {
+
+/// One configuration: the selection bits of the configurable opamps.
+///
+/// Bit k corresponds to the k-th configurable opamp in chain order.  The
+/// paper's index convention is used throughout: configuration C_i has
+/// sel_1 as the *most significant* bit, so for 3 opamps C_5 = (1 0 1).
+class ConfigVector {
+ public:
+  /// All-normal configuration over `bit_count` opamps (C_0).
+  explicit ConfigVector(std::size_t bit_count);
+
+  /// Configuration C_index (paper numbering; see class comment).  Throws
+  /// OptimizationError when index >= 2^bit_count.
+  static ConfigVector FromIndex(std::size_t index, std::size_t bit_count);
+
+  /// Parse "101"-style bit strings (sel_1 first).
+  static ConfigVector FromBits(const std::string& bits);
+
+  std::size_t BitCount() const { return bits_.size(); }
+
+  /// Selection bit of opamp k (0-based chain position).
+  bool SelectionOf(std::size_t k) const;
+  void SetSelection(std::size_t k, bool follower);
+
+  /// The paper's configuration index ("C_i").
+  std::size_t Index() const;
+
+  /// Conventional name "C5".
+  std::string Name() const;
+
+  /// "101" (sel_1 first).
+  std::string BitString() const;
+
+  /// Chain positions of opamps in follower mode.
+  std::vector<std::size_t> FollowerPositions() const;
+  std::size_t FollowerCount() const;
+
+  /// All-zero: the functional configuration C_0.
+  bool IsFunctional() const;
+
+  /// All-one: the transparent configuration (identity function).
+  bool IsTransparent() const;
+
+  bool operator==(const ConfigVector& other) const = default;
+
+ private:
+  std::vector<bool> bits_;  // bits_[k] = sel_{k+1}
+};
+
+/// The set of configurations available on a circuit with the given
+/// configurable opamps (in chain order), with the enumeration helpers the
+/// optimizer and benches need.
+class ConfigurationSpace {
+ public:
+  /// Throws OptimizationError when `opamp_names` is empty or larger than
+  /// 20 (2^20 configurations is past any practical fault-simulation run).
+  explicit ConfigurationSpace(std::vector<std::string> opamp_names);
+
+  std::size_t OpampCount() const { return opamps_.size(); }
+  const std::vector<std::string>& OpampNames() const { return opamps_; }
+
+  /// 2^n.
+  std::size_t ConfigurationCount() const;
+
+  /// Configuration C_i.
+  ConfigVector At(std::size_t index) const;
+
+  /// Names of the opamps a configuration drives into follower mode — the
+  /// paper's configuration->opamp mapping (Table 3).
+  std::vector<std::string> FollowerOpamps(const ConfigVector& cv) const;
+
+  /// All 2^n configurations in index order.
+  std::vector<ConfigVector> All() const;
+
+  /// All configurations except the transparent one — the set the paper
+  /// uses for passive-component faults (C_0 ... C_6 on the biquad).
+  std::vector<ConfigVector> AllNonTransparent() const;
+
+  /// Configurations with at most `k` opamps in follower mode (including
+  /// C_0).  This is the structural pre-selection suggested in the paper's
+  /// conclusion for larger circuits, where 2^n explodes.
+  std::vector<ConfigVector> UpToKFollowers(std::size_t k) const;
+
+ private:
+  std::vector<std::string> opamps_;
+};
+
+}  // namespace mcdft::core

@@ -1,0 +1,141 @@
+#include "core/diagnosis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/report.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace mcdft::core {
+
+DiagnosisReport Diagnose(const CampaignResult& campaign,
+                         const DiagnosisOptions& options) {
+  if (options.levels < 1 || options.levels > 9) {
+    throw util::OptimizationError("diagnosis levels must be in [1, 9]");
+  }
+  const auto matrix = campaign.DetectabilityMatrix();
+  const auto omega = campaign.OmegaTable();
+  std::map<std::string, std::vector<faults::Fault>> by_signature;
+  for (std::size_t j = 0; j < campaign.FaultCount(); ++j) {
+    std::string sig(campaign.ConfigCount(), '0');
+    for (std::size_t i = 0; i < campaign.ConfigCount(); ++i) {
+      if (!matrix[i][j]) continue;
+      if (options.levels == 1) {
+        sig[i] = '1';
+      } else {
+        // Quantize omega-detectability into `levels` equal bins; a
+        // detectable fault always gets at least level 1.
+        const double w = omega[i][j];
+        std::size_t level = static_cast<std::size_t>(
+            std::ceil(w * static_cast<double>(options.levels)));
+        level = std::clamp<std::size_t>(level, 1, options.levels);
+        sig[i] = static_cast<char>('0' + level);
+      }
+    }
+    by_signature[sig].push_back(campaign.Faults()[j]);
+  }
+
+  DiagnosisReport report;
+  for (auto& [sig, faults] : by_signature) {
+    if (faults.size() == 1) ++report.uniquely_diagnosed;
+    report.classes.push_back(SignatureClass{sig, std::move(faults)});
+  }
+  const double nfaults = static_cast<double>(campaign.FaultCount());
+  report.resolution = static_cast<double>(report.classes.size()) / nfaults;
+
+  // Pairwise distinguishability: pairs in different classes / all pairs.
+  const double total_pairs = nfaults * (nfaults - 1.0) / 2.0;
+  double same_class_pairs = 0.0;
+  for (const auto& cls : report.classes) {
+    const double n = static_cast<double>(cls.faults.size());
+    same_class_pairs += n * (n - 1.0) / 2.0;
+  }
+  report.pairwise_distinguishability =
+      total_pairs > 0.0 ? 1.0 - same_class_pairs / total_pairs : 1.0;
+  return report;
+}
+
+std::string RenderDiagnosis(const DiagnosisReport& report,
+                            const CampaignResult& campaign) {
+  util::Table t;
+  t.SetTitle("Fault diagnosis by configuration signature");
+  std::string header = "signature (";
+  for (std::size_t i = 0; i < campaign.ConfigCount(); ++i) {
+    if (i != 0) header += " ";
+    header += RowName(campaign, i);
+  }
+  header += ")";
+  t.SetHeader({header, "faults in class"});
+  for (const auto& cls : report.classes) {
+    std::vector<std::string> names;
+    for (const auto& f : cls.faults) names.push_back(f.ShortLabel());
+    t.AddRow({cls.signature, util::Join(names, ", ")});
+  }
+  t.SetAlign(1, util::Table::Align::kLeft);
+  std::string out = t.Render();
+  out += "uniquely diagnosed faults: " +
+         std::to_string(report.uniquely_diagnosed) + " / " +
+         std::to_string(campaign.FaultCount()) + "\n";
+  out += "diagnostic resolution:     " +
+         util::FormatTrimmed(100.0 * report.resolution, 1) + "%\n";
+  out += "distinguishable pairs:     " +
+         util::FormatTrimmed(100.0 * report.pairwise_distinguishability, 1) +
+         "%\n";
+  return out;
+}
+
+OpampTestResult RunOpampTransparentTest(const DftCircuit& circuit,
+                                        std::vector<faults::Fault> opamp_faults,
+                                        const OpampTestOptions& options) {
+  if (circuit.ConfigurableOpamps().size() != circuit.Chain().size()) {
+    throw util::AnalysisError(
+        "the transparent-configuration test needs every chain opamp "
+        "configurable (partial DFT breaks the end-to-end follower path)");
+  }
+  if (opamp_faults.empty()) {
+    opamp_faults = faults::MakeOpampFaults(circuit.Circuit());
+  }
+  for (const auto& f : opamp_faults) {
+    if (!f.IsOpampFault()) {
+      throw util::AnalysisError("non-opamp fault '" + f.Label() +
+                                "' in the opamp transparent test");
+    }
+  }
+
+  const std::size_t n = circuit.ConfigurableOpamps().size();
+  // Row 0: transparent; rows 1..n: single-follower configurations.
+  std::vector<ConfigVector> configs;
+  configs.push_back(ConfigVector::FromBits(std::string(n, '1')));
+  for (std::size_t k = 0; k < n; ++k) {
+    ConfigVector cv(n);
+    cv.SetSelection(k, true);
+    configs.push_back(cv);
+  }
+
+  CampaignOptions campaign_options;
+  campaign_options.criteria = options.criteria;
+  campaign_options.anchor_hz = std::sqrt(options.f_lo_hz * options.f_hi_hz);
+  campaign_options.decades_below =
+      std::log10(*campaign_options.anchor_hz / options.f_lo_hz);
+  campaign_options.decades_above =
+      std::log10(options.f_hi_hz / *campaign_options.anchor_hz);
+  campaign_options.points_per_decade = options.points_per_decade;
+  campaign_options.mna = options.mna;
+
+  OpampTestResult result{
+      {}, 0.0,
+      RunCampaign(circuit, opamp_faults, configs, campaign_options),
+      {}};
+  result.screen = result.localization.PerConfig()[0].faults;
+  result.screen_coverage =
+      testability::FaultCoverage(result.screen);
+  // Severe opamp faults trip every configuration, so boolean signatures
+  // are uniform; the 4-level quantized dictionary separates them by how
+  // much of the band each configuration loses.
+  result.diagnosis = Diagnose(result.localization, DiagnosisOptions{4});
+  return result;
+}
+
+}  // namespace mcdft::core

@@ -1,0 +1,98 @@
+// Fault diagnosis from configuration signatures.
+//
+// The multi-configuration campaign gives every fault a *signature*: the
+// set of configurations in which it is detectable.  Faults with identical
+// signatures are indistinguishable by a pass/fail multi-configuration
+// test; the partition into signature classes measures the diagnostic
+// resolution the DFT buys on top of plain detection (the diagnosis-based
+// literature the paper contrasts itself with in Sec. 2 — refs [7..10] —
+// asks exactly this question).
+//
+// The transparent-configuration test of opamp-internal faults (paper
+// Sec. 3.1, ref [5]) is provided here as well: a go/no-go screen in the
+// all-follower configuration plus a localization campaign over the
+// single-follower configurations.
+#pragma once
+
+#include "core/campaign.hpp"
+
+namespace mcdft::core {
+
+/// One signature class: faults that no configuration distinguishes.
+struct SignatureClass {
+  std::string signature;              ///< e.g. "0110100" over campaign rows
+  std::vector<faults::Fault> faults;  ///< members (size 1 = fully diagnosed)
+};
+
+/// Diagnosis summary for a campaign.
+struct DiagnosisReport {
+  std::vector<SignatureClass> classes;  ///< sorted by signature
+
+  /// Number of faults that are alone in their class (uniquely located by
+  /// the pass/fail pattern over configurations).
+  std::size_t uniquely_diagnosed = 0;
+
+  /// classes.size() / fault count, in (0, 1]: 1.0 = full diagnosis.
+  double resolution = 0.0;
+
+  /// Fraction of fault pairs the signatures distinguish.
+  double pairwise_distinguishability = 0.0;
+};
+
+/// Signature construction options.
+struct DiagnosisOptions {
+  /// Number of omega-detectability magnitude levels per configuration.
+  /// 1 = boolean pass/fail signatures (detectable or not).  Higher values
+  /// quantize omega-detectability into that many equal bins, the
+  /// fault-dictionary approach: severe faults that trip *every*
+  /// configuration can still be told apart by how much of the band they
+  /// disturb in each one.  Must be in [1, 9].
+  std::size_t levels = 1;
+};
+
+/// Partition the campaign's faults by detectability signature.
+/// Undetected-everywhere faults share the all-zero class.
+DiagnosisReport Diagnose(const CampaignResult& campaign,
+                         const DiagnosisOptions& options = {});
+
+/// Render the report as text (class table + headline metrics).
+std::string RenderDiagnosis(const DiagnosisReport& report,
+                            const CampaignResult& campaign);
+
+/// Options for the opamp transparent-configuration test.
+struct OpampTestOptions {
+  /// Detection criteria for the deviation from the nominal (identity-like)
+  /// transparent response.  The tolerance envelope is unnecessary here:
+  /// passive components barely load the follower chain.
+  testability::DetectionCriteria criteria{.epsilon = 0.05,
+                                          .relative_floor = 0.25};
+  double f_lo_hz = 10.0;
+  double f_hi_hz = 1e5;
+  std::size_t points_per_decade = 25;
+  spice::MnaOptions mna;
+};
+
+/// Result of the transparent-configuration opamp screen.
+struct OpampTestResult {
+  /// Verdicts of the go/no-go screen in the transparent configuration.
+  std::vector<testability::FaultDetectability> screen;
+
+  /// Fault coverage of the screen alone.
+  double screen_coverage = 0.0;
+
+  /// Localization campaign: rows = the transparent configuration followed
+  /// by every single-follower configuration; diagnosis over it.
+  CampaignResult localization;
+  DiagnosisReport diagnosis;
+};
+
+/// Run the opamp-internal fault test on a DFT circuit: screen all faults
+/// in the transparent configuration, then run the localization campaign.
+/// `opamp_faults` defaults (empty list) to MakeOpampFaults on the
+/// circuit's configurable opamps.  Requires every chain opamp to be
+/// configurable (the transparent path must exist end to end).
+OpampTestResult RunOpampTransparentTest(
+    const DftCircuit& circuit, std::vector<faults::Fault> opamp_faults = {},
+    const OpampTestOptions& options = {});
+
+}  // namespace mcdft::core

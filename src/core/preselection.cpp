@@ -1,0 +1,161 @@
+#include "core/preselection.hpp"
+
+#include <algorithm>
+
+#include "boolcov/setcover.hpp"
+
+namespace mcdft::core {
+
+PreselectionResult PreselectConfigurations(
+    const DftCircuit& circuit, const std::vector<faults::Fault>& fault_list,
+    const std::vector<ConfigVector>& candidates,
+    const PreselectionOptions& options) {
+  if (candidates.empty() || fault_list.empty()) {
+    throw util::AnalysisError("pre-selection needs candidates and faults");
+  }
+  DftCircuit work = circuit.Clone();
+
+  // Band resolution mirrors the campaign: anchor on the functional
+  // configuration's passband.
+  double anchor;
+  if (options.anchor_hz) {
+    anchor = *options.anchor_hz;
+  } else {
+    ScopedConfiguration functional(
+        work, ConfigVector(work.ConfigurableOpamps().size()));
+    spice::AcAnalyzer analyzer(work.Circuit(), options.mna);
+    spice::Probe probe{work.Circuit().FindNode(work.OutputNode()),
+                       spice::kGround, "v(out)"};
+    anchor = testability::EstimateAnchorFrequency(
+        analyzer.Run(spice::SweepSpec::Decade(1e-1, 1e8, 10), probe));
+  }
+  const testability::ReferenceBand band = testability::ReferenceBand::Around(
+      anchor, options.decades_below, options.decades_above,
+      options.points_per_decade);
+  const spice::SweepSpec sweep = band.MakeSweep();
+  const spice::Probe probe{work.Circuit().FindNode(work.OutputNode()),
+                           spice::kGround, "v(out)"};
+
+  PreselectionResult result;
+  result.candidates = candidates;
+  result.predicted.assign(candidates.size(),
+                          std::vector<bool>(fault_list.size(), false));
+
+  // Fault sites and their per-fault perturbation signs/magnitudes.
+  std::vector<std::string> sites;
+  for (const auto& f : fault_list) sites.push_back(f.Device());
+
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    ScopedConfiguration sc(work, candidates[c]);
+    // One forward-difference sweep per fault with delta = the fault's own
+    // magnitude: the projected deviation IS the screening fault simulation
+    // on the coarse grid.
+    std::vector<std::vector<double>> projected(fault_list.size());
+    for (std::size_t j = 0; j < fault_list.size(); ++j) {
+      testability::SensitivityOptions sens;
+      sens.delta = std::min(0.9, std::abs(fault_list[j].ValueFactor() - 1.0));
+      sens.mna = options.mna;
+      projected[j] = testability::ComputeRelativeSensitivity(
+          work.Circuit(), sweep, probe, sites[j], sens);
+      for (auto& v : projected[j]) v *= sens.delta;  // back to deviation
+      result.sweeps_used += 2;  // nominal + perturbed
+    }
+    // Analytic tolerance-envelope proxy from the same data: worst-case
+    // superposition of every site's sensitivity at the process tolerance,
+    // derated by envelope_scale (see PreselectionOptions).
+    std::vector<double> proxy(sweep.PointCount(), 0.0);
+    if (options.component_tolerance > 0.0) {
+      for (std::size_t j = 0; j < fault_list.size(); ++j) {
+        const double mag =
+            std::min(0.9, std::abs(fault_list[j].ValueFactor() - 1.0));
+        for (std::size_t i = 0; i < proxy.size(); ++i) {
+          proxy[i] += projected[j][i] / mag;  // |S_j(w)|
+        }
+      }
+      for (auto& v : proxy) {
+        v *= options.envelope_scale * options.component_tolerance;
+      }
+    }
+    for (std::size_t j = 0; j < fault_list.size(); ++j) {
+      for (std::size_t i = 0; i < proxy.size(); ++i) {
+        if (projected[j][i] > options.predicted_epsilon + proxy[i]) {
+          result.predicted[c][j] = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Faults with all-zero predicted columns are reported, not covered.
+  std::vector<std::size_t> coverable;
+  for (std::size_t j = 0; j < fault_list.size(); ++j) {
+    bool any = false;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      any = any || result.predicted[c][j];
+    }
+    if (any) {
+      coverable.push_back(j);
+    } else {
+      result.predicted_undetectable.push_back(fault_list[j]);
+    }
+  }
+
+  // Greedy cover over the predicted matrix.
+  std::vector<bool> keep(candidates.size(), false);
+  // Always keep the functional configuration when it is a candidate (it is
+  // free: no reconfiguration, and it anchors the comparison).
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (candidates[c].IsFunctional()) keep[c] = true;
+  }
+  std::vector<bool> covered(fault_list.size(), false);
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (!keep[c]) continue;
+    for (std::size_t j : coverable) {
+      if (result.predicted[c][j]) covered[j] = true;
+    }
+  }
+  while (true) {
+    std::size_t best = candidates.size();
+    std::size_t best_gain = 0;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (keep[c]) continue;
+      std::size_t gain = 0;
+      for (std::size_t j : coverable) {
+        if (!covered[j] && result.predicted[c][j]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = c;
+      }
+    }
+    if (best == candidates.size()) break;  // nothing uncovered remains
+    keep[best] = true;
+    for (std::size_t j : coverable) {
+      if (result.predicted[best][j]) covered[j] = true;
+    }
+  }
+
+  // Headroom: add the highest-predicted-count configurations not yet kept.
+  std::vector<std::size_t> rest;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (!keep[c]) rest.push_back(c);
+  }
+  std::sort(rest.begin(), rest.end(), [&](std::size_t a, std::size_t b) {
+    const auto count = [&](std::size_t c) {
+      return std::count(result.predicted[c].begin(), result.predicted[c].end(),
+                        true);
+    };
+    return count(a) > count(b);
+  });
+  for (std::size_t i = 0; i < std::min(options.extra_configs, rest.size());
+       ++i) {
+    keep[rest[i]] = true;
+  }
+
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (keep[c]) result.selected.push_back(candidates[c]);
+  }
+  return result;
+}
+
+}  // namespace mcdft::core

@@ -1,0 +1,80 @@
+// Configuration pre-selection — the solution the paper's conclusion
+// proposes for the fault-simulation bottleneck: "using structural
+// information to select a first subset of configurations that will be
+// candidate for the simulation process".
+//
+// The screen runs a *cheap* sensitivity sweep per candidate configuration
+// (coarse frequency grid, perturbation = the fault magnitude, no
+// Monte-Carlo tolerance envelope) to predict each configuration's
+// detectability row, then greedily keeps a small complementary subset that
+// covers every predicted-detectable fault (plus the functional
+// configuration and optional extra rows for omega-detectability headroom).
+// Only the kept configurations go through the expensive full campaign.
+#pragma once
+
+#include "core/campaign.hpp"
+#include "testability/sensitivity.hpp"
+
+namespace mcdft::core {
+
+/// Pre-selection options.
+struct PreselectionOptions {
+  /// Screening grid density (the full campaign default is 50).
+  std::size_t points_per_decade = 10;
+
+  /// Tester-accuracy part of the predicted detection threshold (should
+  /// match the full campaign's criteria.epsilon).
+  double predicted_epsilon = 0.08;
+
+  /// Process tolerance used for the analytic envelope proxy.  The screen
+  /// models the campaign's Monte-Carlo tolerance envelope at zero extra
+  /// cost as  envelope(w) ~ envelope_scale * tolerance * sum_j |S_j(w)|
+  /// (the worst-case linear superposition of all fault-site sensitivities,
+  /// derated because a sampled maximum does not reach the worst case).
+  /// This is what lets the screen *see* tolerance masking: the functional
+  /// configuration has many live sensitivities and thus a high threshold,
+  /// an isolating configuration has few.  Should match the campaign's
+  /// tolerance model; set to 0 to disable.
+  double component_tolerance = 0.03;
+  double envelope_scale = 0.6;
+
+  /// Extra configurations kept beyond the covering subset, ranked by
+  /// predicted fault count (headroom for omega-detectability).
+  std::size_t extra_configs = 2;
+
+  /// Band anchor (Hz); unset = estimate from the functional configuration
+  /// exactly like the full campaign does.
+  std::optional<double> anchor_hz;
+  double decades_below = 2.0;
+  double decades_above = 2.0;
+
+  spice::MnaOptions mna;
+};
+
+/// Result of the screening pass.
+struct PreselectionResult {
+  /// The selected candidate subset (always includes the functional
+  /// configuration), in the candidate list's order.
+  std::vector<ConfigVector> selected;
+
+  /// Predicted detectability matrix over ALL candidates (screening rows).
+  std::vector<std::vector<bool>> predicted;
+
+  /// Candidate order used for `predicted` (== the input candidates).
+  std::vector<ConfigVector> candidates;
+
+  /// Faults predicted undetectable in every candidate configuration.
+  std::vector<faults::Fault> predicted_undetectable;
+
+  /// AC sweeps spent by the screen (cost accounting for the ablation).
+  std::size_t sweeps_used = 0;
+};
+
+/// Screen `candidates` and return the subset worth full fault simulation.
+/// Throws AnalysisError on empty inputs.
+PreselectionResult PreselectConfigurations(
+    const DftCircuit& circuit, const std::vector<faults::Fault>& fault_list,
+    const std::vector<ConfigVector>& candidates,
+    const PreselectionOptions& options = {});
+
+}  // namespace mcdft::core

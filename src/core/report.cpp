@@ -1,0 +1,238 @@
+#include "core/report.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace mcdft::core {
+
+using util::FormatTrimmed;
+using util::Table;
+
+std::string RowName(const CampaignResult& campaign, std::size_t row) {
+  return campaign.PerConfig().at(row).config.Name();
+}
+
+std::string RowSetName(const CampaignResult& campaign,
+                       const boolcov::Cube& rows) {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t r : rows.Variables()) {
+    if (!first) out += ", ";
+    out += RowName(campaign, r);
+    first = false;
+  }
+  return out + "}";
+}
+
+std::string RenderConfigurationTable(const ConfigurationSpace& space) {
+  Table t;
+  t.SetTitle("Configuration table (Table 1)");
+  t.SetHeader({"Conf", "Vector", "Description"});
+  for (std::size_t i = 0; i < space.ConfigurationCount(); ++i) {
+    const ConfigVector cv = space.At(i);
+    std::string desc = "New Test Conf";
+    if (cv.IsFunctional()) desc = "Funct. Conf";
+    if (cv.IsTransparent()) desc = "Transp. Conf";
+    t.AddRow({cv.Name(), cv.BitString(), desc});
+  }
+  t.SetAlign(2, Table::Align::kLeft);
+  return t.Render();
+}
+
+std::string RenderDetectabilityMatrix(const CampaignResult& campaign) {
+  Table t;
+  t.SetTitle("Fault detectability matrix (Figure 5)");
+  std::vector<std::string> header{"Conf"};
+  for (const auto& f : campaign.Faults()) header.push_back(f.ShortLabel());
+  t.SetHeader(std::move(header));
+  const auto matrix = campaign.DetectabilityMatrix();
+  for (std::size_t i = 0; i < campaign.ConfigCount(); ++i) {
+    std::vector<std::string> row{RowName(campaign, i)};
+    for (std::size_t j = 0; j < campaign.FaultCount(); ++j) {
+      row.push_back(matrix[i][j] ? "1" : "0");
+    }
+    t.AddRow(std::move(row));
+  }
+  return t.Render();
+}
+
+std::string RenderOmegaTable(const CampaignResult& campaign, bool mark_best) {
+  Table t;
+  t.SetTitle("w-detectability table [%] (Table 2; '*' = per-fault best)");
+  std::vector<std::string> header{"Conf"};
+  for (const auto& f : campaign.Faults()) header.push_back(f.ShortLabel());
+  header.push_back("<w-det>");
+  t.SetHeader(std::move(header));
+  const auto omega = campaign.OmegaTable();
+
+  std::vector<double> best(campaign.FaultCount(), 0.0);
+  for (std::size_t j = 0; j < campaign.FaultCount(); ++j) {
+    for (std::size_t i = 0; i < campaign.ConfigCount(); ++i) {
+      best[j] = std::max(best[j], omega[i][j]);
+    }
+  }
+  for (std::size_t i = 0; i < campaign.ConfigCount(); ++i) {
+    std::vector<std::string> row{RowName(campaign, i)};
+    double avg = 0.0;
+    for (std::size_t j = 0; j < campaign.FaultCount(); ++j) {
+      std::string cell = FormatTrimmed(100.0 * omega[i][j], 1);
+      if (mark_best && best[j] > 0.0 && omega[i][j] == best[j]) cell += "*";
+      row.push_back(std::move(cell));
+      avg += omega[i][j];
+    }
+    avg /= static_cast<double>(campaign.FaultCount());
+    row.push_back(FormatTrimmed(100.0 * avg, 1));
+    t.AddRow(std::move(row));
+  }
+  return t.Render();
+}
+
+std::string RenderMappingTable(const ConfigurationSpace& space) {
+  Table t;
+  t.SetTitle("Configuration -> opamp mapping (Table 3)");
+  t.SetHeader({"Conf", "Vector", "Follower opamps"});
+  for (std::size_t i = 0; i < space.ConfigurationCount(); ++i) {
+    const ConfigVector cv = space.At(i);
+    const auto followers = space.FollowerOpamps(cv);
+    std::string cell = "-";
+    if (!followers.empty()) cell = util::Join(followers, ".");
+    t.AddRow({cv.Name(), cv.BitString(), cell});
+  }
+  t.SetAlign(2, Table::Align::kLeft);
+  return t.Render();
+}
+
+namespace {
+
+std::string NamedPos(const CampaignResult& campaign,
+                     const boolcov::CoverProblem& problem) {
+  return problem.ToString(
+      [&](std::size_t v) { return RowName(campaign, v); });
+}
+
+}  // namespace
+
+std::string RenderFundamental(const FundamentalSolution& solution,
+                              const CampaignResult& campaign) {
+  auto namer = [&](std::size_t v) { return RowName(campaign, v); };
+  std::string out;
+  out += "Fundamental requirement (Sec. 4.1)\n";
+  out += "  max fault coverage = " +
+         FormatTrimmed(100.0 * solution.max_coverage, 1) + "%\n";
+  if (!solution.undetectable.empty()) {
+    out += "  undetectable in every configuration:";
+    for (const auto& f : solution.undetectable) out += " " + f.Label();
+    out += "\n";
+  }
+  out += "  xi          = " + NamedPos(campaign, solution.xi) + "\n";
+  out += "  xi_ess      = " +
+         (solution.essential.Empty() ? std::string("1 (none)")
+                                     : solution.essential.ToString(namer)) +
+         "\n";
+  out += "  xi_compl    = " + NamedPos(campaign, solution.xi_reduced) + "\n";
+  out += "  xi (SOP)    = ";
+  for (std::size_t i = 0; i < solution.minimal_covers.size(); ++i) {
+    if (i != 0) out += " + ";
+    out += solution.minimal_covers[i].ToString(namer);
+  }
+  out += "\n";
+  return out;
+}
+
+std::string RenderSelection(const SelectionResult& result,
+                            const CampaignResult& campaign) {
+  std::string out;
+  out += "2nd-order requirement: minimize " + result.cost_name + "\n";
+  Table t;
+  t.SetHeader({"Candidate set", result.cost_name, "<w-det> %", "coverage %",
+               "chosen"});
+  for (const auto& s : result.all_minimal) {
+    const bool winner = s.rows == result.selected.rows;
+    t.AddRow({RowSetName(campaign, s.rows), FormatTrimmed(s.cost, 2),
+              FormatTrimmed(100.0 * s.avg_omega_det, 1),
+              FormatTrimmed(100.0 * s.coverage, 1),
+              winner ? "<== S_opt" : ""});
+  }
+  t.SetAlign(4, Table::Align::kLeft);
+  out += t.Render();
+  out += "S_opt = " + RowSetName(campaign, result.selected.rows) +
+         "  (<w-det> = " +
+         FormatTrimmed(100.0 * result.selected.avg_omega_det, 1) + "%)\n";
+  return out;
+}
+
+std::string RenderPartialDft(const PartialDftResult& result,
+                             const CampaignResult& campaign,
+                             const DftCircuit& circuit) {
+  auto opamp_namer = [&](std::size_t v) {
+    return circuit.ConfigurableOpamps().at(v);
+  };
+  std::string out;
+  out += "2nd-order requirement: minimize configurable-opamp count (Sec. 4.3)\n";
+  out += "  xi* candidates (absorbed): ";
+  for (std::size_t i = 0; i < result.opamp_candidates.size(); ++i) {
+    if (i != 0) out += " + ";
+    out += result.opamp_candidates[i].ToString(opamp_namer);
+  }
+  out += "\n  chosen configurable opamps: " +
+         (result.opamps.empty()
+              ? std::string("none (the functional configuration suffices)")
+              : result.opamp_cube.ToString(opamp_namer)) +
+         " (" + std::to_string(result.opamps.size()) + " of " +
+         std::to_string(circuit.ConfigurableOpamps().size()) + ")\n";
+  out += "  permitted configurations:";
+  for (std::size_t r : result.permitted_rows) {
+    out += " " + RowName(campaign, r);
+  }
+  out += "\n";
+  Table t;
+  t.SetHeader({"Usage", "configs", "<w-det> %", "coverage %"});
+  t.AddRow({"all permitted (3rd-order optimum)",
+            std::to_string(result.usage_all.configs.size()),
+            FormatTrimmed(100.0 * result.usage_all.avg_omega_det, 1),
+            FormatTrimmed(100.0 * result.usage_all.coverage, 1)});
+  t.AddRow({"minimal covering subset " +
+                RowSetName(campaign, result.usage_minimal.rows),
+            std::to_string(result.usage_minimal.configs.size()),
+            FormatTrimmed(100.0 * result.usage_minimal.avg_omega_det, 1),
+            FormatTrimmed(100.0 * result.usage_minimal.coverage, 1)});
+  t.SetAlign(0, Table::Align::kLeft);
+  out += t.Render();
+  return out;
+}
+
+std::string RenderOmegaBars(
+    const std::vector<faults::Fault>& fault_list,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    const std::string& title) {
+  std::string out = title + "\n";
+  for (const auto& [name, values] : series) {
+    if (values.size() != fault_list.size()) {
+      throw util::AnalysisError("omega bar series '" + name +
+                                "' length does not match fault list");
+    }
+  }
+  for (std::size_t j = 0; j < fault_list.size(); ++j) {
+    out += fault_list[j].ShortLabel() + "\n";
+    for (const auto& [name, values] : series) {
+      out += "  " + util::BarLine(name, values[j],
+                                  FormatTrimmed(100.0 * values[j], 1) + "%",
+                                  40, 18) +
+             "\n";
+    }
+  }
+  // Series averages.
+  out += "<w-det> averages:\n";
+  for (const auto& [name, values] : series) {
+    double avg = 0.0;
+    for (double v : values) avg += v;
+    avg /= values.empty() ? 1.0 : static_cast<double>(values.size());
+    out += "  " + util::BarLine(name, avg, FormatTrimmed(100.0 * avg, 1) + "%",
+                                40, 18) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace mcdft::core

@@ -1,0 +1,55 @@
+// Paper-style report rendering: the tables, matrices and (text) graphs of
+// Renovell et al. 1998, generated from live campaign/optimizer results.
+#pragma once
+
+#include "core/optimizer.hpp"
+#include "util/table.hpp"
+
+namespace mcdft::core {
+
+/// Table 1: configuration index, vector and description for a space.
+std::string RenderConfigurationTable(const ConfigurationSpace& space);
+
+/// Figure 5: the boolean fault detectability matrix of a campaign.
+std::string RenderDetectabilityMatrix(const CampaignResult& campaign);
+
+/// Table 2 / Table 4: the omega-detectability table in percent.  When
+/// `mark_best` is set, the per-fault maximum entries (the paper's black
+/// boxes) are flagged with '*'.
+std::string RenderOmegaTable(const CampaignResult& campaign,
+                             bool mark_best = true);
+
+/// Table 3: configuration -> follower-opamp mapping.
+std::string RenderMappingTable(const ConfigurationSpace& space);
+
+/// Sec. 4.1 narrative: xi, the essential configurations, the reduced
+/// expression and the expanded sum of products.
+std::string RenderFundamental(const FundamentalSolution& solution,
+                              const CampaignResult& campaign);
+
+/// A 2nd/3rd-order selection: candidates with costs and <w-det>, winner.
+std::string RenderSelection(const SelectionResult& result,
+                            const CampaignResult& campaign);
+
+/// Sec. 4.3: the xi* candidates, chosen opamps, permitted configurations
+/// and their usage scores.
+std::string RenderPartialDft(const PartialDftResult& result,
+                             const CampaignResult& campaign,
+                             const DftCircuit& circuit);
+
+/// Text bar graph of per-fault omega-detectability series (the paper's
+/// Graph 1/2/3/4).  Each series is a (name, per-fault values) pair; values
+/// in [0,1] are printed in percent.
+std::string RenderOmegaBars(
+    const std::vector<faults::Fault>& fault_list,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    const std::string& title);
+
+/// Name of campaign row i ("C5"), used consistently across renderers.
+std::string RowName(const CampaignResult& campaign, std::size_t row);
+
+/// Render a row-set cube as "{C2, C5}".
+std::string RowSetName(const CampaignResult& campaign,
+                       const boolcov::Cube& rows);
+
+}  // namespace mcdft::core

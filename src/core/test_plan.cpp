@@ -1,0 +1,228 @@
+#include "core/test_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "boolcov/setcover.hpp"
+#include "core/report.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace mcdft::core {
+
+namespace {
+
+/// Candidate measurement point.
+struct Point {
+  std::size_t row;
+  std::size_t freq_index;
+  std::vector<std::size_t> covers;
+};
+
+}  // namespace
+
+TestPlan GenerateTestPlan(const CampaignResult& campaign,
+                          const TestPlanOptions& options) {
+  std::vector<std::size_t> rows = options.rows;
+  if (rows.empty()) {
+    rows.resize(campaign.ConfigCount());
+    for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  }
+  for (std::size_t r : rows) {
+    if (r >= campaign.ConfigCount()) {
+      throw util::AnalysisError("test-plan row " + std::to_string(r) +
+                                " outside the campaign");
+    }
+    if (campaign.PerConfig()[r].nominal.PointCount() == 0) {
+      throw util::AnalysisError(
+          "test-plan generation needs a simulated campaign (no nominal "
+          "response stored for row " + std::to_string(r) + ")");
+    }
+  }
+
+  // Decide, per fault, whether robust coverage (deviation >= robustness x
+  // threshold somewhere) is achievable; if not, fall back to the plain
+  // threshold for that fault.
+  const std::size_t nfaults = campaign.FaultCount();
+  const double robust = std::max(1.0, options.robustness_factor);
+  auto dev_of = [&](const ConfigResult& cfg, std::size_t j, std::size_t i) {
+    const auto& region = cfg.faults[j].region;
+    const auto& d = options.mode == MeasurementMode::kComplex
+                        ? region.deviation
+                        : region.magnitude_deviation;
+    return i < d.size() ? static_cast<double>(d[i]) : 0.0;
+  };
+  auto covers_at = [&](const ConfigResult& cfg, std::size_t j, std::size_t i,
+                       double factor) {
+    const auto& region = cfg.faults[j].region;
+    const auto& mask = options.mode == MeasurementMode::kComplex
+                           ? region.mask
+                           : region.magnitude_mask;
+    if (i >= mask.size() || !mask[i]) return false;
+    if (factor <= 1.0) return true;
+    const double threshold =
+        i < cfg.threshold.size() ? cfg.threshold[i] : 0.0;
+    return dev_of(cfg, j, i) >= factor * threshold;
+  };
+  std::vector<double> fault_factor(nfaults, robust);
+  for (std::size_t j = 0; j < nfaults; ++j) {
+    bool robustly_coverable = false;
+    for (std::size_t r : rows) {
+      const auto& cfg = campaign.PerConfig()[r];
+      for (std::size_t i = 0; i < cfg.nominal.PointCount(); ++i) {
+        if (covers_at(cfg, j, i, robust)) {
+          robustly_coverable = true;
+          break;
+        }
+      }
+      if (robustly_coverable) break;
+    }
+    if (!robustly_coverable) fault_factor[j] = 1.0;
+  }
+
+  // Enumerate candidate points: a grid point qualifies if it covers at
+  // least one fault at that fault's required margin.
+  std::vector<Point> points;
+  for (std::size_t r : rows) {
+    const auto& cfg = campaign.PerConfig()[r];
+    const std::size_t npts = cfg.nominal.PointCount();
+    for (std::size_t i = 0; i < npts; ++i) {
+      Point p{r, i, {}};
+      for (std::size_t j = 0; j < nfaults; ++j) {
+        if (covers_at(cfg, j, i, fault_factor[j])) p.covers.push_back(j);
+      }
+      if (!p.covers.empty()) points.push_back(std::move(p));
+    }
+  }
+
+  // Coverable faults and the covering problem over points.
+  std::vector<bool> coverable(nfaults, false);
+  for (const auto& p : points) {
+    for (std::size_t j : p.covers) coverable[j] = true;
+  }
+  TestPlan plan;
+  for (std::size_t j = 0; j < nfaults; ++j) {
+    if (!coverable[j]) plan.uncovered.push_back(campaign.Faults()[j]);
+  }
+
+  std::vector<std::size_t> chosen_points;
+  if (!points.empty()) {
+    boolcov::CoverProblem problem(points.size());
+    for (std::size_t j = 0; j < nfaults; ++j) {
+      if (!coverable[j]) continue;
+      boolcov::Clause clause{boolcov::Cube(points.size()),
+                             campaign.Faults()[j].Label()};
+      for (std::size_t v = 0; v < points.size(); ++v) {
+        if (std::find(points[v].covers.begin(), points[v].covers.end(), j) !=
+            points[v].covers.end()) {
+          clause.literals.Set(v);
+        }
+      }
+      problem.AddClause(std::move(clause));
+    }
+    const bool use_exact =
+        options.exact && points.size() <= options.max_exact_points;
+    auto cover = use_exact
+                     ? boolcov::ExactSetCover(
+                           problem, boolcov::UnitWeights(points.size()))
+                     : boolcov::GreedySetCover(
+                           problem, boolcov::UnitWeights(points.size()));
+    chosen_points = cover.chosen.Variables();
+  }
+
+  // Order by configuration (then frequency) to minimize reconfigurations.
+  std::sort(chosen_points.begin(), chosen_points.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (points[a].row != points[b].row) {
+                return points[a].row < points[b].row;
+              }
+              return points[a].freq_index < points[b].freq_index;
+            });
+
+  for (std::size_t v : chosen_points) {
+    const Point& p = points[v];
+    const auto& cfg = campaign.PerConfig()[p.row];
+    TestMeasurement m(p.row, cfg.config, p.freq_index);
+    m.frequency_hz = cfg.nominal.freqs_hz[p.freq_index];
+    m.expected = cfg.nominal.values[p.freq_index];
+    m.expected_magnitude = cfg.nominal.MagnitudeAt(p.freq_index);
+    // The detection threshold bounds the relative deviation against
+    // denom = max(|T(w)|, floor * peak) — the same normalization the
+    // campaign applied, so the window is exactly the campaign's
+    // detectability boundary mapped to an absolute measurement.
+    double peak = 0.0;
+    for (std::size_t i = 0; i < cfg.nominal.PointCount(); ++i) {
+      peak = std::max(peak, cfg.nominal.MagnitudeAt(i));
+    }
+    const double denom =
+        std::max(m.expected_magnitude, cfg.relative_floor * peak);
+    const double window = cfg.threshold.empty()
+                              ? 0.1 * denom
+                              : cfg.threshold[p.freq_index] * denom;
+    m.window_radius = window;
+    m.lower_bound = std::max(0.0, m.expected_magnitude - window);
+    m.upper_bound = m.expected_magnitude + window;
+    m.covers = p.covers;
+    plan.steps.push_back(std::move(m));
+  }
+
+  // Metrics.
+  std::vector<bool> covered(nfaults, false);
+  for (const auto& m : plan.steps) {
+    for (std::size_t j : m.covers) covered[j] = true;
+  }
+  plan.coverage =
+      static_cast<double>(std::count(covered.begin(), covered.end(), true)) /
+      static_cast<double>(nfaults);
+  for (std::size_t s = 1; s < plan.steps.size(); ++s) {
+    if (!(plan.steps[s].config == plan.steps[s - 1].config)) {
+      ++plan.reconfigurations;
+    }
+  }
+  if (!plan.steps.empty()) ++plan.reconfigurations;  // initial setup
+  plan.estimated_time_s =
+      static_cast<double>(plan.steps.size()) * options.seconds_per_measurement +
+      static_cast<double>(plan.reconfigurations) *
+          options.seconds_per_reconfiguration;
+  return plan;
+}
+
+std::string RenderTestPlan(const TestPlan& plan,
+                           const CampaignResult& campaign) {
+  util::Table t;
+  t.SetTitle("Test plan (" + std::to_string(plan.steps.size()) +
+             " measurements, " + std::to_string(plan.reconfigurations) +
+             " reconfigurations, ~" +
+             util::FormatTrimmed(plan.estimated_time_s, 3) + " s)");
+  t.SetHeader({"#", "config", "frequency", "expect |T|", "phase",
+               "accept window (|T| / vector radius)", "detects"});
+  for (std::size_t s = 0; s < plan.steps.size(); ++s) {
+    const auto& m = plan.steps[s];
+    std::vector<std::string> detects;
+    for (std::size_t j : m.covers) {
+      detects.push_back(campaign.Faults()[j].ShortLabel());
+    }
+    const double phase_deg =
+        std::arg(m.expected) * 180.0 / 3.14159265358979323846;
+    t.AddRow({std::to_string(s + 1), m.config.Name(),
+              util::FormatEngineering(m.frequency_hz, 4) + "Hz",
+              util::FormatTrimmed(m.expected_magnitude, 4),
+              util::FormatTrimmed(phase_deg, 1) + "deg",
+              "[" + util::FormatTrimmed(m.lower_bound, 4) + ", " +
+                  util::FormatTrimmed(m.upper_bound, 4) + "] / r=" +
+                  util::FormatTrimmed(m.window_radius, 4),
+              util::Join(detects, " ")});
+  }
+  t.SetAlign(6, util::Table::Align::kLeft);
+  std::string out = t.Render();
+  out += "plan fault coverage: " +
+         util::FormatTrimmed(100.0 * plan.coverage, 1) + "%\n";
+  if (!plan.uncovered.empty()) {
+    out += "uncoverable faults:";
+    for (const auto& f : plan.uncovered) out += " " + f.Label();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mcdft::core

@@ -1,0 +1,102 @@
+// Multi-frequency test-plan generation: compile the campaign's
+// detectability data into an executable tester program — an ordered list
+// of (configuration, frequency, expected value, acceptance window)
+// measurements that detects every covered fault.
+//
+// This closes the loop the paper opens with the omega-detectability
+// metric: a fault's detectability region is exactly the set of candidate
+// test frequencies, and choosing a minimal measurement set is one more
+// covering problem (this time over (configuration, frequency) points —
+// the multifrequency ATPG view of refs [12][13]).
+#pragma once
+
+#include "core/campaign.hpp"
+
+namespace mcdft::core {
+
+/// What the tester can measure at each point.
+enum class MeasurementMode {
+  /// Vector (gain + phase) measurement: accept when the complex distance
+  /// |measured - expected| stays within the window radius.  Matches the
+  /// paper's Definition 1 exactly.
+  kComplex,
+  /// Scalar magnitude measurement: accept when |measured| lies within
+  /// [lower_bound, upper_bound].  Cheaper tester; faults whose deviation
+  /// is phase-only become uncoverable (reported in TestPlan::uncovered).
+  kMagnitude,
+};
+
+/// One measurement in the plan.
+struct TestMeasurement {
+  std::size_t row = 0;          ///< campaign configuration row
+  ConfigVector config;          ///< the configuration to apply
+  std::size_t freq_index = 0;   ///< grid index within the campaign band
+  double frequency_hz = 0.0;
+  std::complex<double> expected;    ///< nominal T at the point
+  double expected_magnitude = 0.0;  ///< |expected|
+  /// kComplex: accept iff |measured - expected| <= window_radius.
+  double window_radius = 0.0;
+  /// kMagnitude: accept iff |measured| in [lower_bound, upper_bound].
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
+  std::vector<std::size_t> covers;  ///< fault indices this point detects
+
+  TestMeasurement(std::size_t row_in, ConfigVector config_in,
+                  std::size_t freq_index_in)
+      : row(row_in), config(std::move(config_in)), freq_index(freq_index_in) {}
+};
+
+/// The compiled plan.
+struct TestPlan {
+  /// Measurements grouped by configuration (reconfigurations minimized by
+  /// ordering, not by re-solving the cover).
+  std::vector<TestMeasurement> steps;
+
+  /// Faults covered by the plan / campaign fault count.
+  double coverage = 0.0;
+
+  /// Faults no measurement point can detect (undetectable in the chosen
+  /// rows).
+  std::vector<faults::Fault> uncovered;
+
+  std::size_t reconfigurations = 0;  ///< configuration switches in the plan
+  double estimated_time_s = 0.0;     ///< from the TestPlanOptions time model
+};
+
+/// Plan-generation options.
+struct TestPlanOptions {
+  /// Restrict the plan to these campaign rows (empty = every row); use the
+  /// optimizer's S_opt for the paper's short test procedure.
+  std::vector<std::size_t> rows;
+
+  /// Tester capability (see MeasurementMode).
+  MeasurementMode mode = MeasurementMode::kComplex;
+
+  /// Robustness margin: a measurement point only counts as covering a
+  /// fault when the fault's deviation exceeds `robustness_factor x
+  /// threshold` there, so the chosen points keep detecting under process
+  /// spread.  Faults with no such point fall back to plain-threshold
+  /// coverage (better fragile detection than none).  1.0 disables.
+  double robustness_factor = 1.5;
+
+  /// Cover-minimization effort: greedy is near-optimal here and scales to
+  /// thousands of candidate points; exact runs branch-and-bound when the
+  /// candidate count is at most `max_exact_points`.
+  bool exact = false;
+  std::size_t max_exact_points = 512;
+
+  /// Tester time model (matches core::TestTimeCost semantics).
+  double seconds_per_measurement = 5e-3;
+  double seconds_per_reconfiguration = 1.0;
+};
+
+/// Compile a minimal-measurement plan from a simulated campaign.  Throws
+/// AnalysisError when the campaign is synthetic (no stored nominal
+/// responses) or `rows` is out of range.
+TestPlan GenerateTestPlan(const CampaignResult& campaign,
+                          const TestPlanOptions& options = {});
+
+/// Render the plan as a tester-readable table.
+std::string RenderTestPlan(const TestPlan& plan, const CampaignResult& campaign);
+
+}  // namespace mcdft::core

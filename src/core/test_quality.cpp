@@ -1,0 +1,134 @@
+#include "core/test_quality.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "faults/injector.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace mcdft::core {
+
+namespace {
+
+/// Execute every measurement of the plan against `netlist`; true = pass.
+bool PassesPlan(const spice::Netlist& netlist, const TestPlan& plan,
+                MeasurementMode mode, DftCircuit& configurator,
+                const spice::MnaOptions& mna) {
+  // The netlist under test *is* configurator.Circuit(): the caller mutates
+  // values in place; we only switch configurations here.
+  (void)netlist;
+  const spice::NodeId out =
+      configurator.Circuit().FindNode(configurator.OutputNode());
+  for (const auto& m : plan.steps) {
+    ScopedConfiguration sc(configurator, m.config);
+    spice::AcAnalyzer analyzer(configurator.Circuit(), mna);
+    auto r = analyzer.Run(spice::SweepSpec::List({m.frequency_hz}),
+                          {out, spice::kGround, "v"});
+    if (mode == MeasurementMode::kComplex) {
+      if (std::abs(r.values[0] - m.expected) > m.window_radius) return false;
+    } else {
+      const double mag = r.MagnitudeAt(0);
+      if (mag < m.lower_bound || mag > m.upper_bound) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+double TestQualityReport::OverallEscapeRate() const {
+  std::size_t escaped = 0, total = 0;
+  for (const auto& e : escapes) {
+    escaped += e.escaped;
+    total += e.total;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(escaped) / static_cast<double>(total);
+}
+
+TestQualityReport EvaluateTestQuality(const DftCircuit& circuit,
+                                      const TestPlan& plan,
+                                      const std::vector<faults::Fault>& fault_list,
+                                      MeasurementMode mode,
+                                      const TestQualityOptions& options) {
+  if (plan.steps.empty()) {
+    throw util::AnalysisError("cannot evaluate an empty test plan");
+  }
+  DftCircuit work = circuit.Clone();
+  spice::Netlist& net = const_cast<spice::Netlist&>(work.Circuit());
+
+  // Capture the nominal values of every tolerance site (the fault-list
+  // devices) so each sample perturbs from nominal.
+  std::vector<std::string> sites;
+  for (const auto& f : fault_list) {
+    if (std::find(sites.begin(), sites.end(), f.Device()) == sites.end() &&
+        !f.IsOpampFault()) {
+      sites.push_back(f.Device());
+    }
+  }
+  std::vector<double> nominal;
+  for (const auto& s : sites) nominal.push_back(net.GetElement(s).Value());
+
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> spread(
+      -options.tolerance.component_tolerance,
+      options.tolerance.component_tolerance);
+  auto randomize = [&] {
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      net.GetElement(sites[i]).SetValue(nominal[i] * (1.0 + spread(rng)));
+    }
+  };
+  auto restore = [&] {
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      net.GetElement(sites[i]).SetValue(nominal[i]);
+    }
+  };
+
+  TestQualityReport report;
+
+  // --- False rejects: in-tolerance circuits must pass -------------------
+  for (std::size_t k = 0; k < options.good_samples; ++k) {
+    randomize();
+    ++report.good_total;
+    if (!PassesPlan(net, plan, mode, work, options.mna)) {
+      ++report.good_rejected;
+    }
+  }
+  restore();
+
+  // --- Escapes: tolerance spread + the fault must fail ------------------
+  for (const auto& fault : fault_list) {
+    FaultEscape fe{fault, 0, 0};
+    for (std::size_t k = 0; k < options.faulty_samples; ++k) {
+      randomize();
+      faults::ScopedFaultInjection inj(net, fault);
+      ++fe.total;
+      if (PassesPlan(net, plan, mode, work, options.mna)) ++fe.escaped;
+    }
+    restore();
+    report.escapes.push_back(std::move(fe));
+  }
+  return report;
+}
+
+std::string RenderTestQuality(const TestQualityReport& report) {
+  util::Table t;
+  t.SetTitle("Monte-Carlo test quality");
+  t.SetHeader({"fault", "escapes", "samples", "escape rate %"});
+  for (const auto& e : report.escapes) {
+    t.AddRow({e.fault.Label(), std::to_string(e.escaped),
+              std::to_string(e.total),
+              util::FormatTrimmed(100.0 * e.EscapeRate(), 1)});
+  }
+  std::string out = t.Render();
+  out += "false-reject (yield-loss) rate: " +
+         util::FormatTrimmed(100.0 * report.FalseRejectRate(), 1) + "% (" +
+         std::to_string(report.good_rejected) + "/" +
+         std::to_string(report.good_total) + " in-tolerance samples)\n";
+  out += "overall escape rate:            " +
+         util::FormatTrimmed(100.0 * report.OverallEscapeRate(), 1) + "%\n";
+  return out;
+}
+
+}  // namespace mcdft::core

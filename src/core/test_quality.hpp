@@ -1,0 +1,71 @@
+// Monte-Carlo test-quality evaluation: does the compiled test plan
+// actually separate good dies from bad ones?
+//
+// Two error rates matter on a production tester:
+//   - false rejects (yield loss): an in-tolerance circuit fails the plan
+//     because process spread pushed a measurement outside its window;
+//   - test escapes: a faulty circuit passes the plan because the fault's
+//     effect hides inside the windows at the chosen points (possibly
+//     masked by the same process spread).
+// Both are estimated by sampling: in-tolerance circuits for the first,
+// per-fault in-tolerance + fault circuits for the second.  This closes the
+// validation loop on the paper's epsilon-as-process-tolerance reading.
+#pragma once
+
+#include "core/test_plan.hpp"
+
+namespace mcdft::core {
+
+/// Evaluation options.
+struct TestQualityOptions {
+  testability::ToleranceModel tolerance;  ///< process spread model
+  std::size_t good_samples = 64;   ///< in-tolerance circuits to test
+  std::size_t faulty_samples = 16; ///< per fault: tolerance samples + fault
+  std::uint64_t seed = 0xd1e5ca3e; ///< deterministic evaluation
+  spice::MnaOptions mna;
+};
+
+/// Per-fault escape statistics.
+struct FaultEscape {
+  faults::Fault fault;
+  std::size_t escaped = 0;  ///< samples that passed the whole plan
+  std::size_t total = 0;
+  double EscapeRate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(escaped) / static_cast<double>(total);
+  }
+};
+
+/// The evaluation result.
+struct TestQualityReport {
+  std::size_t good_total = 0;
+  std::size_t good_rejected = 0;  ///< false rejects (yield loss)
+  double FalseRejectRate() const {
+    return good_total == 0 ? 0.0
+                           : static_cast<double>(good_rejected) /
+                                 static_cast<double>(good_total);
+  }
+
+  std::vector<FaultEscape> escapes;  ///< one entry per fault in the campaign
+
+  /// Aggregate escape rate over every faulty sample.
+  double OverallEscapeRate() const;
+};
+
+/// Execute the plan against Monte-Carlo circuit samples.
+///
+/// `circuit` must be the DFT circuit the campaign was run on (the plan's
+/// configurations are applied to it).  A sample passes the plan when every
+/// measurement lands inside its acceptance region (vector or magnitude,
+/// per `mode`).  Faults not covered by the plan are reported with
+/// escaped == total (they trivially escape).
+TestQualityReport EvaluateTestQuality(
+    const DftCircuit& circuit, const TestPlan& plan,
+    const std::vector<faults::Fault>& fault_list,
+    MeasurementMode mode = MeasurementMode::kComplex,
+    const TestQualityOptions& options = {});
+
+/// Render the report.
+std::string RenderTestQuality(const TestQualityReport& report);
+
+}  // namespace mcdft::core

@@ -1,0 +1,154 @@
+#include "faults/fault.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "spice/elements.hpp"
+#include "util/strings.hpp"
+
+namespace mcdft::faults {
+
+namespace {
+// Extreme-but-finite factors keeping the MNA system well conditioned while
+// being far outside any realistic process deviation.
+constexpr double kOpenFactor = 1e9;
+constexpr double kShortFactor = 1e-9;
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDeviationUp: return "+";
+    case FaultKind::kDeviationDown: return "-";
+    case FaultKind::kOpen: return "open";
+    case FaultKind::kShort: return "short";
+    case FaultKind::kGainDegradation: return "lowA0";
+    case FaultKind::kBandwidthDegradation: return "lowGBW";
+  }
+  return "?";
+}
+
+Fault::Fault(std::string device, FaultKind kind, double magnitude)
+    : device_(util::ToUpper(device)), kind_(kind), magnitude_(magnitude) {
+  if (kind == FaultKind::kDeviationUp || kind == FaultKind::kDeviationDown) {
+    if (!(magnitude > 0.0) || !std::isfinite(magnitude)) {
+      throw util::AnalysisError("deviation magnitude must be positive, got " +
+                                std::to_string(magnitude));
+    }
+    if (kind == FaultKind::kDeviationDown && magnitude >= 1.0) {
+      throw util::AnalysisError(
+          "downward deviation must be < 100%, got " + std::to_string(magnitude));
+    }
+  }
+  if ((kind == FaultKind::kGainDegradation ||
+       kind == FaultKind::kBandwidthDegradation) &&
+      (!(magnitude > 0.0) || !(magnitude < 1.0))) {
+    throw util::AnalysisError("degradation factor must be in (0,1), got " +
+                              std::to_string(magnitude));
+  }
+}
+
+Fault Fault::Open(std::string device) {
+  return Fault(std::move(device), FaultKind::kOpen, 0.0);
+}
+
+Fault Fault::Short(std::string device) {
+  return Fault(std::move(device), FaultKind::kShort, 0.0);
+}
+
+Fault Fault::GainDegradation(std::string opamp, double factor) {
+  if (!(factor > 0.0) || !(factor < 1.0)) {
+    throw util::AnalysisError("gain degradation factor must be in (0,1), got " +
+                              std::to_string(factor));
+  }
+  return Fault(std::move(opamp), FaultKind::kGainDegradation, factor);
+}
+
+Fault Fault::BandwidthDegradation(std::string opamp, double factor) {
+  if (!(factor > 0.0) || !(factor < 1.0)) {
+    throw util::AnalysisError(
+        "bandwidth degradation factor must be in (0,1), got " +
+        std::to_string(factor));
+  }
+  return Fault(std::move(opamp), FaultKind::kBandwidthDegradation, factor);
+}
+
+bool Fault::IsOpampFault() const {
+  return kind_ == FaultKind::kGainDegradation ||
+         kind_ == FaultKind::kBandwidthDegradation;
+}
+
+double Fault::ValueFactor() const {
+  switch (kind_) {
+    case FaultKind::kDeviationUp: return 1.0 + magnitude_;
+    case FaultKind::kDeviationDown: return 1.0 - magnitude_;
+    case FaultKind::kOpen: return kOpenFactor;
+    case FaultKind::kShort: return kShortFactor;
+    case FaultKind::kGainDegradation:
+    case FaultKind::kBandwidthDegradation: return magnitude_;
+  }
+  return 1.0;
+}
+
+std::string Fault::Label() const {
+  switch (kind_) {
+    case FaultKind::kDeviationUp:
+      return "f" + device_ + "(+" + util::FormatTrimmed(magnitude_ * 100.0) +
+             "%)";
+    case FaultKind::kDeviationDown:
+      return "f" + device_ + "(-" + util::FormatTrimmed(magnitude_ * 100.0) +
+             "%)";
+    case FaultKind::kOpen: return "f" + device_ + "(open)";
+    case FaultKind::kShort: return "f" + device_ + "(short)";
+    case FaultKind::kGainDegradation: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", magnitude_);
+      return "f" + device_ + "(A0x" + buf + ")";
+    }
+    case FaultKind::kBandwidthDegradation: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", magnitude_);
+      return "f" + device_ + "(GBWx" + buf + ")";
+    }
+  }
+  return "f" + device_;
+}
+
+void Fault::ApplyTo(spice::Netlist& netlist) const {
+  spice::Element& e = netlist.GetElement(device_);
+  if (IsOpampFault()) {
+    if (e.Kind() != spice::ElementKind::kOpamp) {
+      throw util::NetlistError("opamp fault targets non-opamp '" + device_ +
+                               "'");
+    }
+    auto& op = static_cast<spice::Opamp&>(e);
+    spice::OpampModel model = op.Model();
+    if (kind_ == FaultKind::kGainDegradation) {
+      model.a0 *= magnitude_;
+      if (model.kind == spice::OpampModelKind::kIdeal) {
+        // An ideal opamp has no gain to degrade; fall back to finite gain.
+        model.kind = spice::OpampModelKind::kFiniteGain;
+      }
+    } else {
+      // Bandwidth degradation needs the single-pole model to be visible.
+      model.kind = spice::OpampModelKind::kSinglePole;
+      model.gbw *= magnitude_;
+    }
+    op.SetModel(model);
+    return;
+  }
+  if (!e.HasValue()) {
+    throw util::NetlistError("fault target '" + device_ +
+                             "' has no principal value to deviate");
+  }
+  // Opens/shorts scale conductance-like and impedance-like values in the
+  // physically correct direction: an *open* capacitor loses capacitance,
+  // an open resistor gains resistance.
+  double factor = ValueFactor();
+  if (e.Kind() == spice::ElementKind::kCapacitor) {
+    if (kind_ == FaultKind::kOpen) factor = kShortFactor;
+    if (kind_ == FaultKind::kShort) factor = kOpenFactor;
+  }
+  e.SetValue(e.Value() * factor);
+}
+
+}  // namespace mcdft::faults

@@ -1,0 +1,83 @@
+// Fault models for analog circuits.
+//
+// The paper studies *soft* (parametric deviation) faults on passive
+// components — e.g. the +/-20 % deviations of Section 2 — and mentions
+// catastrophic faults as the usual extension; both are modelled here.
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace mcdft::faults {
+
+/// Kind of fault injected into a device.
+enum class FaultKind {
+  kDeviationUp,    ///< value * (1 + magnitude)  — soft fault
+  kDeviationDown,  ///< value * (1 - magnitude)  — soft fault
+  kOpen,           ///< catastrophic open: value -> value * open_factor
+  kShort,          ///< catastrophic short: value -> value * short_factor
+  // Faults *inside* opamps (paper Sec. 3.1: the transparent configuration
+  // "is used to test faults inside opamps"; ref [5]).
+  kGainDegradation,  ///< open-loop gain A0 scaled by `magnitude` (< 1)
+  kBandwidthDegradation,  ///< GBW scaled by `magnitude` (< 1); forces the
+                          ///< single-pole model if the opamp was ideal-ish
+};
+
+/// Short name of a fault kind ("+", "-", "open", "short").
+std::string_view FaultKindName(FaultKind kind);
+
+/// A single fault: a deviation or catastrophic defect of one element's
+/// principal value.
+///
+/// Catastrophic faults are modelled as extreme parametric changes (a 1e9
+/// resistance scale for an open resistor, 1e-9 for a short), the standard
+/// simulation practice for linear fault analysis: the topology is kept, so
+/// one MnaSystem structure serves the whole campaign.
+class Fault {
+ public:
+  /// Soft deviation fault: value scaled by (1 +/- magnitude).
+  /// `magnitude` must be in (0, 1) for kDeviationDown and > 0 for
+  /// kDeviationUp; throws AnalysisError otherwise.
+  Fault(std::string device, FaultKind kind, double magnitude);
+
+  /// Catastrophic fault with the default extreme factors.
+  static Fault Open(std::string device);
+  static Fault Short(std::string device);
+
+  /// Opamp-internal faults.  `factor` must be in (0, 1): the fraction of
+  /// the nominal A0 / GBW that remains.
+  static Fault GainDegradation(std::string opamp, double factor);
+  static Fault BandwidthDegradation(std::string opamp, double factor);
+
+  /// True for the opamp-internal fault kinds.
+  bool IsOpampFault() const;
+
+  const std::string& Device() const { return device_; }
+  FaultKind Kind() const { return kind_; }
+  double Magnitude() const { return magnitude_; }
+
+  /// Multiplicative factor applied to the device's principal value.
+  double ValueFactor() const;
+
+  /// Display label, e.g. "fR1(+20%)", "fC2(-20%)", "fR3(open)".
+  std::string Label() const;
+
+  /// Compact label for table headers, matching the paper's columns: "fR1".
+  /// Not unique when several fault kinds target one device; use Label()
+  /// where uniqueness matters.
+  std::string ShortLabel() const { return "f" + device_; }
+
+  /// Apply to a netlist (mutates the named element's value).  Throws
+  /// NetlistError when the device is missing or has no principal value.
+  void ApplyTo(spice::Netlist& netlist) const;
+
+  bool operator==(const Fault& other) const = default;
+
+ private:
+  std::string device_;
+  FaultKind kind_;
+  double magnitude_;
+};
+
+}  // namespace mcdft::faults

@@ -1,0 +1,80 @@
+#include "faults/fault_list.hpp"
+
+#include <algorithm>
+
+namespace mcdft::faults {
+
+bool IsPassiveRC(const spice::Element& element) {
+  return element.Kind() == spice::ElementKind::kResistor ||
+         element.Kind() == spice::ElementKind::kCapacitor;
+}
+
+bool IsPassive(const spice::Element& element) {
+  return IsPassiveRC(element) ||
+         element.Kind() == spice::ElementKind::kInductor;
+}
+
+std::vector<Fault> MakeDeviationFaults(const spice::Netlist& netlist,
+                                       const DeviationFaultOptions& options) {
+  if (!options.upward && !options.downward) {
+    throw util::AnalysisError(
+        "deviation fault generation needs at least one direction");
+  }
+  std::vector<Fault> faults;
+  for (const auto& e : netlist.Elements()) {
+    if (!e->HasValue() || !options.filter(*e)) continue;
+    if (options.upward) {
+      faults.emplace_back(e->Name(), FaultKind::kDeviationUp, options.magnitude);
+    }
+    if (options.downward) {
+      faults.emplace_back(e->Name(), FaultKind::kDeviationDown,
+                          options.magnitude);
+    }
+  }
+  return faults;
+}
+
+std::vector<Fault> MakeCatastrophicFaults(
+    const spice::Netlist& netlist, const CatastrophicFaultOptions& options) {
+  std::vector<Fault> faults;
+  for (const auto& e : netlist.Elements()) {
+    if (!e->HasValue() || !options.filter(*e)) continue;
+    if (options.opens) faults.push_back(Fault::Open(e->Name()));
+    if (options.shorts) faults.push_back(Fault::Short(e->Name()));
+  }
+  return faults;
+}
+
+std::vector<Fault> MakeOpampFaults(const spice::Netlist& netlist,
+                                   const OpampFaultOptions& options) {
+  if (!options.gain && !options.bandwidth) {
+    throw util::AnalysisError("opamp fault generation needs >= 1 fault kind");
+  }
+  std::vector<Fault> faults;
+  for (const auto& e : netlist.Elements()) {
+    if (e->Kind() != spice::ElementKind::kOpamp) continue;
+    if (options.gain) {
+      faults.push_back(Fault::GainDegradation(e->Name(), options.gain_factor));
+    }
+    if (options.bandwidth) {
+      faults.push_back(
+          Fault::BandwidthDegradation(e->Name(), options.gbw_factor));
+    }
+  }
+  return faults;
+}
+
+std::vector<Fault> MergeFaultLists(
+    const std::vector<std::vector<Fault>>& lists) {
+  std::vector<Fault> merged;
+  for (const auto& list : lists) {
+    for (const auto& f : list) {
+      if (std::find(merged.begin(), merged.end(), f) == merged.end()) {
+        merged.push_back(f);
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace mcdft::faults

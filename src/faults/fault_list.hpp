@@ -1,0 +1,65 @@
+// Fault-list generation.
+//
+// The paper's experiments use one soft fault per passive component (the
+// "20% deviations from the nominal value for all resistors and capacitors",
+// Sec. 2).  The generators below produce that list plus richer variants
+// (both deviation directions, catastrophic opens/shorts, custom filters).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "faults/fault.hpp"
+#include "spice/elements.hpp"
+
+namespace mcdft::faults {
+
+/// Which elements a generator targets.
+using ElementFilter = std::function<bool(const spice::Element&)>;
+
+/// Filter accepting the paper's fault universe: resistors and capacitors.
+bool IsPassiveRC(const spice::Element& element);
+
+/// Filter accepting all passive components (R, L, C).
+bool IsPassive(const spice::Element& element);
+
+/// Options for soft (deviation) fault-list generation.
+struct DeviationFaultOptions {
+  double magnitude = 0.2;   ///< deviation as a fraction (0.2 = 20 %)
+  bool upward = true;       ///< include value*(1+magnitude) faults
+  bool downward = false;    ///< include value*(1-magnitude) faults
+  ElementFilter filter = IsPassiveRC;
+};
+
+/// One deviation fault per selected element and direction, in netlist
+/// element order (matching the paper's fR1 ... fC2 column ordering).
+std::vector<Fault> MakeDeviationFaults(const spice::Netlist& netlist,
+                                       const DeviationFaultOptions& options = {});
+
+/// Catastrophic fault list: an open and/or a short per selected element.
+struct CatastrophicFaultOptions {
+  bool opens = true;
+  bool shorts = true;
+  ElementFilter filter = IsPassiveRC;
+};
+
+std::vector<Fault> MakeCatastrophicFaults(
+    const spice::Netlist& netlist, const CatastrophicFaultOptions& options = {});
+
+/// Options for opamp-internal fault generation (paper Sec. 3.1: these are
+/// the faults the *transparent* configuration targets).
+struct OpampFaultOptions {
+  bool gain = true;            ///< include A0-degradation faults
+  bool bandwidth = true;       ///< include GBW-degradation faults
+  double gain_factor = 1e-5;   ///< remaining fraction of A0 (severe defect)
+  double gbw_factor = 1e-3;    ///< remaining fraction of GBW
+};
+
+/// One gain- and/or bandwidth-degradation fault per opamp in the netlist.
+std::vector<Fault> MakeOpampFaults(const spice::Netlist& netlist,
+                                   const OpampFaultOptions& options = {});
+
+/// Concatenate fault lists, dropping exact duplicates while keeping order.
+std::vector<Fault> MergeFaultLists(const std::vector<std::vector<Fault>>& lists);
+
+}  // namespace mcdft::faults

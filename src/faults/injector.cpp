@@ -1,0 +1,46 @@
+#include "faults/injector.hpp"
+
+#include "spice/elements.hpp"
+
+namespace mcdft::faults {
+
+spice::Netlist InjectFault(const spice::Netlist& golden, const Fault& fault) {
+  spice::Netlist faulty = golden.Clone();
+  fault.ApplyTo(faulty);
+  return faulty;
+}
+
+spice::Netlist InjectFaults(const spice::Netlist& golden,
+                            const std::vector<Fault>& faults) {
+  spice::Netlist faulty = golden.Clone();
+  for (const auto& f : faults) f.ApplyTo(faulty);
+  return faulty;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(spice::Netlist& netlist,
+                                           const Fault& fault)
+    : netlist_(netlist), device_(fault.Device()) {
+  spice::Element& e = netlist_.GetElement(device_);
+  if (fault.IsOpampFault()) {
+    original_model_ = static_cast<const spice::Opamp&>(e).Model();
+  } else {
+    original_value_ = e.Value();
+  }
+  fault.ApplyTo(netlist_);
+  active_ = true;
+}
+
+void ScopedFaultInjection::Revert() {
+  if (!active_) return;
+  spice::Element& e = netlist_.GetElement(device_);
+  if (original_model_) {
+    static_cast<spice::Opamp&>(e).SetModel(*original_model_);
+  } else {
+    e.SetValue(original_value_);
+  }
+  active_ = false;
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() { Revert(); }
+
+}  // namespace mcdft::faults

@@ -1,0 +1,44 @@
+// Fault injection: create faulty circuit instances from a golden netlist.
+#pragma once
+
+#include <optional>
+
+#include "faults/fault.hpp"
+#include "spice/elements.hpp"
+
+namespace mcdft::faults {
+
+/// Return a deep copy of `golden` with `fault` applied.
+spice::Netlist InjectFault(const spice::Netlist& golden, const Fault& fault);
+
+/// Return a deep copy with several simultaneous faults (multiple-fault
+/// analysis; the paper's single-fault assumption is the list size 1 case).
+spice::Netlist InjectFaults(const spice::Netlist& golden,
+                            const std::vector<Fault>& faults);
+
+/// In-place injector that avoids a netlist clone per fault: it remembers
+/// the original value of the target element, applies the fault, and
+/// restores on Revert() (or destruction).  Used by the campaign driver in
+/// the hot loop.
+class ScopedFaultInjection {
+ public:
+  /// Apply `fault` to `netlist` (kept by reference; must outlive this).
+  ScopedFaultInjection(spice::Netlist& netlist, const Fault& fault);
+
+  /// Restore the original value (idempotent).
+  void Revert();
+
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  spice::Netlist& netlist_;
+  std::string device_;
+  double original_value_ = 0.0;
+  std::optional<spice::OpampModel> original_model_;  // opamp faults only
+  bool active_ = false;
+};
+
+}  // namespace mcdft::faults

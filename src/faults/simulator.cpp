@@ -1,0 +1,40 @@
+#include "faults/simulator.hpp"
+
+namespace mcdft::faults {
+
+FaultSimulator::FaultSimulator(const spice::Netlist& netlist,
+                               spice::SweepSpec sweep, spice::Probe probe,
+                               spice::MnaOptions options)
+    : work_(netlist.Clone()),
+      sweep_(std::move(sweep)),
+      probe_(std::move(probe)),
+      options_(options) {
+  work_.ValidateOrThrow();
+}
+
+spice::FrequencyResponse FaultSimulator::SimulateNominal() const {
+  spice::AcAnalyzer analyzer(work_, options_);
+  spice::FrequencyResponse r = analyzer.Run(sweep_, probe_);
+  r.label = "nominal";
+  return r;
+}
+
+spice::FrequencyResponse FaultSimulator::SimulateFault(const Fault& fault) const {
+  ScopedFaultInjection injection(work_, fault);
+  spice::AcAnalyzer analyzer(work_, options_);
+  spice::FrequencyResponse r = analyzer.Run(sweep_, probe_);
+  r.label = fault.Label();
+  return r;
+}
+
+FaultSimCampaign FaultSimulator::Run(const std::vector<Fault>& faults) const {
+  FaultSimCampaign campaign;
+  campaign.nominal = SimulateNominal();
+  campaign.faulty.reserve(faults.size());
+  for (const auto& f : faults) {
+    campaign.faulty.push_back(FaultSimResult{f, SimulateFault(f)});
+  }
+  return campaign;
+}
+
+}  // namespace mcdft::faults

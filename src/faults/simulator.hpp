@@ -1,0 +1,56 @@
+// Fault simulation: fault-free and faulty AC responses over a sweep.
+//
+// This is the paper's "extensive fault simulation" (HSPICE in the original,
+// our MNA engine here).  The simulator owns a working copy of the circuit
+// and runs each fault through ScopedFaultInjection, so a campaign of F
+// faults costs F+1 sweeps and no netlist clones.
+#pragma once
+
+#include "faults/fault_list.hpp"
+#include "faults/injector.hpp"
+#include "spice/ac_analysis.hpp"
+
+namespace mcdft::faults {
+
+/// Result of simulating one fault.
+struct FaultSimResult {
+  Fault fault;
+  spice::FrequencyResponse response;
+};
+
+/// Result of a whole campaign.
+struct FaultSimCampaign {
+  spice::FrequencyResponse nominal;
+  std::vector<FaultSimResult> faulty;
+};
+
+/// Drives fault simulation of a fixed circuit / sweep / probe.
+class FaultSimulator {
+ public:
+  /// The simulator clones `netlist` internally; later changes to the
+  /// original do not affect it.
+  FaultSimulator(const spice::Netlist& netlist, spice::SweepSpec sweep,
+                 spice::Probe probe, spice::MnaOptions options = {});
+
+  /// Fault-free response.
+  spice::FrequencyResponse SimulateNominal() const;
+
+  /// Response with one fault injected.
+  spice::FrequencyResponse SimulateFault(const Fault& fault) const;
+
+  /// Nominal + all faulty responses.
+  FaultSimCampaign Run(const std::vector<Fault>& faults) const;
+
+  const spice::SweepSpec& Sweep() const { return sweep_; }
+  const spice::Probe& GetProbe() const { return probe_; }
+
+ private:
+  // mutable: SimulateFault temporarily perturbs the working netlist and
+  // restores it; the object is logically const.
+  mutable spice::Netlist work_;
+  spice::SweepSpec sweep_;
+  spice::Probe probe_;
+  spice::MnaOptions options_;
+};
+
+}  // namespace mcdft::faults

@@ -1,0 +1,83 @@
+#include "linalg/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mcdft::linalg {
+
+double Vector::Norm2() const {
+  double acc = 0.0;
+  for (const auto& v : data_) acc += std::norm(v);
+  return std::sqrt(acc);
+}
+
+double Vector::NormInf() const {
+  double acc = 0.0;
+  for (const auto& v : data_) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+void Vector::Axpy(Complex alpha, const Vector& other) {
+  if (other.size() != size()) {
+    throw util::NumericError("Axpy size mismatch: " + std::to_string(size()) +
+                             " vs " + std::to_string(other.size()));
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other[i];
+}
+
+Vector Matrix::Multiply(const Vector& x) const {
+  if (x.size() != cols_) {
+    throw util::NumericError("matrix-vector dimension mismatch: " +
+                             std::to_string(cols_) + " vs " +
+                             std::to_string(x.size()));
+  }
+  Vector y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Complex acc(0.0, 0.0);
+    const Complex* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+double Matrix::NormFrobenius() const {
+  double acc = 0.0;
+  for (const auto& v : data_) acc += std::norm(v);
+  return std::sqrt(acc);
+}
+
+double Matrix::NormInf() const {
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += std::abs(At(r, c));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n);
+  for (std::size_t i = 0; i < n; ++i) m.At(i, i) = Complex(1.0, 0.0);
+  return m;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::string out;
+  char buf[96];
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out += "[ ";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const Complex& v = At(r, c);
+      std::snprintf(buf, sizeof(buf), "(%.*g,%.*g) ", precision, v.real(),
+                    precision, v.imag());
+      out += buf;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace mcdft::linalg

@@ -1,0 +1,105 @@
+// Dense complex matrix / vector types used by the MNA engine.
+//
+// The circuits the multi-configuration DFT technique targets are small
+// (tens of nodes), so a cache-friendly row-major dense matrix with LU
+// factorization is the default backend; `linalg/sparse.hpp` provides a
+// compressed-sparse alternative for the larger circuit-zoo netlists.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcdft::linalg {
+
+using Complex = std::complex<double>;
+
+/// Dense complex vector (thin wrapper over std::vector with a few BLAS-1
+/// style helpers used by the solvers and tests).
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t n, Complex fill = Complex(0.0, 0.0))
+      : data_(n, fill) {}
+
+  std::size_t size() const noexcept { return data_.size(); }
+  Complex& operator[](std::size_t i) { return data_[i]; }
+  const Complex& operator[](std::size_t i) const { return data_[i]; }
+
+  /// Resize, zero-filling new entries.
+  void Resize(std::size_t n) { data_.resize(n, Complex(0.0, 0.0)); }
+
+  /// Set every entry to zero.
+  void SetZero() { std::fill(data_.begin(), data_.end(), Complex(0.0, 0.0)); }
+
+  /// Euclidean norm.
+  double Norm2() const;
+
+  /// Max |x_i|.
+  double NormInf() const;
+
+  /// this += alpha * other.  Sizes must match.
+  void Axpy(Complex alpha, const Vector& other);
+
+  const std::vector<Complex>& data() const { return data_; }
+  std::vector<Complex>& data() { return data_; }
+
+ private:
+  std::vector<Complex> data_;
+};
+
+/// Row-major dense complex matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// n-by-m matrix of zeros.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, Complex(0.0, 0.0)) {}
+
+  /// Square n-by-n matrix of zeros.
+  explicit Matrix(std::size_t n) : Matrix(n, n) {}
+
+  std::size_t Rows() const noexcept { return rows_; }
+  std::size_t Cols() const noexcept { return cols_; }
+
+  Complex& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const Complex& At(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Accumulate: (r,c) += v.  The natural operation for MNA stamping.
+  void Add(std::size_t r, std::size_t c, Complex v) { At(r, c) += v; }
+
+  /// Set every entry to zero, keeping the shape.
+  void SetZero() { std::fill(data_.begin(), data_.end(), Complex(0.0, 0.0)); }
+
+  /// y = A * x.  Throws NumericError on dimension mismatch.
+  Vector Multiply(const Vector& x) const;
+
+  /// Frobenius norm.
+  double NormFrobenius() const;
+
+  /// Max row sum of |a_ij| (the induced infinity norm).
+  double NormInf() const;
+
+  /// Identity matrix of size n.
+  static Matrix Identity(std::size_t n);
+
+  /// Human-readable dump (for debugging / error messages).
+  std::string ToString(int precision = 3) const;
+
+  /// Raw row-major storage (used by the LU factorization in-place).
+  std::vector<Complex>& data() { return data_; }
+  const std::vector<Complex>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+}  // namespace mcdft::linalg

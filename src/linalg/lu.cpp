@@ -1,0 +1,110 @@
+#include "linalg/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcdft::linalg {
+
+namespace {
+// Relative threshold below which a pivot is considered exactly zero.
+constexpr double kSingularRel = 1e-300;
+}  // namespace
+
+LuFactorization::LuFactorization(const Matrix& a) : lu_(a) {
+  if (a.Rows() != a.Cols()) {
+    throw util::NumericError("LU requires a square matrix, got " +
+                             std::to_string(a.Rows()) + "x" +
+                             std::to_string(a.Cols()));
+  }
+  const std::size_t n = lu_.Rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest |a_ik| in column k at/below row k.
+    std::size_t piv = k;
+    double best = std::abs(lu_.At(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      double m = std::abs(lu_.At(i, k));
+      if (m > best) {
+        best = m;
+        piv = i;
+      }
+    }
+    if (best <= kSingularRel) {
+      throw util::NumericError(
+          "singular matrix in LU factorization at pivot " + std::to_string(k) +
+          " (|pivot| = " + std::to_string(best) + ")");
+    }
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_.At(k, c), lu_.At(piv, c));
+      }
+      std::swap(perm_[k], perm_[piv]);
+      sign_ = -sign_;
+    }
+    const Complex pivot = lu_.At(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      Complex m = lu_.At(i, k) / pivot;
+      lu_.At(i, k) = m;
+      if (m == Complex(0.0, 0.0)) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_.At(i, c) -= m * lu_.At(k, c);
+      }
+    }
+  }
+}
+
+void LuFactorization::SolveInPlace(Vector& x) const {
+  const std::size_t n = Size();
+  if (x.size() != n) {
+    throw util::NumericError("LU solve dimension mismatch");
+  }
+  // Apply permutation: y = P b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[perm_[i]];
+  // Forward substitution with unit-diagonal L.
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex acc = y[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_.At(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Backward substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    Complex acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_.At(ii, j) * y[j];
+    y[ii] = acc / lu_.At(ii, ii);
+  }
+  x = std::move(y);
+}
+
+Vector LuFactorization::Solve(const Vector& b) const {
+  Vector x = b;
+  SolveInPlace(x);
+  return x;
+}
+
+double LuFactorization::Log10AbsDeterminant() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < Size(); ++i) {
+    acc += std::log10(std::abs(lu_.At(i, i)));
+  }
+  return acc;
+}
+
+double LuFactorization::PivotRatio() const {
+  double mx = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < Size(); ++i) {
+    double p = std::abs(lu_.At(i, i));
+    mx = std::max(mx, p);
+    mn = std::min(mn, p);
+  }
+  return mn == 0.0 ? std::numeric_limits<double>::infinity() : mx / mn;
+}
+
+Vector SolveDense(const Matrix& a, const Vector& b) {
+  return LuFactorization(a).Solve(b);
+}
+
+}  // namespace mcdft::linalg

@@ -1,0 +1,48 @@
+// Dense LU factorization with partial (row) pivoting over complex<double>.
+//
+// This is the workhorse behind every AC-analysis point: the MNA matrix is
+// factorized once per frequency and solved against the excitation vector.
+#pragma once
+
+#include "linalg/dense.hpp"
+
+namespace mcdft::linalg {
+
+/// LU factorization PA = LU of a square complex matrix with partial pivoting.
+///
+/// The factorization is stored compactly in a single matrix (unit-diagonal L
+/// below, U on and above the diagonal) plus a permutation.  Throws
+/// NumericError if the matrix is singular to working precision.
+class LuFactorization {
+ public:
+  /// Factorize a copy of `a`.  O(n^3).
+  explicit LuFactorization(const Matrix& a);
+
+  /// Solve A x = b.  O(n^2).
+  Vector Solve(const Vector& b) const;
+
+  /// Solve in place; `x` enters as b and leaves as the solution.
+  void SolveInPlace(Vector& x) const;
+
+  /// |det(A)| is the product of |U_ii|; returned as log10 to avoid
+  /// overflow/underflow on ill-scaled MNA systems.
+  double Log10AbsDeterminant() const;
+
+  /// Cheap condition estimate: ratio max|U_ii| / min|U_ii|.  An upper bound
+  /// on how close to singular the pivoting saw the matrix; used by tests and
+  /// by the MNA engine to warn about bad node scaling.
+  double PivotRatio() const;
+
+  /// Matrix dimension.
+  std::size_t Size() const noexcept { return lu_.Rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;  // row permutation: row i of PA is row perm_[i] of A
+  int sign_ = 1;
+};
+
+/// Convenience one-shot solve of A x = b.
+Vector SolveDense(const Matrix& a, const Vector& b);
+
+}  // namespace mcdft::linalg

@@ -1,0 +1,93 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcdft::linalg {
+
+void TripletMatrix::Add(std::size_t r, std::size_t c, Complex v) {
+  if (r >= rows_ || c >= cols_) {
+    throw util::NumericError("triplet entry (" + std::to_string(r) + "," +
+                             std::to_string(c) + ") outside " +
+                             std::to_string(rows_) + "x" + std::to_string(cols_));
+  }
+  entries_.push_back(Triplet{r, c, v});
+}
+
+Matrix TripletMatrix::ToDense() const {
+  Matrix m(rows_, cols_);
+  for (const auto& e : entries_) m.Add(e.row, e.col, e.value);
+  return m;
+}
+
+CsrMatrix::CsrMatrix(const TripletMatrix& t) : rows_(t.Rows()), cols_(t.Cols()) {
+  std::vector<Triplet> sorted = t.Entries();
+  std::sort(sorted.begin(), sorted.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  row_ptr_.assign(rows_ + 1, 0);
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    Complex sum(0.0, 0.0);
+    while (j < sorted.size() && sorted[j].row == sorted[i].row &&
+           sorted[j].col == sorted[i].col) {
+      sum += sorted[j].value;
+      ++j;
+    }
+    col_idx_.push_back(sorted[i].col);
+    values_.push_back(sum);
+    ++row_ptr_[sorted[i].row + 1];
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+Vector CsrMatrix::Multiply(const Vector& x) const {
+  if (x.size() != cols_) {
+    throw util::NumericError("CSR matrix-vector dimension mismatch");
+  }
+  Vector y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+Complex CsrMatrix::At(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw util::NumericError("CSR At() out of range");
+  }
+  auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return Complex(0.0, 0.0);
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      m.At(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return m;
+}
+
+double CsrMatrix::NormInf() const {
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      s += std::abs(values_[k]);
+    }
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+}  // namespace mcdft::linalg

@@ -1,0 +1,90 @@
+// Sparse complex matrices: a triplet (COO) builder for MNA stamping and a
+// compressed-sparse-row (CSR) form for multiplication and factorization.
+//
+// MNA stamping naturally produces duplicate (row, col) contributions — one
+// per device terminal pair — so the triplet builder sums duplicates when
+// compressing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace mcdft::linalg {
+
+/// A single (row, col, value) contribution.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  Complex value{0.0, 0.0};
+};
+
+/// Coordinate-format builder.  Append entries in any order (duplicates
+/// allowed and summed); compress to CSR when done.
+class TripletMatrix {
+ public:
+  TripletMatrix() = default;
+  TripletMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+
+  std::size_t Rows() const noexcept { return rows_; }
+  std::size_t Cols() const noexcept { return cols_; }
+  std::size_t EntryCount() const noexcept { return entries_.size(); }
+
+  /// Accumulate value at (r, c).  Bounds-checked; throws NumericError.
+  void Add(std::size_t r, std::size_t c, Complex v);
+
+  /// Drop all entries, keeping the shape (reuse across frequencies).
+  void Clear() { entries_.clear(); }
+
+  /// Dense copy (small systems, tests).
+  Matrix ToDense() const;
+
+  const std::vector<Triplet>& Entries() const { return entries_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+/// Compressed-sparse-row matrix with sorted column indices per row and
+/// duplicates summed.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Compress a triplet matrix.  Entries with |v| == 0 are kept (an MNA
+  /// structural zero can become nonzero at another frequency only if it is
+  /// restamped, so zeros here are genuinely informative).
+  explicit CsrMatrix(const TripletMatrix& t);
+
+  std::size_t Rows() const noexcept { return rows_; }
+  std::size_t Cols() const noexcept { return cols_; }
+  std::size_t NonZeroCount() const noexcept { return values_.size(); }
+
+  /// y = A x.
+  Vector Multiply(const Vector& x) const;
+
+  /// Value at (r, c); zero when the position is not stored.  O(log nnz_row).
+  Complex At(std::size_t r, std::size_t c) const;
+
+  /// Dense copy.
+  Matrix ToDense() const;
+
+  /// Induced infinity norm (max row sum of magnitudes).
+  double NormInf() const;
+
+  const std::vector<std::size_t>& RowPointers() const { return row_ptr_; }
+  const std::vector<std::size_t>& ColumnIndices() const { return col_idx_; }
+  const std::vector<Complex>& Values() const { return values_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;  // size rows_+1
+  std::vector<std::size_t> col_idx_;  // size nnz, sorted within each row
+  std::vector<Complex> values_;       // size nnz
+};
+
+}  // namespace mcdft::linalg

@@ -1,0 +1,187 @@
+#include "linalg/sparse_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mcdft::linalg {
+
+namespace {
+constexpr double kSingularAbs = 1e-300;
+}  // namespace
+
+SparseLu::SparseLu(const CsrMatrix& a, SparseLuOptions options) {
+  if (a.Rows() != a.Cols()) {
+    throw util::NumericError("sparse LU requires a square matrix");
+  }
+  n_ = a.Rows();
+  lower_.assign(n_, {});
+  upper_.assign(n_, {});
+  row_perm_.resize(n_);
+  col_perm_.resize(n_);
+  col_pos_.assign(n_, 0);
+
+  // Working copy: active rows as sorted (col, val) vectors.
+  std::vector<SparseRow> rows(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = a.RowPointers()[r]; k < a.RowPointers()[r + 1]; ++k) {
+      if (a.Values()[k] != Complex(0.0, 0.0)) {
+        rows[r].push_back(Entry{a.ColumnIndices()[k], a.Values()[k]});
+      }
+    }
+  }
+  std::vector<bool> row_active(n_, true);
+  std::vector<bool> col_active(n_, true);
+  // Multipliers produced at each elimination step: (original row, m).
+  std::vector<std::vector<std::pair<std::size_t, Complex>>> step_mult(n_);
+
+  std::vector<std::size_t> col_count(n_);
+
+  for (std::size_t step = 0; step < n_; ++step) {
+    // Column occupancy among active rows (recomputed per step; cheap at MNA
+    // sizes and keeps the invariant trivially correct under fill-in).
+    std::fill(col_count.begin(), col_count.end(), 0);
+    for (std::size_t r = 0; r < n_; ++r) {
+      if (!row_active[r]) continue;
+      for (const Entry& e : rows[r]) {
+        if (col_active[e.col]) ++col_count[e.col];
+      }
+    }
+
+    // Threshold-relaxed Markowitz pivot search.
+    std::size_t best_row = n_, best_col = n_;
+    std::size_t best_markowitz = std::numeric_limits<std::size_t>::max();
+    double best_mag = 0.0;
+    for (std::size_t r = 0; r < n_; ++r) {
+      if (!row_active[r]) continue;
+      double row_max = 0.0;
+      std::size_t active_in_row = 0;
+      for (const Entry& e : rows[r]) {
+        if (!col_active[e.col]) continue;
+        row_max = std::max(row_max, std::abs(e.val));
+        ++active_in_row;
+      }
+      if (active_in_row == 0 || row_max <= kSingularAbs) continue;
+      for (const Entry& e : rows[r]) {
+        if (!col_active[e.col]) continue;
+        double mag = std::abs(e.val);
+        if (mag < options.pivot_threshold * row_max || mag <= kSingularAbs) {
+          continue;
+        }
+        std::size_t mk = (active_in_row - 1) * (col_count[e.col] - 1);
+        if (mk < best_markowitz || (mk == best_markowitz && mag > best_mag)) {
+          best_markowitz = mk;
+          best_mag = mag;
+          best_row = r;
+          best_col = e.col;
+        }
+      }
+    }
+    if (best_row == n_) {
+      throw util::NumericError("singular matrix in sparse LU at step " +
+                               std::to_string(step));
+    }
+
+    row_perm_[step] = best_row;
+    col_perm_[step] = best_col;
+    col_pos_[best_col] = step;
+    row_active[best_row] = false;
+    col_active[best_col] = false;
+
+    // Freeze the pivot row into U (keeps already-eliminated columns out).
+    SparseRow& prow = rows[best_row];
+    Complex piv(0.0, 0.0);
+    SparseRow urow;
+    urow.reserve(prow.size());
+    for (const Entry& e : prow) {
+      if (e.col == best_col) piv = e.val;
+      if (e.col == best_col || col_active[e.col]) urow.push_back(e);
+    }
+    upper_[step] = std::move(urow);
+
+    // Eliminate the pivot column from every remaining active row.
+    for (std::size_t r = 0; r < n_; ++r) {
+      if (!row_active[r]) continue;
+      SparseRow& row = rows[r];
+      auto it = std::lower_bound(
+          row.begin(), row.end(), best_col,
+          [](const Entry& e, std::size_t c) { return e.col < c; });
+      if (it == row.end() || it->col != best_col) continue;
+      Complex m = it->val / piv;
+      row.erase(it);
+      if (m == Complex(0.0, 0.0)) continue;
+      step_mult[step].emplace_back(r, m);
+      // row -= m * (pivot row restricted to still-active columns): sorted merge.
+      SparseRow merged;
+      merged.reserve(row.size() + upper_[step].size());
+      std::size_t i = 0, j = 0;
+      const SparseRow& u = upper_[step];
+      while (i < row.size() || j < u.size()) {
+        if (j >= u.size() || (i < row.size() && row[i].col < u[j].col)) {
+          merged.push_back(row[i++]);
+        } else if (!col_active[u[j].col]) {
+          ++j;  // pivot column itself (and any frozen column): no update needed
+        } else if (i >= row.size() || u[j].col < row[i].col) {
+          merged.push_back(Entry{u[j].col, -m * u[j].val});
+          ++j;
+        } else {
+          Complex v = row[i].val - m * u[j].val;
+          if (v != Complex(0.0, 0.0)) merged.push_back(Entry{row[i].col, v});
+          ++i;
+          ++j;
+        }
+      }
+      row = std::move(merged);
+    }
+  }
+
+  // Re-home the multipliers under the producing step for the solve phase.
+  for (std::size_t step = 0; step < n_; ++step) {
+    lower_[step].clear();
+    for (const auto& [r, m] : step_mult[step]) {
+      lower_[step].push_back(Entry{r, m});
+    }
+  }
+}
+
+Vector SparseLu::Solve(const Vector& b) const {
+  if (b.size() != n_) {
+    throw util::NumericError("sparse LU solve dimension mismatch");
+  }
+  // Forward elimination replayed on a copy of b.
+  Vector work = b;
+  Vector y(n_);
+  for (std::size_t step = 0; step < n_; ++step) {
+    Complex yk = work[row_perm_[step]];
+    y[step] = yk;
+    for (const Entry& e : lower_[step]) work[e.col] -= e.val * yk;
+  }
+  // Backward substitution over the permuted upper factor.
+  Vector x(n_);
+  for (std::size_t s = n_; s-- > 0;) {
+    Complex acc = y[s];
+    Complex piv(0.0, 0.0);
+    for (const Entry& e : upper_[s]) {
+      if (e.col == col_perm_[s]) {
+        piv = e.val;
+      } else {
+        acc -= e.val * x[e.col];
+      }
+    }
+    x[col_perm_[s]] = acc / piv;
+  }
+  return x;
+}
+
+std::size_t SparseLu::FactorNonZeroCount() const {
+  std::size_t nnz = 0;
+  for (const auto& r : lower_) nnz += r.size();
+  for (const auto& r : upper_) nnz += r.size();
+  return nnz;
+}
+
+Vector SolveSparse(const CsrMatrix& a, const Vector& b, SparseLuOptions options) {
+  return SparseLu(a, options).Solve(b);
+}
+
+}  // namespace mcdft::linalg

@@ -1,0 +1,25 @@
+#include "spice/dc_analysis.hpp"
+
+namespace mcdft::spice {
+
+double DcOperatingPoint::VoltageAt(NodeId node) const {
+  if (node >= node_voltages.size()) {
+    throw util::AnalysisError("node id " + std::to_string(node) +
+                              " outside operating point");
+  }
+  return node_voltages[node];
+}
+
+DcOperatingPoint SolveOperatingPoint(const Netlist& netlist,
+                                     MnaOptions options) {
+  MnaSystem system(netlist, options);
+  MnaSolution sol = system.SolveDc();
+  DcOperatingPoint op;
+  op.node_voltages.resize(netlist.NodeCount(), 0.0);
+  for (NodeId n = 1; n < netlist.NodeCount(); ++n) {
+    op.node_voltages[n] = sol.VoltageAt(n).real();
+  }
+  return op;
+}
+
+}  // namespace mcdft::spice

@@ -1,0 +1,26 @@
+// DC operating-point analysis for linear circuits: a single MNA solve with
+// s = 0 (capacitors open, inductors short, sources at their DC values).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/mna.hpp"
+
+namespace mcdft::spice {
+
+/// Result of a DC operating-point analysis.
+struct DcOperatingPoint {
+  /// Real node voltages indexed by NodeId (entry 0, ground, is 0).
+  std::vector<double> node_voltages;
+
+  /// Voltage at a node.
+  double VoltageAt(NodeId node) const;
+};
+
+/// Compute the operating point.  Throws NumericError when the DC system is
+/// singular (e.g. a capacitively-isolated node).
+DcOperatingPoint SolveOperatingPoint(const Netlist& netlist,
+                                     MnaOptions options = {});
+
+}  // namespace mcdft::spice

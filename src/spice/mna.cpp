@@ -1,0 +1,199 @@
+#include "spice/mna.hpp"
+
+#include "util/strings.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mcdft::spice {
+
+MnaSolution::MnaSolution(linalg::Vector x,
+                         const std::vector<std::size_t>* branch_base,
+                         std::size_t node_unknowns)
+    : x_(std::move(x)), branch_base_(branch_base), node_unknowns_(node_unknowns) {}
+
+Complex MnaSolution::VoltageAt(NodeId node) const {
+  if (node == kGround) return Complex(0.0, 0.0);
+  const std::size_t idx = node - 1;
+  if (idx >= node_unknowns_) {
+    throw util::AnalysisError("node id " + std::to_string(node) +
+                              " outside solved system");
+  }
+  return x_[idx];
+}
+
+Complex MnaSolution::VoltageBetween(NodeId plus, NodeId minus) const {
+  return VoltageAt(plus) - VoltageAt(minus);
+}
+
+Complex MnaSolution::BranchCurrent(std::size_t element_idx, std::size_t k) const {
+  if (element_idx + 1 >= branch_base_->size()) {
+    throw util::AnalysisError("element index " + std::to_string(element_idx) +
+                              " outside solved system");
+  }
+  const std::size_t base = (*branch_base_)[element_idx];
+  const std::size_t next = (*branch_base_)[element_idx + 1];
+  if (base + k >= next) {
+    throw util::AnalysisError("element has no branch " + std::to_string(k));
+  }
+  return x_[base + k];
+}
+
+namespace {
+
+/// StampContext implementation writing into a triplet matrix + RHS.
+class MnaStampContext final : public StampContext {
+ public:
+  MnaStampContext(const MnaSystem& sys, const Netlist& netlist,
+                  AnalysisKind kind, Complex s, linalg::TripletMatrix& a,
+                  linalg::Vector& rhs)
+      : sys_(sys), netlist_(netlist), kind_(kind), s_(s), a_(a), rhs_(rhs) {}
+
+  void SetCurrentElement(std::size_t element_idx) { current_ = element_idx; }
+
+  AnalysisKind Kind() const override { return kind_; }
+  Complex S() const override { return s_; }
+
+  void AddAdmittance(NodeId a, NodeId b, Complex y) override {
+    AddNodeNode(a, a, y);
+    AddNodeNode(b, b, y);
+    AddNodeNode(a, b, -y);
+    AddNodeNode(b, a, -y);
+  }
+
+  void AddNodeNode(NodeId row, NodeId col, Complex v) override {
+    if (row == kGround || col == kGround) return;
+    a_.Add(row - 1, col - 1, v);
+  }
+
+  void AddNodeBranch(NodeId row, std::size_t branch, Complex v) override {
+    if (row == kGround) return;
+    a_.Add(row - 1, BranchUnknown(current_, branch), v);
+  }
+
+  void AddBranchNode(std::size_t branch, NodeId col, Complex v) override {
+    if (col == kGround) return;
+    a_.Add(BranchUnknown(current_, branch), col - 1, v);
+  }
+
+  void AddBranchBranch(std::size_t row, std::size_t col, Complex v) override {
+    a_.Add(BranchUnknown(current_, row), BranchUnknown(current_, col), v);
+  }
+
+  void AddBranchForeignBranchByName(std::size_t row, const std::string& other,
+                                    std::size_t k, Complex v) override {
+    a_.Add(BranchUnknown(current_, row), ForeignBranch(other, k), v);
+  }
+
+  void AddNodeForeignBranchByName(NodeId row, const std::string& other,
+                                  std::size_t k, Complex v) override {
+    if (row == kGround) return;
+    a_.Add(row - 1, ForeignBranch(other, k), v);
+  }
+
+  void AddNodeRhs(NodeId row, Complex v) override {
+    if (row == kGround) return;
+    rhs_[row - 1] += v;
+  }
+
+  void AddBranchRhs(std::size_t branch, Complex v) override {
+    rhs_[BranchUnknown(current_, branch)] += v;
+  }
+
+ private:
+  std::size_t BranchUnknown(std::size_t element_idx, std::size_t k) const {
+    return sys_.BranchUnknown(element_idx, k);
+  }
+
+  std::size_t ForeignBranch(const std::string& name, std::size_t k) const {
+    const std::size_t idx = sys_.ElementIndexOf(name);
+    return BranchUnknown(idx, k);
+  }
+
+  const MnaSystem& sys_;
+  const Netlist& netlist_;
+  AnalysisKind kind_;
+  Complex s_;
+  linalg::TripletMatrix& a_;
+  linalg::Vector& rhs_;
+  std::size_t current_ = 0;
+};
+
+}  // namespace
+
+MnaSystem::MnaSystem(const Netlist& netlist, MnaOptions options)
+    : netlist_(netlist), options_(options) {
+  netlist.ValidateOrThrow();
+  node_unknowns_ = netlist.NodeCount() - 1;
+  branch_base_.resize(netlist.ElementCount() + 1);
+  std::size_t next = node_unknowns_;
+  for (std::size_t i = 0; i < netlist.ElementCount(); ++i) {
+    branch_base_[i] = next;
+    next += netlist.Elements()[i]->BranchCount();
+  }
+  branch_base_[netlist.ElementCount()] = next;
+  unknown_count_ = next;
+}
+
+void MnaSystem::Assemble(AnalysisKind kind, double omega,
+                         linalg::TripletMatrix& a, linalg::Vector& rhs) const {
+  const Complex s = kind == AnalysisKind::kDc ? Complex(0.0, 0.0)
+                                              : Complex(0.0, omega);
+  a = linalg::TripletMatrix(unknown_count_, unknown_count_);
+  rhs.Resize(unknown_count_);
+  rhs.SetZero();
+  MnaStampContext ctx(*this, netlist_, kind, s, a, rhs);
+  for (std::size_t i = 0; i < netlist_.ElementCount(); ++i) {
+    ctx.SetCurrentElement(i);
+    netlist_.Elements()[i]->Stamp(ctx);
+  }
+}
+
+MnaSolution MnaSystem::Solve(AnalysisKind kind, double omega) const {
+  linalg::TripletMatrix a;
+  linalg::Vector rhs;
+  Assemble(kind, omega, a, rhs);
+
+  const bool use_sparse =
+      options_.backend == SolverBackend::kSparse ||
+      (options_.backend == SolverBackend::kAuto &&
+       unknown_count_ > options_.dense_threshold);
+
+  linalg::Vector x;
+  if (use_sparse) {
+    linalg::CsrMatrix csr(a);
+    x = linalg::SolveSparse(csr, rhs);
+  } else {
+    x = linalg::SolveDense(a.ToDense(), rhs);
+  }
+  return MnaSolution(std::move(x), &branch_base_, node_unknowns_);
+}
+
+MnaSolution MnaSystem::SolveAcHz(double hz) const {
+  return Solve(AnalysisKind::kAc, 2.0 * std::numbers::pi * hz);
+}
+
+MnaSolution MnaSystem::SolveDc() const { return Solve(AnalysisKind::kDc, 0.0); }
+
+std::size_t MnaSystem::ElementIndexOf(const std::string& name) const {
+  const std::string key = util::ToUpper(name);
+  for (std::size_t i = 0; i < netlist_.ElementCount(); ++i) {
+    if (netlist_.Elements()[i]->Name() == key) return i;
+  }
+  throw util::AnalysisError("element '" + name + "' not found in MNA system");
+}
+
+std::size_t MnaSystem::BranchUnknown(std::size_t element_idx,
+                                     std::size_t k) const {
+  const std::size_t base = branch_base_[element_idx];
+  const std::size_t next = branch_base_[element_idx + 1];
+  if (base + k >= next) {
+    throw util::AnalysisError(
+        "element '" + netlist_.Elements()[element_idx]->Name() +
+        "' used branch " + std::to_string(k) + " but declared only " +
+        std::to_string(next - base));
+  }
+  return base + k;
+}
+
+}  // namespace mcdft::spice

@@ -1,0 +1,106 @@
+// Modified Nodal Analysis assembly and solution.
+//
+// Unknown ordering: the N-1 non-ground node voltages first (node id i maps
+// to unknown i-1), then one slot per element branch current in element
+// insertion order.  The assembled system A x = b is solved with the dense
+// LU backend below a size threshold and the sparse Markowitz LU above it.
+#pragma once
+
+#include <vector>
+
+#include "linalg/lu.hpp"
+#include "linalg/sparse_lu.hpp"
+#include "spice/elements.hpp"
+
+namespace mcdft::spice {
+
+/// Which linear-solver backend the MNA engine uses.
+enum class SolverBackend {
+  kAuto,    ///< dense below `dense_threshold` unknowns, sparse above
+  kDense,   ///< always dense LU
+  kSparse,  ///< always sparse Markowitz LU
+};
+
+/// MNA engine options.
+struct MnaOptions {
+  SolverBackend backend = SolverBackend::kAuto;
+  std::size_t dense_threshold = 64;  ///< kAuto switch-over point
+};
+
+/// Solution of one MNA solve: node voltages + branch currents with
+/// convenient accessors.
+class MnaSolution {
+ public:
+  MnaSolution(linalg::Vector x, const std::vector<std::size_t>* branch_base,
+              std::size_t node_unknowns);
+
+  /// Complex node voltage (ground returns 0).
+  Complex VoltageAt(NodeId node) const;
+
+  /// Differential voltage V(plus) - V(minus).
+  Complex VoltageBetween(NodeId plus, NodeId minus) const;
+
+  /// Branch current `k` of the element with system element index `idx`
+  /// (see MnaSystem::ElementIndexOf).
+  Complex BranchCurrent(std::size_t element_idx, std::size_t k = 0) const;
+
+  /// Raw unknown vector.
+  const linalg::Vector& Raw() const { return x_; }
+
+ private:
+  linalg::Vector x_;
+  const std::vector<std::size_t>* branch_base_;  // owned by the MnaSystem
+  std::size_t node_unknowns_;
+};
+
+/// Assembles and solves the MNA system of a netlist.
+///
+/// The system object captures the netlist's *structure* (unknown indexing)
+/// at construction; element parameter values are read at each Assemble/
+/// Solve call, so fault injection that only changes values can reuse the
+/// same MnaSystem.  Structural edits (adding/removing elements or nodes)
+/// require a new MnaSystem.
+class MnaSystem {
+ public:
+  /// Index the unknowns of `netlist`.  The netlist must outlive this object.
+  explicit MnaSystem(const Netlist& netlist, MnaOptions options = {});
+
+  /// Total number of unknowns (node voltages + branch currents).
+  std::size_t UnknownCount() const { return unknown_count_; }
+
+  /// Number of node-voltage unknowns (= NodeCount()-1).
+  std::size_t NodeUnknownCount() const { return node_unknowns_; }
+
+  /// Assemble the complex system for the given analysis at angular
+  /// frequency `omega` (rad/s; ignored for DC).
+  void Assemble(AnalysisKind kind, double omega, linalg::TripletMatrix& a,
+                linalg::Vector& rhs) const;
+
+  /// Assemble and solve at angular frequency `omega`.
+  MnaSolution Solve(AnalysisKind kind, double omega) const;
+
+  /// AC solve at frequency `hz`.
+  MnaSolution SolveAcHz(double hz) const;
+
+  /// DC operating point.
+  MnaSolution SolveDc() const;
+
+  /// System element index for a named element (used with BranchCurrent).
+  /// Name matching is case-insensitive.
+  std::size_t ElementIndexOf(const std::string& name) const;
+
+  /// Unknown index of branch `k` of element `element_idx`.  Throws
+  /// AnalysisError when the element declared fewer branches.
+  std::size_t BranchUnknown(std::size_t element_idx, std::size_t k) const;
+
+  const Netlist& Circuit() const { return netlist_; }
+
+ private:
+  const Netlist& netlist_;
+  MnaOptions options_;
+  std::size_t node_unknowns_ = 0;
+  std::size_t unknown_count_ = 0;
+  std::vector<std::size_t> branch_base_;  // per element: first branch unknown
+};
+
+}  // namespace mcdft::spice

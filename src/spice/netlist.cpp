@@ -1,0 +1,261 @@
+#include "spice/netlist.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "spice/elements.hpp"
+#include "util/strings.hpp"
+
+namespace mcdft::spice {
+
+Netlist::Netlist() : Netlist("untitled") {}
+
+Netlist::Netlist(std::string title) : title_(std::move(title)) {
+  node_names_.push_back("0");
+  node_index_["0"] = kGround;
+  node_index_["gnd"] = kGround;
+}
+
+Netlist::Netlist(Netlist&&) noexcept = default;
+Netlist& Netlist::operator=(Netlist&&) noexcept = default;
+Netlist::~Netlist() = default;
+
+Netlist Netlist::Clone() const {
+  Netlist copy(title_);
+  copy.node_names_ = node_names_;
+  copy.node_index_ = node_index_;
+  copy.elements_.reserve(elements_.size());
+  for (const auto& e : elements_) {
+    copy.element_index_[e->Name()] = copy.elements_.size();
+    copy.elements_.push_back(e->Clone());
+  }
+  return copy;
+}
+
+NodeId Netlist::Node(const std::string& name) {
+  const std::string key = util::ToLower(name);
+  auto it = node_index_.find(key);
+  if (it != node_index_.end()) return it->second;
+  const NodeId id = node_names_.size();
+  node_names_.push_back(name);
+  node_index_[key] = id;
+  return id;
+}
+
+NodeId Netlist::FindNode(const std::string& name) const {
+  auto id = TryFindNode(name);
+  if (!id) throw util::NetlistError("unknown node '" + name + "'");
+  return *id;
+}
+
+std::optional<NodeId> Netlist::TryFindNode(const std::string& name) const {
+  auto it = node_index_.find(util::ToLower(name));
+  if (it == node_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Netlist::NodeName(NodeId id) const {
+  if (id >= node_names_.size()) {
+    throw util::NetlistError("node id " + std::to_string(id) + " out of range");
+  }
+  return node_names_[id];
+}
+
+Element& Netlist::AddElement(std::unique_ptr<Element> element) {
+  if (!element) throw util::NetlistError("null element");
+  const std::string& name = element->Name();
+  if (element_index_.count(name) != 0) {
+    throw util::NetlistError("duplicate element name '" + name + "'");
+  }
+  for (NodeId n : element->Nodes()) {
+    if (n >= node_names_.size()) {
+      throw util::NetlistError("element '" + name +
+                               "' references node id outside this netlist");
+    }
+  }
+  element_index_[name] = elements_.size();
+  elements_.push_back(std::move(element));
+  return *elements_.back();
+}
+
+void Netlist::RemoveElement(const std::string& name) {
+  const std::string key = util::ToUpper(name);
+  auto it = element_index_.find(key);
+  if (it == element_index_.end()) {
+    throw util::NetlistError("cannot remove unknown element '" + name + "'");
+  }
+  const std::size_t idx = it->second;
+  elements_.erase(elements_.begin() + static_cast<std::ptrdiff_t>(idx));
+  element_index_.erase(it);
+  for (auto& [k, v] : element_index_) {
+    if (v > idx) --v;
+  }
+}
+
+Element* Netlist::FindElement(const std::string& name) {
+  auto it = element_index_.find(util::ToUpper(name));
+  return it == element_index_.end() ? nullptr : elements_[it->second].get();
+}
+
+const Element* Netlist::FindElement(const std::string& name) const {
+  auto it = element_index_.find(util::ToUpper(name));
+  return it == element_index_.end() ? nullptr : elements_[it->second].get();
+}
+
+Element& Netlist::GetElement(const std::string& name) {
+  Element* e = FindElement(name);
+  if (!e) throw util::NetlistError("unknown element '" + name + "'");
+  return *e;
+}
+
+const Element& Netlist::GetElement(const std::string& name) const {
+  const Element* e = FindElement(name);
+  if (!e) throw util::NetlistError("unknown element '" + name + "'");
+  return *e;
+}
+
+Element& Netlist::AddResistor(const std::string& name, const std::string& a,
+                              const std::string& b, double ohms) {
+  return AddElement(std::make_unique<Resistor>(name, Node(a), Node(b), ohms));
+}
+
+Element& Netlist::AddCapacitor(const std::string& name, const std::string& a,
+                               const std::string& b, double farads) {
+  return AddElement(std::make_unique<Capacitor>(name, Node(a), Node(b), farads));
+}
+
+Element& Netlist::AddInductor(const std::string& name, const std::string& a,
+                              const std::string& b, double henries) {
+  return AddElement(std::make_unique<Inductor>(name, Node(a), Node(b), henries));
+}
+
+Element& Netlist::AddVoltageSource(const std::string& name,
+                                   const std::string& plus,
+                                   const std::string& minus, double dc,
+                                   double ac_mag, double ac_phase_deg) {
+  return AddElement(std::make_unique<VoltageSource>(name, Node(plus),
+                                                    Node(minus), dc, ac_mag,
+                                                    ac_phase_deg));
+}
+
+Element& Netlist::AddCurrentSource(const std::string& name,
+                                   const std::string& plus,
+                                   const std::string& minus, double dc,
+                                   double ac_mag, double ac_phase_deg) {
+  return AddElement(std::make_unique<CurrentSource>(name, Node(plus),
+                                                    Node(minus), dc, ac_mag,
+                                                    ac_phase_deg));
+}
+
+Element& Netlist::AddVcvs(const std::string& name, const std::string& p,
+                          const std::string& m, const std::string& cp,
+                          const std::string& cm, double gain) {
+  return AddElement(std::make_unique<Vcvs>(name, Node(p), Node(m), Node(cp),
+                                           Node(cm), gain));
+}
+
+Element& Netlist::AddVccs(const std::string& name, const std::string& p,
+                          const std::string& m, const std::string& cp,
+                          const std::string& cm, double gm) {
+  return AddElement(std::make_unique<Vccs>(name, Node(p), Node(m), Node(cp),
+                                           Node(cm), gm));
+}
+
+Element& Netlist::AddCcvs(const std::string& name, const std::string& p,
+                          const std::string& m, const std::string& vsource,
+                          double transres) {
+  return AddElement(std::make_unique<Ccvs>(name, Node(p), Node(m), vsource,
+                                           transres));
+}
+
+Element& Netlist::AddCccs(const std::string& name, const std::string& p,
+                          const std::string& m, const std::string& vsource,
+                          double gain) {
+  return AddElement(std::make_unique<Cccs>(name, Node(p), Node(m), vsource,
+                                           gain));
+}
+
+Element& Netlist::AddOpamp(const std::string& name, const std::string& in_plus,
+                           const std::string& in_minus, const std::string& out) {
+  return AddElement(std::make_unique<Opamp>(name, Node(in_plus), Node(in_minus),
+                                            Node(out)));
+}
+
+std::vector<std::string> Netlist::Validate() const {
+  std::vector<std::string> problems;
+  if (node_names_.size() <= 1) {
+    problems.push_back("circuit has no nodes besides ground");
+  }
+  if (elements_.empty()) {
+    problems.push_back("circuit has no elements");
+  }
+
+  // Terminal-touch census and undirected connectivity over element terminals.
+  std::vector<std::size_t> touches(node_names_.size(), 0);
+  std::vector<std::vector<NodeId>> adjacency(node_names_.size());
+  for (const auto& e : elements_) {
+    const auto& nodes = e->Nodes();
+    for (NodeId n : nodes) ++touches[n];
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      adjacency[nodes[i]].push_back(nodes[i + 1]);
+      adjacency[nodes[i + 1]].push_back(nodes[i]);
+    }
+    // Controlled sources must reference an existing voltage source.
+    std::string control;
+    if (e->Kind() == ElementKind::kCcvs) {
+      control = static_cast<const Ccvs&>(*e).ControlSource();
+    } else if (e->Kind() == ElementKind::kCccs) {
+      control = static_cast<const Cccs&>(*e).ControlSource();
+    }
+    if (!control.empty()) {
+      const Element* src = FindElement(control);
+      if (!src) {
+        problems.push_back(e->Name() + ": unknown control source '" + control +
+                           "'");
+      } else if (src->BranchCount() == 0) {
+        problems.push_back(e->Name() + ": control element '" + control +
+                           "' carries no branch current");
+      }
+    }
+  }
+  for (NodeId n = 1; n < node_names_.size(); ++n) {
+    if (touches[n] == 0) {
+      problems.push_back("node '" + node_names_[n] +
+                         "' is not connected to any element");
+    }
+  }
+
+  // BFS from ground: every touched node must be reachable, otherwise the MNA
+  // system has a floating island and is singular.
+  std::vector<bool> seen(node_names_.size(), false);
+  std::queue<NodeId> queue;
+  queue.push(kGround);
+  seen[kGround] = true;
+  while (!queue.empty()) {
+    NodeId n = queue.front();
+    queue.pop();
+    for (NodeId next : adjacency[n]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        queue.push(next);
+      }
+    }
+  }
+  for (NodeId n = 1; n < node_names_.size(); ++n) {
+    if (touches[n] > 0 && !seen[n]) {
+      problems.push_back("node '" + node_names_[n] +
+                         "' has no path to ground (floating island)");
+    }
+  }
+  return problems;
+}
+
+void Netlist::ValidateOrThrow() const {
+  auto problems = Validate();
+  if (problems.empty()) return;
+  std::string msg = "netlist '" + title_ + "' is invalid:";
+  for (const auto& p : problems) msg += "\n  - " + p;
+  throw util::NetlistError(msg);
+}
+
+}  // namespace mcdft::spice

@@ -1,0 +1,150 @@
+// Circuit netlist model: named nodes plus a list of owned circuit elements.
+//
+// This is the substrate standing in for the paper's HSPICE decks: linear
+// elements (R, L, C), independent and controlled sources, and behavioural
+// opamps — including the *configurable opamp* of the multi-configuration
+// DFT technique (normal / follower modes, Renovell et al., Fig. 3).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcdft::spice {
+
+/// Index of a circuit node.  Node 0 is always the ground reference.
+using NodeId = std::size_t;
+
+/// The ground node (SPICE node "0").
+inline constexpr NodeId kGround = 0;
+
+class Element;  // defined in spice/elements.hpp
+
+/// A complete circuit: node name registry + owned element list.
+///
+/// Element names are unique case-insensitively (canonicalized to upper
+/// case), matching SPICE semantics.  The netlist is value-semantically
+/// copyable through Clone(), which the fault injector uses to create
+/// faulty circuit instances without disturbing the golden netlist.
+class Netlist {
+ public:
+  Netlist();
+  explicit Netlist(std::string title);
+
+  Netlist(Netlist&&) noexcept;
+  Netlist& operator=(Netlist&&) noexcept;
+  Netlist(const Netlist&) = delete;
+  Netlist& operator=(const Netlist&) = delete;
+  ~Netlist();
+
+  /// Deep copy (elements are cloned).
+  Netlist Clone() const;
+
+  /// Human-readable deck title.
+  const std::string& Title() const { return title_; }
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  // --- Nodes ----------------------------------------------------------
+
+  /// Get-or-create the node with this name.  "0" and "gnd" (any case) both
+  /// refer to the ground node.
+  NodeId Node(const std::string& name);
+
+  /// Look up an existing node; throws NetlistError when unknown.
+  NodeId FindNode(const std::string& name) const;
+
+  /// Look up an existing node; nullopt when unknown.
+  std::optional<NodeId> TryFindNode(const std::string& name) const;
+
+  /// Name of a node id.
+  const std::string& NodeName(NodeId id) const;
+
+  /// Number of nodes including ground.
+  std::size_t NodeCount() const { return node_names_.size(); }
+
+  // --- Elements -------------------------------------------------------
+
+  /// Add an element; the netlist takes ownership.  Throws NetlistError on
+  /// duplicate name (case-insensitive) or null element.
+  Element& AddElement(std::unique_ptr<Element> element);
+
+  /// Remove the element with this name.  Throws NetlistError when absent.
+  void RemoveElement(const std::string& name);
+
+  /// Find an element by name (case-insensitive); nullptr when absent.
+  Element* FindElement(const std::string& name);
+  const Element* FindElement(const std::string& name) const;
+
+  /// Find by name or throw NetlistError.
+  Element& GetElement(const std::string& name);
+  const Element& GetElement(const std::string& name) const;
+
+  /// All elements in insertion order.
+  const std::vector<std::unique_ptr<Element>>& Elements() const {
+    return elements_;
+  }
+  std::size_t ElementCount() const { return elements_.size(); }
+
+  // --- Convenience builders (return the created element) --------------
+
+  Element& AddResistor(const std::string& name, const std::string& a,
+                       const std::string& b, double ohms);
+  Element& AddCapacitor(const std::string& name, const std::string& a,
+                        const std::string& b, double farads);
+  Element& AddInductor(const std::string& name, const std::string& a,
+                       const std::string& b, double henries);
+  /// Independent voltage source with DC value and AC magnitude/phase(deg).
+  Element& AddVoltageSource(const std::string& name, const std::string& plus,
+                            const std::string& minus, double dc,
+                            double ac_mag = 0.0, double ac_phase_deg = 0.0);
+  Element& AddCurrentSource(const std::string& name, const std::string& plus,
+                            const std::string& minus, double dc,
+                            double ac_mag = 0.0, double ac_phase_deg = 0.0);
+  /// Voltage-controlled voltage source: V(p,m) = gain * V(cp,cm).
+  Element& AddVcvs(const std::string& name, const std::string& p,
+                   const std::string& m, const std::string& cp,
+                   const std::string& cm, double gain);
+  /// Voltage-controlled current source: I(p->m) = gm * V(cp,cm).
+  Element& AddVccs(const std::string& name, const std::string& p,
+                   const std::string& m, const std::string& cp,
+                   const std::string& cm, double gm);
+  /// Current-controlled voltage source; control current flows through the
+  /// named independent voltage source.
+  Element& AddCcvs(const std::string& name, const std::string& p,
+                   const std::string& m, const std::string& vsource,
+                   double transres);
+  /// Current-controlled current source (control as for AddCcvs).
+  Element& AddCccs(const std::string& name, const std::string& p,
+                   const std::string& m, const std::string& vsource,
+                   double gain);
+  /// Behavioural opamp (in+, in-, out).  See spice/elements.hpp for the
+  /// model options; default is a finite-gain (1e6) VCVS-style amplifier.
+  Element& AddOpamp(const std::string& name, const std::string& in_plus,
+                    const std::string& in_minus, const std::string& out);
+
+  // --- Validation -----------------------------------------------------
+
+  /// Structural checks: at least one non-ground node, every node touched by
+  /// at least one element terminal, every non-ground node connected to
+  /// ground through element terminals (so the MNA matrix has a chance of
+  /// being non-singular), and controlled-source references resolvable.
+  /// Returns the list of problems (empty = valid).
+  std::vector<std::string> Validate() const;
+
+  /// Validate() and throw NetlistError listing the problems, if any.
+  void ValidateOrThrow() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> node_index_;  // lower-case name
+  std::vector<std::unique_ptr<Element>> elements_;
+  std::unordered_map<std::string, std::size_t> element_index_;  // upper-case
+};
+
+}  // namespace mcdft::spice

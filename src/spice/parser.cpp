@@ -1,0 +1,483 @@
+#include "spice/parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "spice/elements.hpp"
+#include "util/strings.hpp"
+
+namespace mcdft::spice {
+
+namespace {
+
+using util::EqualsNoCase;
+using util::ParseEngineering;
+using util::SplitFields;
+using util::StartsWithNoCase;
+using util::ToLower;
+using util::ToUpper;
+using util::Trim;
+
+constexpr int kMaxSubcktDepth = 20;
+
+/// One logical line after continuation merging, with its source line number.
+struct LogicalLine {
+  std::size_t number;
+  std::string text;
+};
+
+std::vector<LogicalLine> MergeContinuations(const std::string& text) {
+  std::vector<LogicalLine> lines;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string_view t = Trim(raw);
+    if (t.empty() || t.front() == '*') continue;
+    // Strip trailing comment introduced by ';'.
+    if (auto pos = t.find(';'); pos != std::string_view::npos) {
+      t = Trim(t.substr(0, pos));
+      if (t.empty()) continue;
+    }
+    if (t.front() == '+') {
+      if (lines.empty()) {
+        throw util::ParseError(lineno, "continuation '+' with no previous card");
+      }
+      lines.back().text += " ";
+      lines.back().text += std::string(t.substr(1));
+    } else {
+      lines.push_back(LogicalLine{lineno, std::string(t)});
+    }
+  }
+  return lines;
+}
+
+double RequireValue(const LogicalLine& line, const std::string& token,
+                    const char* what) {
+  double v = 0.0;
+  if (!ParseEngineering(token, v)) {
+    throw util::ParseError(line.number, std::string("bad ") + what + " '" +
+                                            token + "'");
+  }
+  return v;
+}
+
+void RequireFieldCount(const LogicalLine& line,
+                       const std::vector<std::string>& f, std::size_t n,
+                       const char* card) {
+  if (f.size() < n) {
+    throw util::ParseError(line.number,
+                           std::string(card) + " card needs at least " +
+                               std::to_string(n - 1) + " arguments");
+  }
+}
+
+/// Parse the trailing [value] [DC v] [AC mag [phase]] of a source card.
+void ParseSourceParams(const LogicalLine& line,
+                       const std::vector<std::string>& f, std::size_t start,
+                       double& dc, double& ac_mag, double& ac_phase) {
+  dc = 0.0;
+  ac_mag = 0.0;
+  ac_phase = 0.0;
+  std::size_t i = start;
+  while (i < f.size()) {
+    if (EqualsNoCase(f[i], "dc")) {
+      if (i + 1 >= f.size()) {
+        throw util::ParseError(line.number, "DC keyword without value");
+      }
+      dc = RequireValue(line, f[i + 1], "DC value");
+      i += 2;
+    } else if (EqualsNoCase(f[i], "ac")) {
+      if (i + 1 >= f.size()) {
+        throw util::ParseError(line.number, "AC keyword without value");
+      }
+      ac_mag = RequireValue(line, f[i + 1], "AC magnitude");
+      i += 2;
+      if (i < f.size()) {
+        double ph = 0.0;
+        if (ParseEngineering(f[i], ph)) {
+          ac_phase = ph;
+          ++i;
+        }
+      }
+    } else if (i == start) {
+      dc = RequireValue(line, f[i], "source value");
+      ++i;
+    } else {
+      throw util::ParseError(line.number, "unexpected token '" + f[i] + "'");
+    }
+  }
+}
+
+/// A stored subcircuit definition.
+struct SubcktDef {
+  std::vector<std::string> ports;  // lower-case port node names
+  std::vector<LogicalLine> body;
+};
+
+/// Builds a flat netlist from the logical lines, expanding subcircuit
+/// instances on the fly.
+class DeckBuilder {
+ public:
+  ParsedDeck Build(const std::vector<LogicalLine>& lines) {
+    bool ended = false;
+    bool first = true;
+    for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+      const LogicalLine& line = lines[idx];
+      if (ended) {
+        throw util::ParseError(line.number, "content after .end");
+      }
+      auto f = SplitFields(line.text);
+      if (f.empty()) continue;
+
+      const char lead = static_cast<char>(
+          std::toupper(static_cast<unsigned char>(f[0].front())));
+      const bool looks_like_card =
+          lead == '.' ||
+          std::string("RCLVIEGHFOX").find(lead) != std::string::npos;
+      if (first && !looks_like_card) {
+        deck_.netlist.SetTitle(line.text);
+        first = false;
+        continue;
+      }
+      first = false;
+
+      if (lead == '.' && EqualsNoCase(f[0], ".subckt")) {
+        idx = CollectSubckt(lines, idx);
+        continue;
+      }
+      if (lead == '.' && EqualsNoCase(f[0], ".ends")) {
+        throw util::ParseError(line.number, ".ends without .subckt");
+      }
+      if (lead == '.') {
+        ParseDotCard(line, f, ended);
+        continue;
+      }
+      ParseCard(line, f, /*prefix=*/"", /*nodemap=*/{}, /*depth=*/0);
+    }
+    return std::move(deck_);
+  }
+
+ private:
+  /// Store a .subckt block; returns the index of its .ends line.
+  std::size_t CollectSubckt(const std::vector<LogicalLine>& lines,
+                            std::size_t start) {
+    const LogicalLine& header = lines[start];
+    auto f = SplitFields(header.text);
+    RequireFieldCount(header, f, 3, ".subckt");
+    const std::string name = ToUpper(f[1]);
+    if (subckts_.count(name) != 0) {
+      throw util::ParseError(header.number,
+                             "duplicate subcircuit '" + name + "'");
+    }
+    SubcktDef def;
+    for (std::size_t i = 2; i < f.size(); ++i) {
+      def.ports.push_back(ToLower(f[i]));
+    }
+    std::size_t idx = start + 1;
+    int nesting = 1;
+    for (; idx < lines.size(); ++idx) {
+      auto body_fields = SplitFields(lines[idx].text);
+      if (!body_fields.empty() && EqualsNoCase(body_fields[0], ".subckt")) {
+        throw util::ParseError(lines[idx].number,
+                               "nested .subckt definitions are not supported "
+                               "(nested *instances* are)");
+      }
+      if (!body_fields.empty() && EqualsNoCase(body_fields[0], ".ends")) {
+        --nesting;
+        break;
+      }
+      def.body.push_back(lines[idx]);
+    }
+    if (nesting != 0) {
+      throw util::ParseError(header.number,
+                             ".subckt '" + name + "' without .ends");
+    }
+    subckts_[name] = std::move(def);
+    return idx;
+  }
+
+  /// Resolve a node token inside an instantiation context.
+  std::string MapNode(const std::string& token, const std::string& prefix,
+                      const std::map<std::string, std::string>& nodemap) const {
+    const std::string key = ToLower(token);
+    if (key == "0" || key == "gnd") return "0";  // global ground
+    auto it = nodemap.find(key);
+    if (it != nodemap.end()) return it->second;
+    return prefix.empty() ? token : prefix + "." + token;
+  }
+
+  /// Resolve an element name: suffix with the instance path so the leading
+  /// type letter survives ("R1" in instance X1 -> "R1.X1").
+  std::string MapName(const std::string& token,
+                      const std::string& prefix) const {
+    return prefix.empty() ? token : token + "." + prefix;
+  }
+
+  void ParseOpampCard(const LogicalLine& line,
+                      const std::vector<std::string>& f,
+                      const std::string& prefix,
+                      const std::map<std::string, std::string>& nodemap) {
+    RequireFieldCount(line, f, 4, "opamp");
+    const std::string name = MapName(f[0], prefix);
+    const std::string inp = MapNode(f[1], prefix, nodemap);
+    const std::string inn = MapNode(f[2], prefix, nodemap);
+    const std::string out = MapNode(f[3], prefix, nodemap);
+    std::string test_node;
+    OpampModel model;
+    bool configurable = false;
+    OpampMode mode = OpampMode::kNormal;
+
+    for (std::size_t i = 4; i < f.size(); ++i) {
+      const std::string& tok = f[i];
+      auto eq = tok.find('=');
+      if (eq == std::string::npos) {
+        if (EqualsNoCase(tok, "configurable")) {
+          configurable = true;
+        } else if (test_node.empty()) {
+          test_node = MapNode(tok, prefix, nodemap);
+        } else {
+          throw util::ParseError(line.number,
+                                 "unexpected opamp token '" + tok + "'");
+        }
+        continue;
+      }
+      const std::string key = ToUpper(tok.substr(0, eq));
+      const std::string val = tok.substr(eq + 1);
+      if (key == "A0") {
+        model.a0 = RequireValue(line, val, "A0");
+      } else if (key == "GBW") {
+        model.gbw = RequireValue(line, val, "GBW");
+        model.kind = OpampModelKind::kSinglePole;
+      } else if (key == "MODEL") {
+        if (EqualsNoCase(val, "ideal")) {
+          model.kind = OpampModelKind::kIdeal;
+        } else if (EqualsNoCase(val, "finite")) {
+          model.kind = OpampModelKind::kFiniteGain;
+        } else if (EqualsNoCase(val, "pole") ||
+                   EqualsNoCase(val, "singlepole")) {
+          model.kind = OpampModelKind::kSinglePole;
+        } else {
+          throw util::ParseError(line.number,
+                                 "unknown opamp model '" + val + "'");
+        }
+      } else if (key == "MODE") {
+        if (EqualsNoCase(val, "follower")) {
+          mode = OpampMode::kFollower;
+        } else if (EqualsNoCase(val, "normal")) {
+          mode = OpampMode::kNormal;
+        } else {
+          throw util::ParseError(line.number,
+                                 "unknown opamp mode '" + val + "'");
+        }
+      } else {
+        throw util::ParseError(line.number,
+                               "unknown opamp parameter '" + key + "'");
+      }
+    }
+
+    Netlist& nl = deck_.netlist;
+    const NodeId test = test_node.empty() ? kGround : nl.Node(test_node);
+    auto opamp = std::make_unique<Opamp>(name, nl.Node(inp), nl.Node(inn),
+                                         nl.Node(out), model, test);
+    if (configurable || !test_node.empty()) {
+      opamp->MakeConfigurable(test);
+      opamp->SetMode(mode);
+    } else if (mode == OpampMode::kFollower) {
+      throw util::ParseError(line.number,
+                             "MODE=FOLLOWER requires a test node / CONFIGURABLE");
+    }
+    nl.AddElement(std::move(opamp));
+  }
+
+  void ExpandInstance(const LogicalLine& line,
+                      const std::vector<std::string>& f,
+                      const std::string& prefix,
+                      const std::map<std::string, std::string>& nodemap,
+                      int depth) {
+    if (depth >= kMaxSubcktDepth) {
+      throw util::ParseError(line.number,
+                             "subcircuit nesting deeper than " +
+                                 std::to_string(kMaxSubcktDepth));
+    }
+    RequireFieldCount(line, f, 3, "subcircuit instance");
+    const std::string sub_name = ToUpper(f.back());
+    auto it = subckts_.find(sub_name);
+    if (it == subckts_.end()) {
+      throw util::ParseError(line.number,
+                             "unknown subcircuit '" + sub_name + "'");
+    }
+    const SubcktDef& def = it->second;
+    const std::size_t nports = f.size() - 2;  // minus name and subckt name
+    if (nports != def.ports.size()) {
+      throw util::ParseError(
+          line.number, "subcircuit '" + sub_name + "' has " +
+                           std::to_string(def.ports.size()) + " ports but " +
+                           std::to_string(nports) + " nodes were given");
+    }
+    // Bind ports to the instantiating scope's nodes.
+    std::map<std::string, std::string> inner_map;
+    for (std::size_t i = 0; i < nports; ++i) {
+      inner_map[def.ports[i]] = MapNode(f[1 + i], prefix, nodemap);
+    }
+    const std::string inner_prefix =
+        prefix.empty() ? ToUpper(f[0]) : prefix + "." + ToUpper(f[0]);
+    for (const LogicalLine& body_line : def.body) {
+      auto body_fields = SplitFields(body_line.text);
+      if (body_fields.empty()) continue;
+      ParseCard(body_line, body_fields, inner_prefix, inner_map, depth + 1);
+    }
+  }
+
+  void ParseCard(const LogicalLine& line, const std::vector<std::string>& f,
+                 const std::string& prefix,
+                 const std::map<std::string, std::string>& nodemap, int depth) {
+    Netlist& nl = deck_.netlist;
+    const char lead = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(f[0].front())));
+    auto node = [&](const std::string& tok) {
+      return MapNode(tok, prefix, nodemap);
+    };
+    switch (lead) {
+      case '.':
+        // Directives are only legal at top level (depth 0 handled in
+        // Build); inside a subcircuit body they are rejected.
+        throw util::ParseError(line.number,
+                               "directive '" + f[0] +
+                                   "' is not allowed inside a subcircuit");
+      case 'R':
+        RequireFieldCount(line, f, 4, "resistor");
+        nl.AddResistor(MapName(f[0], prefix), node(f[1]), node(f[2]),
+                       RequireValue(line, f[3], "resistance"));
+        break;
+      case 'C':
+        RequireFieldCount(line, f, 4, "capacitor");
+        nl.AddCapacitor(MapName(f[0], prefix), node(f[1]), node(f[2]),
+                        RequireValue(line, f[3], "capacitance"));
+        break;
+      case 'L':
+        RequireFieldCount(line, f, 4, "inductor");
+        nl.AddInductor(MapName(f[0], prefix), node(f[1]), node(f[2]),
+                       RequireValue(line, f[3], "inductance"));
+        break;
+      case 'V': {
+        RequireFieldCount(line, f, 3, "voltage source");
+        double dc, ac, ph;
+        ParseSourceParams(line, f, 3, dc, ac, ph);
+        nl.AddVoltageSource(MapName(f[0], prefix), node(f[1]), node(f[2]), dc,
+                            ac, ph);
+        break;
+      }
+      case 'I': {
+        RequireFieldCount(line, f, 3, "current source");
+        double dc, ac, ph;
+        ParseSourceParams(line, f, 3, dc, ac, ph);
+        nl.AddCurrentSource(MapName(f[0], prefix), node(f[1]), node(f[2]), dc,
+                            ac, ph);
+        break;
+      }
+      case 'E':
+        RequireFieldCount(line, f, 6, "vcvs");
+        nl.AddVcvs(MapName(f[0], prefix), node(f[1]), node(f[2]), node(f[3]),
+                   node(f[4]), RequireValue(line, f[5], "gain"));
+        break;
+      case 'G':
+        RequireFieldCount(line, f, 6, "vccs");
+        nl.AddVccs(MapName(f[0], prefix), node(f[1]), node(f[2]), node(f[3]),
+                   node(f[4]), RequireValue(line, f[5], "transconductance"));
+        break;
+      case 'H':
+        RequireFieldCount(line, f, 5, "ccvs");
+        nl.AddCcvs(MapName(f[0], prefix), node(f[1]), node(f[2]),
+                   MapName(f[3], prefix),
+                   RequireValue(line, f[4], "transresistance"));
+        break;
+      case 'F':
+        RequireFieldCount(line, f, 5, "cccs");
+        nl.AddCccs(MapName(f[0], prefix), node(f[1]), node(f[2]),
+                   MapName(f[3], prefix), RequireValue(line, f[4], "gain"));
+        break;
+      case 'O':
+        ParseOpampCard(line, f, prefix, nodemap);
+        break;
+      case 'X':
+        ExpandInstance(line, f, prefix, nodemap, depth);
+        break;
+      default:
+        throw util::ParseError(line.number, "unknown card '" + f[0] + "'");
+    }
+  }
+
+  void ParseDotCard(const LogicalLine& line, const std::vector<std::string>& f,
+                    bool& ended) {
+    const std::string card = ToUpper(f[0]);
+    if (card == ".TITLE") {
+      std::string title;
+      for (std::size_t i = 1; i < f.size(); ++i) {
+        if (i > 1) title += " ";
+        title += f[i];
+      }
+      deck_.netlist.SetTitle(title);
+    } else if (card == ".AC") {
+      RequireFieldCount(line, f, 5, ".ac");
+      const double n = RequireValue(line, f[2], "point count");
+      const double f1 = RequireValue(line, f[3], "start frequency");
+      const double f2 = RequireValue(line, f[4], "stop frequency");
+      if (EqualsNoCase(f[1], "dec")) {
+        deck_.sweep = SweepSpec::Decade(f1, f2, static_cast<std::size_t>(n));
+      } else if (EqualsNoCase(f[1], "lin")) {
+        deck_.sweep = SweepSpec::Linear(f1, f2, static_cast<std::size_t>(n));
+      } else {
+        throw util::ParseError(line.number, ".ac supports DEC or LIN, got '" +
+                                                f[1] + "'");
+      }
+    } else if (card == ".PROBE" || card == ".PRINT") {
+      for (std::size_t i = 1; i < f.size(); ++i) {
+        const std::string& spec = f[i];
+        if (!StartsWithNoCase(spec, "v(") || spec.back() != ')') {
+          throw util::ParseError(line.number,
+                                 "probe must look like v(node) or v(n1,n2)");
+        }
+        const std::string inner = spec.substr(2, spec.size() - 3);
+        auto parts = util::SplitKeepEmpty(inner, ',');
+        if (parts.empty() || parts.size() > 2 || parts[0].empty()) {
+          throw util::ParseError(line.number, "bad probe '" + spec + "'");
+        }
+        Probe probe;
+        probe.plus = deck_.netlist.Node(parts[0]);
+        probe.minus = parts.size() == 2 ? deck_.netlist.Node(parts[1]) : kGround;
+        probe.label = spec;
+        deck_.probes.push_back(probe);
+      }
+    } else if (card == ".END") {
+      ended = true;
+    } else if (card == ".OP" || card == ".OPTIONS") {
+      // Accepted and ignored: .op is implicit, options are not needed.
+    } else {
+      throw util::ParseError(line.number, "unknown directive '" + card + "'");
+    }
+  }
+
+  ParsedDeck deck_;
+  std::map<std::string, SubcktDef> subckts_;
+};
+
+}  // namespace
+
+ParsedDeck ParseDeck(const std::string& text) {
+  DeckBuilder builder;
+  return builder.Build(MergeContinuations(text));
+}
+
+ParsedDeck ParseDeckFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::Error("cannot open netlist file '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseDeck(ss.str());
+}
+
+}  // namespace mcdft::spice

@@ -1,0 +1,48 @@
+// SPICE-subset netlist parser.
+//
+// Supported cards (case-insensitive, `*` comments, `+` continuations):
+//   R/C/L name  n+ n-  value                 passive elements
+//   V/I  name   n+ n-  [value] [DC v] [AC mag [phase_deg]]
+//   E    name   p m cp cm  gain              VCVS
+//   G    name   p m cp cm  gm                VCCS
+//   H    name   p m  vsource transres        CCVS
+//   F    name   p m  vsource gain            CCCS
+//   O    name   in+ in- out [in_test] [A0=v] [GBW=v] [MODEL=IDEAL]
+//               [CONFIGURABLE] [MODE=NORMAL|FOLLOWER]
+//   X    name   node1 ... nodeN subckt_name  subcircuit instance
+//   .subckt NAME port1 ... portN / .ends     subcircuit definition
+//   .title text        .ac dec|lin N fstart fstop
+//   .probe v(node) | v(n1,n2)               .end
+//
+// Subcircuits are flattened on instantiation: local nodes become
+// "<inst>.<node>" (ground "0"/"gnd" stays global), element names become
+// "<name>.<inst>" so the leading type letter survives round-trips, and
+// CCVS/CCCS control references resolve within the same instance.
+// Definitions may nest instances (depth-limited).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spice/ac_analysis.hpp"
+#include "spice/netlist.hpp"
+
+namespace mcdft::spice {
+
+/// Result of parsing a deck: the netlist plus any analysis directives.
+struct ParsedDeck {
+  Netlist netlist;
+  std::optional<SweepSpec> sweep;  ///< from a `.ac` card, if present
+  std::vector<Probe> probes;       ///< from `.probe` cards, node-resolved
+};
+
+/// Parse a SPICE-subset deck from text.  Throws ParseError with a 1-based
+/// line number on malformed input, NetlistError on semantic problems
+/// (duplicate element names, ...).
+ParsedDeck ParseDeck(const std::string& text);
+
+/// Parse a deck stored in a file.  Throws util::Error if unreadable.
+ParsedDeck ParseDeckFile(const std::string& path);
+
+}  // namespace mcdft::spice

@@ -1,0 +1,56 @@
+// Frequency-response container and the deviation analysis at the heart of
+// the paper's testability metric: the relative deviation |dT/T|(omega)
+// between a faulty and the fault-free response.
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcdft::spice {
+
+/// Sampled complex frequency response T(j*omega) on a frequency grid (Hz).
+struct FrequencyResponse {
+  std::vector<double> freqs_hz;
+  std::vector<std::complex<double>> values;
+  std::string label;
+
+  std::size_t PointCount() const { return freqs_hz.size(); }
+
+  /// |T| at point i.
+  double MagnitudeAt(std::size_t i) const { return std::abs(values[i]); }
+
+  /// 20*log10|T| at point i (clamped at -400 dB for exact zeros).
+  double MagnitudeDbAt(std::size_t i) const;
+
+  /// Phase in degrees at point i.
+  double PhaseDegAt(std::size_t i) const;
+
+  /// Index of the grid point with maximum |T| (the passband peak).
+  std::size_t PeakIndex() const;
+
+  /// Throws AnalysisError unless sizes are consistent and non-empty.
+  void CheckConsistent() const;
+};
+
+/// Pointwise relative deviation between a faulty response and a reference:
+///   dev_i = |T_faulty_i - T_ref_i| / max(|T_ref_i|, floor)
+/// where `floor` = `relative_floor` * max_i |T_ref_i| guards the stopband
+/// against division by (near-)zero — a deep-stopband reference would
+/// otherwise declare every fault detectable from numerical noise.
+/// The two responses must share the same grid.
+std::vector<double> RelativeDeviation(const FrequencyResponse& faulty,
+                                      const FrequencyResponse& reference,
+                                      double relative_floor = 1e-9);
+
+/// Magnitude-only variant: dev_i = ||T_faulty_i| - |T_ref_i|| / denom_i with
+/// the same denominator rule as RelativeDeviation.  This is what a
+/// magnitude-measuring tester can actually observe — always <= the complex
+/// deviation (phase-only deviations are invisible to it).
+std::vector<double> MagnitudeDeviation(const FrequencyResponse& faulty,
+                                       const FrequencyResponse& reference,
+                                       double relative_floor = 1e-9);
+
+}  // namespace mcdft::spice

@@ -1,0 +1,35 @@
+#include "spice/writer.hpp"
+
+#include "spice/elements.hpp"
+
+namespace mcdft::spice {
+
+std::string WriteCard(const Netlist& netlist, const Element& element) {
+  std::string card = element.Name();
+  const auto& nodes = element.Nodes();
+
+  std::size_t node_count = nodes.size();
+  if (element.Kind() == ElementKind::kOpamp) {
+    // Nodes are [in+, in-, out, in_test]; the test node is only physical
+    // (and only parseable) on configurable opamps.
+    const auto& op = static_cast<const Opamp&>(element);
+    node_count = op.IsConfigurable() ? 4 : 3;
+  }
+  for (std::size_t i = 0; i < node_count; ++i) {
+    card += " " + netlist.NodeName(nodes[i]);
+  }
+  const std::string params = element.ParamString();
+  if (!params.empty()) card += " " + params;
+  return card;
+}
+
+std::string WriteDeck(const Netlist& netlist) {
+  std::string out = ".title " + netlist.Title() + "\n";
+  for (const auto& e : netlist.Elements()) {
+    out += WriteCard(netlist, *e) + "\n";
+  }
+  out += ".end\n";
+  return out;
+}
+
+}  // namespace mcdft::spice

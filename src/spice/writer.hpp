@@ -1,0 +1,20 @@
+// Netlist serialization back to the SPICE-subset text accepted by
+// spice/parser.hpp (round-trip capable, used by the fault injector's
+// diagnostics and by the examples).
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace mcdft::spice {
+
+/// Serialize a netlist as a SPICE-subset deck.  The output starts with a
+/// `.title` card and ends with `.end`; parsing it back yields an equivalent
+/// netlist (same elements, values, node names and opamp configuration).
+std::string WriteDeck(const Netlist& netlist);
+
+/// Serialize a single element as its card text.
+std::string WriteCard(const Netlist& netlist, const Element& element);
+
+}  // namespace mcdft::spice

@@ -1,0 +1,78 @@
+#include "testability/detectability.hpp"
+
+#include <cmath>
+
+namespace mcdft::testability {
+
+FaultDetectability AnalyzeFault(const faults::Fault& fault,
+                                const spice::FrequencyResponse& nominal,
+                                const spice::FrequencyResponse& faulty,
+                                const DetectionCriteria& criteria) {
+  if (!(criteria.epsilon > 0.0)) {
+    throw util::AnalysisError("detection tolerance epsilon must be positive");
+  }
+  const std::vector<double> dev =
+      spice::RelativeDeviation(faulty, nominal, criteria.relative_floor);
+  const std::vector<double> mag_dev =
+      spice::MagnitudeDeviation(faulty, nominal, criteria.relative_floor);
+  if (!criteria.envelope.empty() && criteria.envelope.size() != dev.size()) {
+    throw util::AnalysisError(
+        "tolerance envelope size does not match the sweep grid");
+  }
+  const std::vector<double> weights =
+      ReferenceBand::LogMeasureWeights(nominal.freqs_hz);
+
+  FaultDetectability out{fault};
+  out.region.mask.resize(dev.size(), false);
+  out.region.magnitude_mask.resize(dev.size(), false);
+  out.region.deviation.resize(dev.size(), 0.0f);
+  out.region.magnitude_deviation.resize(dev.size(), 0.0f);
+
+  double measure = 0.0;
+  for (std::size_t i = 0; i < dev.size(); ++i) {
+    out.region.deviation[i] = static_cast<float>(dev[i]);
+    out.region.magnitude_deviation[i] = static_cast<float>(mag_dev[i]);
+    if (dev[i] > criteria.ThresholdAt(i)) {
+      out.region.mask[i] = true;
+      measure += weights[i];
+    }
+    if (mag_dev[i] > criteria.ThresholdAt(i)) {
+      out.region.magnitude_mask[i] = true;
+    }
+    if (dev[i] > out.peak_deviation) {
+      out.peak_deviation = dev[i];
+      out.peak_frequency_hz = nominal.freqs_hz[i];
+    }
+  }
+  out.detectable = measure > 0.0;
+  out.omega_detectability = std::min(measure, 1.0);
+
+  // Contiguous mask runs -> frequency intervals.
+  for (std::size_t i = 0; i < out.region.mask.size();) {
+    if (!out.region.mask[i]) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j + 1 < out.region.mask.size() && out.region.mask[j + 1]) ++j;
+    out.region.intervals.emplace_back(nominal.freqs_hz[i], nominal.freqs_hz[j]);
+    i = j + 1;
+  }
+  out.region.measure = out.omega_detectability;
+  return out;
+}
+
+std::vector<FaultDetectability> AnalyzeFaultList(
+    const faults::FaultSimulator& simulator,
+    const std::vector<faults::Fault>& faults,
+    const DetectionCriteria& criteria) {
+  const spice::FrequencyResponse nominal = simulator.SimulateNominal();
+  std::vector<FaultDetectability> out;
+  out.reserve(faults.size());
+  for (const auto& f : faults) {
+    out.push_back(AnalyzeFault(f, nominal, simulator.SimulateFault(f), criteria));
+  }
+  return out;
+}
+
+}  // namespace mcdft::testability

@@ -1,0 +1,56 @@
+#include "testability/metrics.hpp"
+
+namespace mcdft::testability {
+
+double FaultCoverage(const std::vector<FaultDetectability>& results) {
+  if (results.empty()) {
+    throw util::AnalysisError("fault coverage of an empty fault list");
+  }
+  std::size_t detected = 0;
+  for (const auto& r : results) {
+    if (r.detectable) ++detected;
+  }
+  return static_cast<double>(detected) / static_cast<double>(results.size());
+}
+
+double AverageOmegaDetectability(
+    const std::vector<FaultDetectability>& results) {
+  if (results.empty()) {
+    throw util::AnalysisError("omega-detectability of an empty fault list");
+  }
+  double acc = 0.0;
+  for (const auto& r : results) acc += r.omega_detectability;
+  return acc / static_cast<double>(results.size());
+}
+
+std::vector<FaultDetectability> BestCasePerFault(
+    const std::vector<std::vector<FaultDetectability>>& per_configuration) {
+  if (per_configuration.empty()) {
+    throw util::AnalysisError("best-case combination of zero configurations");
+  }
+  const std::size_t nfaults = per_configuration.front().size();
+  for (const auto& list : per_configuration) {
+    if (list.size() != nfaults) {
+      throw util::AnalysisError(
+          "best-case combination requires equal-length fault lists");
+    }
+    for (std::size_t j = 0; j < nfaults; ++j) {
+      if (!(list[j].fault == per_configuration.front()[j].fault)) {
+        throw util::AnalysisError(
+            "best-case combination requires identical fault ordering");
+      }
+    }
+  }
+  std::vector<FaultDetectability> best = per_configuration.front();
+  for (std::size_t c = 1; c < per_configuration.size(); ++c) {
+    for (std::size_t j = 0; j < nfaults; ++j) {
+      if (per_configuration[c][j].omega_detectability >
+          best[j].omega_detectability) {
+        best[j] = per_configuration[c][j];
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace mcdft::testability

@@ -1,0 +1,27 @@
+// Circuit-level testability metrics: fault coverage and the average
+// omega-detectability rate <w-det> used throughout the paper.
+#pragma once
+
+#include <vector>
+
+#include "testability/detectability.hpp"
+
+namespace mcdft::testability {
+
+/// Fault coverage: detectable faults / total faults, in [0, 1].
+/// Throws AnalysisError on an empty list.
+double FaultCoverage(const std::vector<FaultDetectability>& results);
+
+/// Average omega-detectability rate <w-det> over the fault list, in [0, 1]
+/// (non-detectable faults contribute 0, as in the paper's Graph 1).
+double AverageOmegaDetectability(const std::vector<FaultDetectability>& results);
+
+/// Element-wise best-case combination: for each fault, keep the entry with
+/// the larger omega-detectability.  This is the paper's "a fault is assumed
+/// to be tested in the best case" rule (black boxes of Table 2); combining
+/// all configurations' results yields Graph 2's DFT-modified series.
+/// All lists must cover the same faults in the same order.
+std::vector<FaultDetectability> BestCasePerFault(
+    const std::vector<std::vector<FaultDetectability>>& per_configuration);
+
+}  // namespace mcdft::testability

@@ -1,0 +1,91 @@
+#include "testability/reference_band.hpp"
+
+#include <cmath>
+
+namespace mcdft::testability {
+
+ReferenceBand::ReferenceBand(double f_lo_hz, double f_hi_hz,
+                             std::size_t points_per_decade)
+    : f_lo_(f_lo_hz), f_hi_(f_hi_hz), points_per_decade_(points_per_decade) {
+  if (!(f_lo_ > 0.0) || !(f_hi_ > f_lo_)) {
+    throw util::AnalysisError("reference band requires 0 < f_lo < f_hi");
+  }
+  if (points_per_decade_ == 0) {
+    throw util::AnalysisError("reference band needs >= 1 point per decade");
+  }
+}
+
+ReferenceBand ReferenceBand::Around(double anchor_hz, double decades_below,
+                                    double decades_above,
+                                    std::size_t points_per_decade) {
+  if (!(anchor_hz > 0.0)) {
+    throw util::AnalysisError("reference band anchor must be positive");
+  }
+  return ReferenceBand(anchor_hz * std::pow(10.0, -decades_below),
+                       anchor_hz * std::pow(10.0, decades_above),
+                       points_per_decade);
+}
+
+double ReferenceBand::Decades() const { return std::log10(f_hi_ / f_lo_); }
+
+spice::SweepSpec ReferenceBand::MakeSweep() const {
+  return spice::SweepSpec::Decade(f_lo_, f_hi_, points_per_decade_);
+}
+
+std::vector<double> ReferenceBand::LogMeasureWeights(
+    const std::vector<double>& freqs) {
+  if (freqs.size() < 2) {
+    throw util::AnalysisError("log-measure weights need >= 2 grid points");
+  }
+  const std::size_t n = freqs.size();
+  std::vector<double> w(n, 0.0);
+  auto lg = [](double f) { return std::log10(f); };
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lo = i == 0 ? lg(freqs[0]) : 0.5 * (lg(freqs[i - 1]) + lg(freqs[i]));
+    const double hi =
+        i + 1 == n ? lg(freqs[n - 1]) : 0.5 * (lg(freqs[i]) + lg(freqs[i + 1]));
+    w[i] = hi - lo;
+  }
+  const double total = lg(freqs[n - 1]) - lg(freqs[0]);
+  for (auto& x : w) x /= total;
+  return w;
+}
+
+double EstimateAnchorFrequency(const spice::FrequencyResponse& response) {
+  response.CheckConsistent();
+  const std::size_t peak = response.PeakIndex();
+  const double peak_mag = response.MagnitudeAt(peak);
+  if (peak_mag <= 0.0) {
+    // Degenerate all-zero response: fall back to the geometric mid-band.
+    return std::sqrt(response.freqs_hz.front() * response.freqs_hz.back());
+  }
+  const double edge = peak_mag / std::sqrt(2.0);  // -3 dB
+
+  // Walk outwards from the peak to the -3 dB crossings.
+  std::size_t lo = 0;
+  bool have_lo = false;
+  for (std::size_t i = peak; i-- > 0;) {
+    if (response.MagnitudeAt(i) < edge) {
+      lo = i + 1;
+      have_lo = true;
+      break;
+    }
+  }
+  std::size_t hi = response.PointCount() - 1;
+  bool have_hi = false;
+  for (std::size_t i = peak + 1; i < response.PointCount(); ++i) {
+    if (response.MagnitudeAt(i) < edge) {
+      hi = i - 1;
+      have_hi = true;
+      break;
+    }
+  }
+  if (have_lo && have_hi) {
+    return std::sqrt(response.freqs_hz[lo] * response.freqs_hz[hi]);
+  }
+  if (have_hi) return response.freqs_hz[hi];  // lowpass: use the cutoff
+  if (have_lo) return response.freqs_hz[lo];  // highpass: use the cutoff
+  return response.freqs_hz[peak];             // flat within the sweep
+}
+
+}  // namespace mcdft::testability

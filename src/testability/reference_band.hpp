@@ -1,0 +1,55 @@
+// The reference frequency region Omega_reference of Definition 2.
+//
+// The paper chooses it to contain "the mean useful information about the
+// frequency response (say, about two orders of magnitude in the passband
+// and two orders of magnitude in the stopband)" and notes its absolute
+// extent is not critical because only relative omega-detectability is
+// exploited.  We anchor it on the circuit's passband peak frequency.
+#pragma once
+
+#include "spice/ac_analysis.hpp"
+
+namespace mcdft::testability {
+
+/// The reference region [f_lo, f_hi] with its sampling density.
+class ReferenceBand {
+ public:
+  /// Explicit band.  Requires 0 < f_lo < f_hi.
+  ReferenceBand(double f_lo_hz, double f_hi_hz,
+                std::size_t points_per_decade = 50);
+
+  /// Paper-style band: `decades_below` decades under and `decades_above`
+  /// decades over an anchor frequency (e.g. the passband peak / cutoff).
+  static ReferenceBand Around(double anchor_hz, double decades_below = 2.0,
+                              double decades_above = 2.0,
+                              std::size_t points_per_decade = 50);
+
+  double FLow() const { return f_lo_; }
+  double FHigh() const { return f_hi_; }
+  double Decades() const;
+
+  /// Log-uniform sweep across the band.
+  spice::SweepSpec MakeSweep() const;
+
+  /// Quadrature weight of each sweep point for measuring detectability
+  /// regions in log-frequency: w_i = half the log-distance to the two
+  /// neighbours, normalized so the weights sum to 1.  On the log-uniform
+  /// grid this reduces to ~1/N with half-weight endpoints, which makes the
+  /// omega-detectability the true Lebesgue measure of the region in
+  /// log(omega), i.e. the probability that a log-uniform random test
+  /// frequency falls inside it.
+  static std::vector<double> LogMeasureWeights(const std::vector<double>& freqs);
+
+ private:
+  double f_lo_;
+  double f_hi_;
+  std::size_t points_per_decade_;
+};
+
+/// Find the anchor frequency of a response for ReferenceBand::Around: the
+/// geometric mean of the -3 dB edges around the passband peak (falling back
+/// to the peak frequency, and to the sweep midpoint for an all-flat
+/// response).
+double EstimateAnchorFrequency(const spice::FrequencyResponse& response);
+
+}  // namespace mcdft::testability

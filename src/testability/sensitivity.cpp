@@ -1,0 +1,71 @@
+#include "testability/sensitivity.hpp"
+
+#include "spice/elements.hpp"
+
+namespace mcdft::testability {
+
+namespace {
+
+spice::FrequencyResponse RunSweep(const spice::Netlist& netlist,
+                                  const spice::SweepSpec& sweep,
+                                  const spice::Probe& probe,
+                                  const spice::MnaOptions& mna) {
+  spice::AcAnalyzer analyzer(netlist, mna);
+  return analyzer.Run(sweep, probe);
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> ComputeSensitivities(
+    const spice::Netlist& netlist, const spice::SweepSpec& sweep,
+    const spice::Probe& probe, const std::vector<std::string>& components,
+    const SensitivityOptions& options) {
+  if (!(options.delta > 0.0) || options.delta >= 1.0) {
+    throw util::AnalysisError("sensitivity delta must be in (0, 1)");
+  }
+  spice::Netlist work = netlist.Clone();
+  const spice::FrequencyResponse nominal =
+      RunSweep(work, sweep, probe, options.mna);
+
+  std::vector<std::vector<double>> out;
+  out.reserve(components.size());
+  for (const auto& name : components) {
+    spice::Element& e = work.GetElement(name);
+    const double x0 = e.Value();
+
+    e.SetValue(x0 * (1.0 + options.delta));
+    const spice::FrequencyResponse up = RunSweep(work, sweep, probe, options.mna);
+
+    std::vector<double> dev;
+    if (options.central) {
+      // Average of the up- and down-deviations against the nominal
+      // response (both with the same normalization), halving the
+      // first-order truncation error.
+      e.SetValue(x0 * (1.0 - options.delta));
+      const spice::FrequencyResponse down =
+          RunSweep(work, sweep, probe, options.mna);
+      dev = spice::RelativeDeviation(up, nominal, options.relative_floor);
+      auto dev2 = spice::RelativeDeviation(down, nominal, options.relative_floor);
+      for (std::size_t i = 0; i < dev.size(); ++i) {
+        dev[i] = 0.5 * (dev[i] + dev2[i]);
+      }
+    } else {
+      dev = spice::RelativeDeviation(up, nominal, options.relative_floor);
+    }
+    e.SetValue(x0);
+
+    for (auto& v : dev) v /= options.delta;
+    out.push_back(std::move(dev));
+  }
+  return out;
+}
+
+std::vector<double> ComputeRelativeSensitivity(
+    const spice::Netlist& netlist, const spice::SweepSpec& sweep,
+    const spice::Probe& probe, const std::string& component,
+    const SensitivityOptions& options) {
+  return ComputeSensitivities(netlist, sweep, probe, {component}, options)
+      .front();
+}
+
+}  // namespace mcdft::testability

@@ -1,0 +1,48 @@
+// Component sensitivity of the frequency response — the quantity behind
+// Slamani & Kaminska's observability-based testability analysis that the
+// paper builds its metric on (Sec. 2, refs [11][12]).
+//
+// S_x(w) = (|dT|/denom(w)) / (dx/x), evaluated by finite difference.  With
+// the perturbation set to the actual fault magnitude this is exactly the
+// fault's relative deviation, so the same code doubles as the cheap
+// "structural" screen the paper's conclusion proposes for pre-selecting
+// candidate configurations before full fault simulation.
+#pragma once
+
+#include "spice/ac_analysis.hpp"
+
+namespace mcdft::testability {
+
+/// Sensitivity computation options.
+struct SensitivityOptions {
+  /// Relative perturbation dx/x (0.01 = classic small-signal sensitivity;
+  /// set to the fault magnitude to predict that fault's deviation).
+  double delta = 0.01;
+
+  /// Use the central difference (2 extra solves per component) instead of
+  /// the forward difference (1 extra solve, nominal response reused).
+  bool central = false;
+
+  /// Deviation normalization floor (see spice::RelativeDeviation).
+  double relative_floor = 0.25;
+
+  spice::MnaOptions mna;
+};
+
+/// Per-frequency relative sensitivity of the probed response to
+/// `component`'s principal value.  Throws NetlistError for components
+/// without a principal value.  The input netlist is not modified.
+std::vector<double> ComputeRelativeSensitivity(
+    const spice::Netlist& netlist, const spice::SweepSpec& sweep,
+    const spice::Probe& probe, const std::string& component,
+    const SensitivityOptions& options = {});
+
+/// Sensitivities of all `components` sharing one nominal solve (forward
+/// difference) — the batch form used by configuration pre-selection.
+/// Returns one sensitivity vector per component, in order.
+std::vector<std::vector<double>> ComputeSensitivities(
+    const spice::Netlist& netlist, const spice::SweepSpec& sweep,
+    const spice::Probe& probe, const std::vector<std::string>& components,
+    const SensitivityOptions& options = {});
+
+}  // namespace mcdft::testability

@@ -1,0 +1,48 @@
+// Process-tolerance envelope: the frequency-dependent detection threshold
+// behind the paper's epsilon ("this tolerance allows to take into account
+// possible fluctuations in the process environment", Def. 1).
+//
+// A deviation only indicates a *fault* if it exceeds what in-tolerance
+// process fluctuation of every component could produce.  We compute that
+// bound by Monte-Carlo: sample circuits with all fault-site components
+// uniformly varied within +/-tolerance, record the per-frequency maximum
+// relative deviation from nominal, and use
+//     threshold(w) = envelope(w) + epsilon_base
+// as the detection threshold.  This captures the classic analog-test
+// physics the multi-configuration technique exploits: global feedback
+// desensitizes the functional configuration (many components share the
+// tolerance budget, masking a single fault), while a follower-mode
+// configuration isolates a stage so the same fault towers over the
+// envelope of its few local components.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spice/ac_analysis.hpp"
+
+namespace mcdft::testability {
+
+/// Monte-Carlo tolerance-envelope settings.
+struct ToleranceModel {
+  double component_tolerance = 0.03;  ///< +/- fraction per component (3 %)
+  std::size_t samples = 48;           ///< Monte-Carlo sample count
+  std::uint64_t seed = 0x5eed1998;    ///< deterministic campaigns
+};
+
+/// Compute the per-frequency envelope: max over Monte-Carlo samples of the
+/// relative deviation (same normalization as the fault analysis, i.e.
+/// spice::RelativeDeviation with `relative_floor`) between the perturbed
+/// and nominal responses.
+///
+/// `component_names` lists the elements to perturb (typically the fault
+/// sites).  The netlist is cloned internally; the argument is untouched.
+/// Returns one value per sweep point.
+std::vector<double> ComputeToleranceEnvelope(
+    const spice::Netlist& netlist, const spice::SweepSpec& sweep,
+    const spice::Probe& probe, const std::vector<std::string>& component_names,
+    const ToleranceModel& model, double relative_floor,
+    spice::MnaOptions mna_options = {});
+
+}  // namespace mcdft::testability

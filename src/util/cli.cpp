@@ -1,0 +1,51 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace mcdft::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string body = arg.substr(2);
+      auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        options_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        options_[body] = argv[++i];
+      } else {
+        options_[body] = "";  // boolean flag
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool CliArgs::Has(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+std::string CliArgs::GetString(const std::string& name,
+                               const std::string& fallback) const {
+  auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+double CliArgs::GetDouble(const std::string& name, double fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  double v = 0.0;
+  return ParseEngineering(it->second, v) ? v : fallback;
+}
+
+int CliArgs::GetInt(const std::string& name, int fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::atoi(it->second.c_str());
+}
+
+}  // namespace mcdft::util

@@ -1,0 +1,41 @@
+// Minimal command-line option parser used by the examples and experiment
+// benches.  Supports `--name value`, `--name=value` and boolean `--flag`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcdft::util {
+
+/// Parses argv into named options and positional arguments.
+///
+/// Unknown options are collected rather than rejected, so binaries can share
+/// a common option set and ignore what they do not use.
+class CliArgs {
+ public:
+  /// Parse from main()'s argc/argv (argv[0] is skipped).
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if `--name` was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String value of `--name`, or `fallback` when absent.
+  std::string GetString(const std::string& name, const std::string& fallback) const;
+
+  /// Numeric value of `--name` (engineering suffixes allowed), or `fallback`
+  /// when absent or unparsable.
+  double GetDouble(const std::string& name, double fallback) const;
+
+  /// Integer value of `--name`, or `fallback`.
+  int GetInt(const std::string& name, int fallback) const;
+
+  /// Positional (non-option) arguments in order.
+  const std::vector<std::string>& Positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mcdft::util

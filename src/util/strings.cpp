@@ -1,0 +1,165 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcdft::util {
+
+namespace {
+
+bool IsSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+char LowerChar(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+std::string_view Trim(std::string_view s) {
+  std::size_t b = 0;
+  while (b < s.size() && IsSpace(s[b])) ++b;
+  std::size_t e = s.size();
+  while (e > b && IsSpace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> SplitFields(std::string_view s, std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && delims.find(s[i]) != std::string_view::npos) ++i;
+    std::size_t start = i;
+    while (i < s.size() && delims.find(s[i]) == std::string_view::npos) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::vector<std::string> SplitKeepEmpty(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), LowerChar);
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](char c) {
+    return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  });
+  return out;
+}
+
+bool StartsWithNoCase(std::string_view s, std::string_view prefix) {
+  if (s.size() < prefix.size()) return false;
+  return EqualsNoCase(s.substr(0, prefix.size()), prefix);
+}
+
+bool EqualsNoCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (LowerChar(a[i]) != LowerChar(b[i])) return false;
+  }
+  return true;
+}
+
+bool ParseEngineering(std::string_view s, double& out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  const char* begin = buf.c_str();
+  char* end = nullptr;
+  double base = std::strtod(begin, &end);
+  if (end == begin) return false;  // no leading number at all
+  std::string_view rest = Trim(std::string_view(end));
+  double mult = 1.0;
+  if (!rest.empty()) {
+    // "meg" must be tested before "m".
+    if (StartsWithNoCase(rest, "meg")) {
+      mult = 1e6;
+      rest.remove_prefix(3);
+    } else {
+      switch (LowerChar(rest.front())) {
+        case 't': mult = 1e12; rest.remove_prefix(1); break;
+        case 'g': mult = 1e9; rest.remove_prefix(1); break;
+        case 'k': mult = 1e3; rest.remove_prefix(1); break;
+        case 'm': mult = 1e-3; rest.remove_prefix(1); break;
+        case 'u': mult = 1e-6; rest.remove_prefix(1); break;
+        case 'n': mult = 1e-9; rest.remove_prefix(1); break;
+        case 'p': mult = 1e-12; rest.remove_prefix(1); break;
+        case 'f': mult = 1e-15; rest.remove_prefix(1); break;
+        default: mult = 1.0;
+      }
+    }
+    // Whatever follows must be unit letters ("ohm", "hz", "F"); anything
+    // containing a digit means the token was not a plain value.
+    for (char c : rest) {
+      if (std::isdigit(static_cast<unsigned char>(c))) return false;
+    }
+  }
+  out = base * mult;
+  return true;
+}
+
+std::string FormatEngineering(double value, int digits) {
+  if (value == 0.0) return "0";
+  if (!std::isfinite(value)) return value > 0 ? "inf" : (value < 0 ? "-inf" : "nan");
+  static constexpr struct {
+    double scale;
+    const char* suffix;
+  } kScales[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "Meg"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+  };
+  double mag = std::fabs(value);
+  for (const auto& sc : kScales) {
+    if (mag >= sc.scale * 0.99999999 || sc.scale == 1e-15) {
+      double scaled = value / sc.scale;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.*g", digits, scaled);
+      return std::string(buf) + sc.suffix;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+std::string FormatTrimmed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+}  // namespace mcdft::util

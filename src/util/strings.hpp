@@ -1,0 +1,55 @@
+// Small string utilities shared across the library: trimming, splitting,
+// case folding, and engineering-notation formatting/parsing used by the
+// SPICE-subset netlist reader and by the report generators.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcdft::util {
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Split `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitFields(std::string_view s,
+                                     std::string_view delims = " \t");
+
+/// Split `s` on every occurrence of the single character `delim`,
+/// keeping empty pieces (CSV-style).
+std::vector<std::string> SplitKeepEmpty(std::string_view s, char delim);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+/// True if `s` starts with `prefix` ignoring ASCII case.
+bool StartsWithNoCase(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive equality.
+bool EqualsNoCase(std::string_view a, std::string_view b);
+
+/// Parse a SPICE-style value with optional engineering suffix:
+///   "1k" -> 1e3, "2.2n" -> 2.2e-9, "10meg" -> 1e7, "1e-6" -> 1e-6.
+/// Recognized suffixes (case-insensitive): t g meg k m u n p f.
+/// Trailing unit letters after the suffix are ignored ("10kohm" -> 1e4).
+/// Throws ParseError-free: returns false on failure instead (callers attach
+/// line context).
+bool ParseEngineering(std::string_view s, double& out);
+
+/// Format a value using engineering notation with the standard SPICE
+/// suffixes, e.g. 4700.0 -> "4.7k", 2.2e-9 -> "2.2n".  `digits` is the
+/// number of significant digits.
+std::string FormatEngineering(double value, int digits = 4);
+
+/// printf-style double with fixed precision, trimming trailing zeros
+/// ("12.50" -> "12.5", "3.00" -> "3").
+std::string FormatTrimmed(double value, int precision = 2);
+
+/// Join the pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+}  // namespace mcdft::util

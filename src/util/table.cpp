@@ -1,0 +1,104 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcdft::util {
+
+void Table::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), /*separator=*/false});
+}
+
+void Table::AddSeparator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+void Table::SetAlign(std::size_t column, Align align) {
+  if (aligns_.size() <= column) aligns_.resize(column + 1, Align::kLeft);
+  aligns_[column] = align;
+}
+
+std::size_t Table::ColumnCount() const {
+  std::size_t n = header_.size();
+  for (const auto& r : rows_) n = std::max(n, r.cells.size());
+  return n;
+}
+
+Table::Align Table::AlignFor(std::size_t col) const {
+  if (col < aligns_.size()) return aligns_[col];
+  return col == 0 ? Align::kLeft : Align::kRight;
+}
+
+std::string Table::Render() const {
+  const std::size_t ncol = ColumnCount();
+  if (ncol == 0) return title_.empty() ? std::string() : title_ + "\n";
+
+  std::vector<std::size_t> width(ncol, 0);
+  for (std::size_t c = 0; c < ncol; ++c) {
+    if (c < header_.size()) width[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+
+  auto pad = [&](const std::string& text, std::size_t c) {
+    std::size_t w = width[c];
+    std::string cell = text.size() > w ? text.substr(0, w) : text;
+    std::size_t space = w - cell.size();
+    switch (AlignFor(c)) {
+      case Align::kRight: return std::string(space, ' ') + cell;
+      case Align::kCenter: {
+        std::size_t left = space / 2;
+        return std::string(left, ' ') + cell + std::string(space - left, ' ');
+      }
+      case Align::kLeft:
+      default: return cell + std::string(space, ' ');
+    }
+  };
+
+  std::string rule = "+";
+  for (std::size_t c = 0; c < ncol; ++c) rule += std::string(width[c] + 2, '-') + "+";
+  rule += "\n";
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule;
+  if (!header_.empty()) {
+    out += "|";
+    for (std::size_t c = 0; c < ncol; ++c) {
+      out += " " + pad(c < header_.size() ? header_[c] : "", c) + " |";
+    }
+    out += "\n" + rule;
+  }
+  for (const auto& r : rows_) {
+    if (r.separator) {
+      out += rule;
+      continue;
+    }
+    out += "|";
+    for (std::size_t c = 0; c < ncol; ++c) {
+      out += " " + pad(c < r.cells.size() ? r.cells[c] : "", c) + " |";
+    }
+    out += "\n";
+  }
+  out += rule;
+  return out;
+}
+
+std::string BarLine(const std::string& label, double fraction,
+                    const std::string& value_text, int width, int label_width) {
+  double f = std::clamp(fraction, 0.0, 1.0);
+  int filled = static_cast<int>(std::lround(f * width));
+  std::string lab = label;
+  if (static_cast<int>(lab.size()) < label_width) {
+    lab += std::string(label_width - lab.size(), ' ');
+  }
+  return lab + " |" + std::string(filled, '#') +
+         std::string(width - filled, ' ') + "| " + value_text;
+}
+
+}  // namespace mcdft::util

@@ -1,0 +1,67 @@
+// Plain-text table renderer used by the experiment benches and report
+// generator to print the paper's tables/matrices (Figure 5, Table 2, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcdft::util {
+
+/// Builds and renders a fixed-column ASCII table.
+///
+/// Usage:
+///   Table t;
+///   t.SetHeader({"Conf", "fR1", "fR2"});
+///   t.AddRow({"C0", "1", "0"});
+///   std::cout << t.Render();
+class Table {
+ public:
+  /// Horizontal alignment of a cell within its column.
+  enum class Align { kLeft, kRight, kCenter };
+
+  /// Set the header row.  Fixes the column count; rows with a different
+  /// number of cells are padded / truncated to it.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Append a data row.
+  void AddRow(std::vector<std::string> row);
+
+  /// Append a horizontal separator line at the current position.
+  void AddSeparator();
+
+  /// Set the alignment of a column (default: left for column 0, right for
+  /// all others, which suits numeric tables).
+  void SetAlign(std::size_t column, Align align);
+
+  /// Optional table title printed above the frame.
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  /// Render the table with box-drawing in plain ASCII (+,-,|).
+  std::string Render() const;
+
+  /// Number of data rows added so far.
+  std::size_t RowCount() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::size_t ColumnCount() const;
+  Align AlignFor(std::size_t col) const;
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<Align> aligns_;
+};
+
+/// Render a simple horizontal bar chart line: `label |#####     | value`.
+/// Used by benches to approximate the paper's graphs in text form.
+/// `fraction` is clamped to [0,1]; `width` is the bar width in characters.
+std::string BarLine(const std::string& label, double fraction,
+                    const std::string& value_text, int width = 40,
+                    int label_width = 14);
+
+}  // namespace mcdft::util

@@ -1,0 +1,139 @@
+#include "boolcov/cube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace mcdft::boolcov {
+namespace {
+
+TEST(Cube, EmptyCubeIsIdentityProduct) {
+  Cube c(5);
+  EXPECT_TRUE(c.Empty());
+  EXPECT_EQ(c.LiteralCount(), 0u);
+  EXPECT_EQ(c.ToString([](std::size_t v) { return "x" + std::to_string(v); }),
+            "1");
+}
+
+TEST(Cube, SetTestReset) {
+  Cube c(10);
+  c.Set(3);
+  c.Set(7);
+  EXPECT_TRUE(c.Test(3));
+  EXPECT_TRUE(c.Test(7));
+  EXPECT_FALSE(c.Test(4));
+  c.Reset(3);
+  EXPECT_FALSE(c.Test(3));
+  EXPECT_EQ(c.LiteralCount(), 1u);
+}
+
+TEST(Cube, InitializerListConstruction) {
+  Cube c(8, {0, 2, 5});
+  EXPECT_EQ(c.LiteralCount(), 3u);
+  EXPECT_EQ(c.Variables(), (std::vector<std::size_t>{0, 2, 5}));
+}
+
+TEST(Cube, OutOfRangeThrows) {
+  Cube c(4);
+  EXPECT_THROW(c.Set(4), util::OptimizationError);
+  EXPECT_THROW(c.Test(100), util::OptimizationError);
+  EXPECT_THROW(c.Reset(4), util::OptimizationError);
+}
+
+TEST(Cube, UnionAndIntersect) {
+  Cube a(6, {0, 1});
+  Cube b(6, {1, 4});
+  EXPECT_EQ(a.Union(b).Variables(), (std::vector<std::size_t>{0, 1, 4}));
+  EXPECT_EQ(a.Intersect(b).Variables(), (std::vector<std::size_t>{1}));
+}
+
+TEST(Cube, MixedUniverseThrows) {
+  Cube a(4), b(5);
+  EXPECT_THROW(a.Union(b), util::OptimizationError);
+  EXPECT_THROW(a.Intersect(b), util::OptimizationError);
+  EXPECT_THROW(a.SubsetOf(b), util::OptimizationError);
+}
+
+TEST(Cube, SubsetSemantics) {
+  Cube small(6, {1, 3});
+  Cube big(6, {1, 3, 5});
+  EXPECT_TRUE(small.SubsetOf(big));
+  EXPECT_FALSE(big.SubsetOf(small));
+  EXPECT_TRUE(small.SubsetOf(small));
+  EXPECT_TRUE(Cube(6).SubsetOf(small));  // empty subset of everything
+}
+
+TEST(Cube, ToStringJoinsWithDots) {
+  Cube c(8, {2, 5});
+  auto namer = [](std::size_t v) { return "C" + std::to_string(v); };
+  EXPECT_EQ(c.ToString(namer), "C2.C5");
+}
+
+TEST(Cube, OrderBySizeThenLex) {
+  Cube a(4, {0});
+  Cube b(4, {0, 1});
+  Cube c(4, {1});
+  EXPECT_TRUE(Cube::OrderBySize(a, b));   // fewer literals first
+  EXPECT_TRUE(Cube::OrderBySize(a, c));   // same size: lex
+  EXPECT_FALSE(Cube::OrderBySize(c, a));
+  EXPECT_FALSE(Cube::OrderBySize(a, a));  // irreflexive
+}
+
+TEST(Cube, EqualityAndHash) {
+  Cube a(70, {0, 64, 69});  // multi-limb
+  Cube b(70, {0, 64, 69});
+  Cube c(70, {0, 64});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  Cube::Hash h;
+  EXPECT_EQ(h(a), h(b));
+}
+
+TEST(Cube, LargeUniverseAcrossLimbBoundary) {
+  Cube c(130);
+  c.Set(63);
+  c.Set(64);
+  c.Set(129);
+  EXPECT_EQ(c.LiteralCount(), 3u);
+  EXPECT_EQ(c.Variables(), (std::vector<std::size_t>{63, 64, 129}));
+  Cube d(130, {64});
+  EXPECT_TRUE(d.SubsetOf(c));
+}
+
+// Property tests over random cubes.
+class CubePropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CubePropertyTest, UnionIntersectLaws) {
+  std::mt19937_64 rng(GetParam());
+  const std::size_t n = 40;
+  auto random_cube = [&] {
+    Cube c(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (rng() % 3 == 0) c.Set(v);
+    }
+    return c;
+  };
+  for (int t = 0; t < 20; ++t) {
+    Cube a = random_cube(), b = random_cube(), c = random_cube();
+    // Commutativity.
+    EXPECT_EQ(a.Union(b), b.Union(a));
+    EXPECT_EQ(a.Intersect(b), b.Intersect(a));
+    // Associativity.
+    EXPECT_EQ(a.Union(b).Union(c), a.Union(b.Union(c)));
+    // Absorption laws.
+    EXPECT_EQ(a.Union(a.Intersect(b)), a);
+    EXPECT_EQ(a.Intersect(a.Union(b)), a);
+    // Subset relations.
+    EXPECT_TRUE(a.Intersect(b).SubsetOf(a));
+    EXPECT_TRUE(a.SubsetOf(a.Union(b)));
+    // |A| + |B| = |A u B| + |A n B|.
+    EXPECT_EQ(a.LiteralCount() + b.LiteralCount(),
+              a.Union(b).LiteralCount() + a.Intersect(b).LiteralCount());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CubePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mcdft::boolcov

@@ -1,0 +1,163 @@
+#include "boolcov/petrick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace mcdft::boolcov {
+namespace {
+
+std::string Name(std::size_t v) { return "C" + std::to_string(v); }
+
+/// Check that `term` satisfies every clause of `problem`.
+bool Satisfies(const Cube& term, const CoverProblem& problem) {
+  for (const auto& clause : problem.Clauses()) {
+    if (term.Intersect(clause.literals).Empty()) return false;
+  }
+  return true;
+}
+
+TEST(Petrick, PaperReducedExpression) {
+  // xi_compl = (C1+C4+C5).(C1+C5) from the paper's Fig. 6; the minimal
+  // solutions are C1 and C5 (C4 only appears in dominated products).
+  CoverProblem p(7);
+  p.AddClause({Cube(7, {1, 4, 5}), "fR3"});
+  p.AddClause({Cube(7, {1, 5}), "fC2"});
+  auto sop = PetrickMinimalProducts(p);
+  ASSERT_EQ(sop.size(), 2u);
+  EXPECT_EQ(sop[0].Variables(), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(sop[1].Variables(), (std::vector<std::size_t>{5}));
+}
+
+TEST(Petrick, PaperRawExpansionContainsAllFiveProducts) {
+  // The paper lists xi = C1.C2 + C1.C2.C5 + C1.C2.C4 + C2.C4.C5 + C2.C5
+  // before absorption.  Expanding (C2).(C1+C4+C5).(C1+C5) raw must contain
+  // those products (after dedup).
+  CoverProblem p(7);
+  p.AddClause({Cube(7, {2}), "ess"});
+  p.AddClause({Cube(7, {1, 4, 5}), "fR3"});
+  p.AddClause({Cube(7, {1, 5}), "fC2"});
+  auto raw = PetrickRawExpansion(p);
+  auto contains = [&](std::initializer_list<std::size_t> vars) {
+    Cube c(7);
+    for (auto v : vars) c.Set(v);
+    return std::find(raw.begin(), raw.end(), c) != raw.end();
+  };
+  EXPECT_TRUE(contains({1, 2}));
+  EXPECT_TRUE(contains({1, 2, 5}));
+  EXPECT_TRUE(contains({1, 2, 4}));
+  EXPECT_TRUE(contains({2, 4, 5}));
+  EXPECT_TRUE(contains({2, 5}));
+  EXPECT_EQ(raw.size(), 5u);
+}
+
+TEST(Petrick, PaperAbsorbedExpansion) {
+  // After absorption only C2.C1 and C2.C5 remain (the paper's two minimal
+  // test configuration sets, Sec. 4.2).
+  CoverProblem p(7);
+  p.AddClause({Cube(7, {2}), "ess"});
+  p.AddClause({Cube(7, {1, 4, 5}), "fR3"});
+  p.AddClause({Cube(7, {1, 5}), "fC2"});
+  auto sop = PetrickMinimalProducts(p);
+  ASSERT_EQ(sop.size(), 2u);
+  EXPECT_EQ(sop[0].Variables(), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(sop[1].Variables(), (std::vector<std::size_t>{2, 5}));
+}
+
+TEST(Petrick, SingleClause) {
+  CoverProblem p(3);
+  p.AddClause({Cube(3, {0, 2}), "x"});
+  auto sop = PetrickMinimalProducts(p);
+  ASSERT_EQ(sop.size(), 2u);
+  EXPECT_EQ(sop[0].LiteralCount(), 1u);
+}
+
+TEST(Petrick, EmptyProblemYieldsIdentity) {
+  CoverProblem p(3);
+  auto sop = PetrickMinimalProducts(p);
+  ASSERT_EQ(sop.size(), 1u);
+  EXPECT_TRUE(sop[0].Empty());
+}
+
+TEST(Petrick, IdempotentClausesCollapse) {
+  // (a+b)(a+b)(a+b) == (a+b).
+  CoverProblem p(2);
+  for (int i = 0; i < 3; ++i) p.AddClause({Cube(2, {0, 1}), "same"});
+  auto sop = PetrickMinimalProducts(p);
+  EXPECT_EQ(sop.size(), 2u);
+}
+
+TEST(Petrick, ExpansionLimitThrows) {
+  // 2^20 products without absorption: must trip the guard.
+  CoverProblem p(40);
+  for (std::size_t i = 0; i < 20; ++i) {
+    p.AddClause({Cube(40, {2 * i, 2 * i + 1}), "c" + std::to_string(i)});
+  }
+  PetrickOptions tight;
+  tight.max_products = 1000;
+  EXPECT_THROW(PetrickRawExpansion(p, tight), util::OptimizationError);
+}
+
+TEST(Petrick, AbsorbedResultIsIrredundant) {
+  CoverProblem p(5);
+  p.AddClause({Cube(5, {0, 1}), "a"});
+  p.AddClause({Cube(5, {1, 2}), "b"});
+  p.AddClause({Cube(5, {3, 4}), "c"});
+  auto sop = PetrickMinimalProducts(p);
+  for (std::size_t i = 0; i < sop.size(); ++i) {
+    EXPECT_TRUE(Satisfies(sop[i], p));
+    for (std::size_t j = 0; j < sop.size(); ++j) {
+      if (i != j) EXPECT_FALSE(sop[i].SubsetOf(sop[j]));
+    }
+  }
+}
+
+class PetrickPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PetrickPropertyTest, AllProductsCoverAndAreMinimal) {
+  std::mt19937_64 rng(GetParam());
+  const std::size_t nvars = 6;
+  const std::size_t nclauses = 5;
+  CoverProblem p(nvars);
+  for (std::size_t c = 0; c < nclauses; ++c) {
+    Cube lits(nvars);
+    while (lits.Empty()) {
+      for (std::size_t v = 0; v < nvars; ++v) {
+        if (rng() % 3 == 0) lits.Set(v);
+      }
+    }
+    p.AddClause({lits, "c" + std::to_string(c)});
+  }
+  auto sop = PetrickMinimalProducts(p);
+  ASSERT_FALSE(sop.empty());
+  // Brute force: enumerate all 2^6 subsets; collect the minimal covers.
+  std::vector<Cube> minimal;
+  for (std::size_t mask = 0; mask < (1u << nvars); ++mask) {
+    Cube c(nvars);
+    for (std::size_t v = 0; v < nvars; ++v) {
+      if (mask & (1u << v)) c.Set(v);
+    }
+    if (!Satisfies(c, p)) continue;
+    bool dominated = false;
+    for (std::size_t sub = 0; sub < (1u << nvars); ++sub) {
+      if (sub == mask || (sub & mask) != sub) continue;
+      Cube s(nvars);
+      for (std::size_t v = 0; v < nvars; ++v) {
+        if (sub & (1u << v)) s.Set(v);
+      }
+      if (Satisfies(s, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(c);
+  }
+  std::sort(minimal.begin(), minimal.end(), Cube::OrderBySize);
+  EXPECT_EQ(sop, minimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PetrickPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace mcdft::boolcov

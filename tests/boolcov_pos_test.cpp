@@ -1,0 +1,111 @@
+#include "boolcov/pos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcdft::boolcov {
+namespace {
+
+/// The paper's fault detectability matrix (Fig. 5): detects[i][j] = config
+/// C_i detects fault j, faults ordered fR1..fR6, fC1, fC2.
+std::vector<std::vector<bool>> PaperMatrix() {
+  return {
+      {1, 0, 0, 1, 0, 0, 0, 0},  // C0
+      {0, 0, 1, 0, 1, 1, 0, 1},  // C1
+      {1, 1, 0, 1, 1, 1, 1, 0},  // C2
+      {0, 0, 0, 0, 1, 1, 0, 0},  // C3
+      {1, 1, 1, 1, 1, 0, 0, 0},  // C4
+      {0, 0, 1, 0, 0, 0, 0, 1},  // C5
+      {1, 1, 0, 1, 0, 0, 0, 0},  // C6
+  };
+}
+
+std::vector<std::string> PaperFaults() {
+  return {"fR1", "fR2", "fR3", "fR4", "fR5", "fR6", "fC1", "fC2"};
+}
+
+std::string Name(std::size_t v) { return "C" + std::to_string(v); }
+
+TEST(CoverProblem, BuildFromPaperMatrix) {
+  CoverProblem p = BuildCoverProblem(PaperMatrix(), PaperFaults());
+  EXPECT_EQ(p.VariableCount(), 7u);
+  EXPECT_EQ(p.Clauses().size(), 8u);
+  // The xi expression of Sec. 4.1, clause per fault.
+  EXPECT_EQ(p.ToString(Name),
+            "(C0+C2+C4+C6)(C2+C4+C6)(C1+C4+C5)(C0+C2+C4+C6)"
+            "(C1+C2+C3+C4)(C1+C2+C3)(C2)(C1+C5)");
+}
+
+TEST(CoverProblem, EssentialIsPaperC2) {
+  CoverProblem p = BuildCoverProblem(PaperMatrix(), PaperFaults());
+  Cube essential = p.EssentialVariables();
+  EXPECT_EQ(essential.Variables(), (std::vector<std::size_t>{2}));
+}
+
+TEST(CoverProblem, ReduceByEssentialMatchesPaperFig6) {
+  CoverProblem p = BuildCoverProblem(PaperMatrix(), PaperFaults());
+  CoverProblem reduced = p.ReduceBy(p.EssentialVariables());
+  // Only fR3 and fC2 survive: xi_compl = (C1+C4+C5).(C1+C5).
+  EXPECT_EQ(reduced.ToString(Name), "(C1+C4+C5)(C1+C5)");
+}
+
+TEST(CoverProblem, AbsorbDropsImpliedClauses) {
+  CoverProblem p(4);
+  Clause a{Cube(4, {0, 1}), "a"};
+  Clause b{Cube(4, {0, 1, 2}), "b"};  // implied by a
+  Clause c{Cube(4, {3}), "c"};
+  p.AddClause(a);
+  p.AddClause(b);
+  p.AddClause(c);
+  EXPECT_EQ(p.AbsorbClauses(), 1u);
+  EXPECT_EQ(p.Clauses().size(), 2u);
+  EXPECT_EQ(p.ToString(Name), "(C0+C1)(C3)");
+}
+
+TEST(CoverProblem, AbsorbKeepsOneOfEqualClauses) {
+  CoverProblem p(3);
+  p.AddClause({Cube(3, {0, 1}), "x"});
+  p.AddClause({Cube(3, {0, 1}), "y"});
+  EXPECT_EQ(p.AbsorbClauses(), 1u);
+  EXPECT_EQ(p.Clauses().size(), 1u);
+}
+
+TEST(CoverProblem, EmptyClauseThrows) {
+  CoverProblem p(3);
+  EXPECT_THROW(p.AddClause({Cube(3), "uncoverable"}),
+               util::OptimizationError);
+}
+
+TEST(CoverProblem, WrongUniverseClauseThrows) {
+  CoverProblem p(3);
+  EXPECT_THROW(p.AddClause({Cube(4, {0}), "bad"}), util::OptimizationError);
+}
+
+TEST(CoverProblem, SatisfiedWhenNoClauses) {
+  CoverProblem p(3);
+  EXPECT_TRUE(p.Satisfied());
+  EXPECT_EQ(p.ToString(Name), "1");
+  EXPECT_TRUE(p.EssentialVariables().Empty());
+}
+
+TEST(BuildCoverProblem, UndetectableFaultThrows) {
+  std::vector<std::vector<bool>> m{{1, 0}, {1, 0}};
+  EXPECT_THROW(BuildCoverProblem(m, {"a", "b"}), util::OptimizationError);
+}
+
+TEST(BuildCoverProblem, ValidatesShape) {
+  EXPECT_THROW(BuildCoverProblem({}, {}), util::OptimizationError);
+  std::vector<std::vector<bool>> ragged{{1, 0}, {1}};
+  EXPECT_THROW(BuildCoverProblem(ragged, {"a", "b"}),
+               util::OptimizationError);
+  std::vector<std::vector<bool>> ok{{1, 1}};
+  EXPECT_THROW(BuildCoverProblem(ok, {"a"}), util::OptimizationError);
+}
+
+TEST(CoverProblem, ReduceByEmptyCubeIsIdentity) {
+  CoverProblem p = BuildCoverProblem(PaperMatrix(), PaperFaults());
+  CoverProblem r = p.ReduceBy(Cube(7));
+  EXPECT_EQ(r.Clauses().size(), p.Clauses().size());
+}
+
+}  // namespace
+}  // namespace mcdft::boolcov

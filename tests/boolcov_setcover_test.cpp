@@ -1,0 +1,120 @@
+#include "boolcov/setcover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "boolcov/petrick.hpp"
+
+namespace mcdft::boolcov {
+namespace {
+
+bool Satisfies(const Cube& term, const CoverProblem& problem) {
+  for (const auto& clause : problem.Clauses()) {
+    if (term.Intersect(clause.literals).Empty()) return false;
+  }
+  return true;
+}
+
+CoverProblem PaperProblem() {
+  // The paper's Fig. 5 covering problem (see boolcov_pos_test.cpp).
+  std::vector<std::vector<bool>> m{
+      {1, 0, 0, 1, 0, 0, 0, 0}, {0, 0, 1, 0, 1, 1, 0, 1},
+      {1, 1, 0, 1, 1, 1, 1, 0}, {0, 0, 0, 0, 1, 1, 0, 0},
+      {1, 1, 1, 1, 1, 0, 0, 0}, {0, 0, 1, 0, 0, 0, 0, 1},
+      {1, 1, 0, 1, 0, 0, 0, 0}};
+  return BuildCoverProblem(
+      m, {"fR1", "fR2", "fR3", "fR4", "fR5", "fR6", "fC1", "fC2"});
+}
+
+TEST(ExactSetCover, PaperMatrixMinimumIsTwo) {
+  auto p = PaperProblem();
+  auto r = ExactSetCover(p, UnitWeights(7));
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);
+  EXPECT_TRUE(Satisfies(r.chosen, p));
+  // Must be one of the paper's two minimal sets {C1,C2} / {C2,C5}.
+  EXPECT_TRUE(r.chosen == Cube(7, {1, 2}) || r.chosen == Cube(7, {2, 5}));
+}
+
+TEST(GreedySetCover, PaperMatrixIsFeasible) {
+  auto p = PaperProblem();
+  auto r = GreedySetCover(p, UnitWeights(7));
+  EXPECT_TRUE(Satisfies(r.chosen, p));
+  EXPECT_LE(r.cost, 3.0);  // ln(8)-approximation of 2
+}
+
+TEST(ExactSetCover, RespectsWeights) {
+  // Two clauses, both coverable by variable 0 (heavy) or by 1 and 2 (light).
+  CoverProblem p(3);
+  p.AddClause({Cube(3, {0, 1}), "a"});
+  p.AddClause({Cube(3, {0, 2}), "b"});
+  auto cheap0 = ExactSetCover(p, {1.0, 5.0, 5.0});
+  EXPECT_EQ(cheap0.chosen, Cube(3, {0}));
+  auto cheap12 = ExactSetCover(p, {10.0, 1.0, 1.0});
+  EXPECT_EQ(cheap12.chosen, Cube(3, {1, 2}));
+  EXPECT_DOUBLE_EQ(cheap12.cost, 2.0);
+}
+
+TEST(ExactSetCover, SingleVariableProblem) {
+  CoverProblem p(1);
+  p.AddClause({Cube(1, {0}), "only"});
+  auto r = ExactSetCover(p, UnitWeights(1));
+  EXPECT_DOUBLE_EQ(r.cost, 1.0);
+}
+
+TEST(ExactSetCover, EmptyProblemCostsNothing) {
+  CoverProblem p(3);
+  auto r = ExactSetCover(p, UnitWeights(3));
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+  EXPECT_TRUE(r.chosen.Empty());
+}
+
+TEST(SetCover, WeightValidation) {
+  CoverProblem p(2);
+  p.AddClause({Cube(2, {0}), "a"});
+  EXPECT_THROW(ExactSetCover(p, {1.0}), util::OptimizationError);
+  EXPECT_THROW(ExactSetCover(p, {1.0, -1.0}), util::OptimizationError);
+  EXPECT_THROW(GreedySetCover(p, {0.0, 1.0}), util::OptimizationError);
+}
+
+class SetCoverPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SetCoverPropertyTest, ExactMatchesPetrickMinimum) {
+  std::mt19937_64 rng(GetParam());
+  const std::size_t nvars = 7;
+  CoverProblem p(nvars);
+  const std::size_t nclauses = 4 + rng() % 4;
+  for (std::size_t c = 0; c < nclauses; ++c) {
+    Cube lits(nvars);
+    while (lits.Empty()) {
+      for (std::size_t v = 0; v < nvars; ++v) {
+        if (rng() % 3 == 0) lits.Set(v);
+      }
+    }
+    p.AddClause({lits, "c" + std::to_string(c)});
+  }
+  auto exact = ExactSetCover(p, UnitWeights(nvars));
+  auto sop = PetrickMinimalProducts(p);
+  std::size_t best = sop.front().LiteralCount();
+  for (const auto& t : sop) best = std::min(best, t.LiteralCount());
+  EXPECT_DOUBLE_EQ(exact.cost, static_cast<double>(best));
+  EXPECT_TRUE(Satisfies(exact.chosen, p));
+
+  auto greedy = GreedySetCover(p, UnitWeights(nvars));
+  EXPECT_TRUE(Satisfies(greedy.chosen, p));
+  EXPECT_GE(greedy.cost, exact.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetCoverPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808, 909, 1010));
+
+TEST(ExactSetCover, StatsArePopulated) {
+  auto p = PaperProblem();
+  auto r = ExactSetCover(p, UnitWeights(7));
+  EXPECT_GE(r.stats.nodes_explored, 1u);
+  EXPECT_GE(r.stats.best_updates, 1u);
+}
+
+}  // namespace
+}  // namespace mcdft::boolcov

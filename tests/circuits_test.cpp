@@ -1,0 +1,227 @@
+// Nominal-behaviour checks of every circuit in the zoo: cutoff/resonance
+// frequencies, passband gains and roll-off slopes against their design
+// equations.
+#include "circuits/zoo.hpp"
+
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/ackerberg.hpp"
+#include "circuits/biquad.hpp"
+#include "circuits/cascade.hpp"
+#include "circuits/instrumentation.hpp"
+#include "circuits/khn.hpp"
+#include "circuits/leapfrog.hpp"
+#include "circuits/notch.hpp"
+#include "circuits/sallen_key.hpp"
+#include "faults/fault_list.hpp"
+#include "spice/ac_analysis.hpp"
+
+namespace mcdft::circuits {
+namespace {
+
+spice::FrequencyResponse Sweep(const core::AnalogBlock& block, double f_lo,
+                               double f_hi, std::size_t ppd = 20) {
+  spice::AcAnalyzer analyzer(block.netlist);
+  spice::Probe probe{block.netlist.FindNode(block.output_node), spice::kGround,
+                     "v(out)"};
+  return analyzer.Run(spice::SweepSpec::Decade(f_lo, f_hi, ppd), probe);
+}
+
+double MagAtHz(const core::AnalogBlock& block, double f) {
+  spice::AcAnalyzer analyzer(block.netlist);
+  spice::Probe probe{block.netlist.FindNode(block.output_node), spice::kGround,
+                     "v(out)"};
+  auto r = analyzer.Run(spice::SweepSpec::List({f}), probe);
+  return r.MagnitudeAt(0);
+}
+
+TEST(Biquad, DesignEquations) {
+  BiquadParams p;
+  EXPECT_NEAR(p.F0(), 1000.0, 10.0);
+  EXPECT_NEAR(p.Q(), 0.95, 0.02);
+}
+
+TEST(Biquad, DcGainIsR6OverR1) {
+  BiquadParams p;
+  auto block = BuildBiquad(p);
+  EXPECT_NEAR(MagAtHz(block, 0.1), p.r6 / p.r1, 1e-3);
+}
+
+TEST(Biquad, SecondOrderRollOff) {
+  auto block = BuildBiquad();
+  // -40 dB/decade well past f0: |T(100 kHz)| / |T(10 kHz)| ~ 1/100.
+  EXPECT_NEAR(MagAtHz(block, 1e4) / MagAtHz(block, 1e5), 100.0, 5.0);
+}
+
+TEST(Biquad, ValidatesCleanly) {
+  auto block = BuildBiquad();
+  EXPECT_TRUE(block.netlist.Validate().empty());
+  EXPECT_EQ(block.opamps.size(), 3u);
+  EXPECT_EQ(block.netlist.ElementCount(), 12u);  // V + 6R + 2C + 3 opamps
+}
+
+TEST(Khn, LowPassShape) {
+  KhnParams p;
+  auto block = BuildKhn(p);
+  EXPECT_TRUE(block.netlist.Validate().empty());
+  EXPECT_NEAR(p.F0(), 1000.0, 10.0);
+  const double dc = MagAtHz(block, 1.0);
+  EXPECT_GT(dc, 0.1);
+  // Second-order roll-off.
+  EXPECT_NEAR(MagAtHz(block, 2e4) / MagAtHz(block, 2e5), 100.0, 5.0);
+}
+
+TEST(Khn, ResonancePeakNearF0) {
+  auto block = BuildKhn();
+  auto r = Sweep(block, 10.0, 1e5);
+  const double fpeak = r.freqs_hz[r.PeakIndex()];
+  EXPECT_NEAR(std::log10(fpeak), 3.0, 0.15);  // Q = 5 peaking at ~1 kHz
+}
+
+TEST(Ackerberg, MatchesTowThomasMagnitudeWithIdenticalValues) {
+  // Same design equations: the AM biquad's |T| equals the Tow-Thomas |T|
+  // when built from the same component values (both realize the same
+  // second-order function; only opamp-imperfection sensitivity differs).
+  BiquadParams tt;
+  AckerbergParams am;
+  auto b_tt = BuildBiquad(tt);
+  auto b_am = BuildAckerberg(am);
+  for (double f : {10.0, 100.0, 1000.0, 5000.0, 50000.0}) {
+    EXPECT_NEAR(MagAtHz(b_tt, f), MagAtHz(b_am, f), 0.02 * MagAtHz(b_tt, f))
+        << "f=" << f;
+  }
+}
+
+TEST(Ackerberg, Validates) {
+  auto block = BuildAckerberg();
+  EXPECT_TRUE(block.netlist.Validate().empty());
+  EXPECT_NEAR(AckerbergParams{}.F0(), 1000.0, 10.0);
+}
+
+TEST(SallenKey, ButterworthResponse) {
+  SallenKeyParams p;
+  auto block = BuildSallenKey(p);
+  EXPECT_TRUE(block.netlist.Validate().empty());
+  EXPECT_NEAR(p.F0Section1(), 1000.0, 25.0);
+  EXPECT_NEAR(p.F0Section2(), 1000.0, 25.0);
+  // Unity DC gain, -3 dB at ~1 kHz, 4th-order (-80 dB/dec) roll-off.
+  EXPECT_NEAR(MagAtHz(block, 1.0), 1.0, 1e-3);
+  EXPECT_NEAR(MagAtHz(block, 1000.0), 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(MagAtHz(block, 2e4) / MagAtHz(block, 2e5), 1e4, 500.0);
+}
+
+TEST(Leapfrog, DoublyTerminatedButterworth) {
+  LeapfrogParams p;
+  auto block = BuildLeapfrog(p);
+  EXPECT_TRUE(block.netlist.Validate().empty());
+  // DC gain 1/2 (doubly terminated), f0 ~ 1 kHz, 3rd-order roll-off.
+  EXPECT_NEAR(MagAtHz(block, 1.0), 0.5, 1e-3);
+  EXPECT_NEAR(MagAtHz(block, p.F0()), 0.5 / std::sqrt(2.0), 0.03);
+  EXPECT_NEAR(MagAtHz(block, 2e4) / MagAtHz(block, 2e5), 1e3, 100.0);
+}
+
+TEST(Leapfrog, FaultSiteCensus) {
+  auto block = BuildLeapfrog();
+  auto fault_list = mcdft::faults::MakeDeviationFaults(block.netlist);
+  EXPECT_EQ(fault_list.size(), 14u);  // 11 R + 3 C
+  EXPECT_EQ(block.opamps.size(), 5u);
+}
+
+TEST(Instrumentation, GainAndPole) {
+  InstrumentationParams p;
+  auto block = BuildInstrumentation(p);
+  EXPECT_TRUE(block.netlist.Validate().empty());
+  EXPECT_NEAR(p.Gain(), 21.0, 1e-9);
+  EXPECT_NEAR(p.PoleHz(), 1000.0, 10.0);
+  EXPECT_NEAR(MagAtHz(block, 1.0), 21.0, 0.05);
+  EXPECT_NEAR(MagAtHz(block, p.PoleHz()), 21.0 / std::sqrt(2.0), 0.6);
+}
+
+TEST(Cascade6, SixthOrderButterworth) {
+  CascadeParams p;
+  auto block = BuildCascade6(p);
+  EXPECT_TRUE(block.netlist.Validate().empty());
+  EXPECT_EQ(block.opamps.size(), 9u);
+  // Unity DC gain (each stage has R1 = R6), -3 dB near 1 kHz and a
+  // -120 dB/dec roll-off.
+  EXPECT_NEAR(MagAtHz(block, 1.0), 1.0, 1e-2);
+  EXPECT_NEAR(MagAtHz(block, 1000.0), 1.0 / std::sqrt(2.0), 0.08);
+  EXPECT_NEAR(MagAtHz(block, 2e4) / MagAtHz(block, 2e5), 1e6, 2e5);
+}
+
+TEST(Cascade6, FaultSiteCensus) {
+  auto block = BuildCascade6();
+  auto fault_list = mcdft::faults::MakeDeviationFaults(block.netlist);
+  EXPECT_EQ(fault_list.size(), 24u);  // 3 x (6R + 2C)
+}
+
+TEST(Notch, TrueTransmissionZeroAtF0) {
+  NotchParams p;
+  auto block = BuildNotch(p);
+  EXPECT_TRUE(block.netlist.Validate().empty());
+  EXPECT_EQ(block.opamps.size(), 4u);
+  const double passband = MagAtHz(block, 1.0);
+  const double at_null = MagAtHz(block, p.F0());
+  EXPECT_GT(passband, 0.1);
+  // Deep null: at least 30 dB below the passband (limited by finite opamp
+  // gain and the slight mismatch of the HP/LP summing paths).
+  EXPECT_LT(at_null, passband / 30.0);
+  // Recovery above the notch.
+  EXPECT_GT(MagAtHz(block, 100.0 * p.F0()), passband / 3.0);
+}
+
+TEST(Notch, FaultSiteCensus) {
+  auto block = BuildNotch();
+  auto fault_list = mcdft::faults::MakeDeviationFaults(block.netlist);
+  EXPECT_EQ(fault_list.size(), 12u);  // 10 R + 2 C
+}
+
+TEST(Notch, CampaignSurvivesTheNull) {
+  // The measurement floor must keep the deviation analysis finite at the
+  // transmission zero; the campaign should run and produce a sane matrix.
+  auto circuit = BuildDftNotch();
+  auto fault_list = mcdft::faults::MakeDeviationFaults(circuit.Circuit());
+  core::CampaignOptions options;
+  options.points_per_decade = 10;
+  options.criteria.epsilon = 0.10;
+  options.criteria.relative_floor = 0.25;
+  auto campaign = core::RunCampaign(
+      circuit, fault_list, {core::ConfigVector(4)}, options);
+  for (const auto& d : campaign.PerConfig()[0].faults) {
+    EXPECT_GE(d.omega_detectability, 0.0);
+    EXPECT_LE(d.omega_detectability, 1.0);
+    EXPECT_TRUE(std::isfinite(d.peak_deviation));
+  }
+}
+
+TEST(Zoo, ContainsAllCircuits) {
+  EXPECT_GE(Zoo().size(), 8u);
+  for (const auto& entry : Zoo()) {
+    SCOPED_TRACE(entry.name);
+    auto block = entry.build();
+    EXPECT_TRUE(block.netlist.Validate().empty());
+    EXPECT_FALSE(block.opamps.empty());
+    EXPECT_FALSE(entry.description.empty());
+    // Every zoo circuit can be DFT-transformed and switched transparent.
+    auto dft = core::DftCircuit::Transform(block);
+    dft.ApplyConfiguration(
+        core::ConfigVector::FromBits(std::string(block.opamps.size(), '1')));
+    const double mag = [&] {
+      spice::AcAnalyzer an(dft.Circuit());
+      spice::Probe probe{dft.Circuit().FindNode(dft.OutputNode()),
+                         spice::kGround, "v"};
+      return an.Run(spice::SweepSpec::List({100.0}), probe).MagnitudeAt(0);
+    }();
+    EXPECT_NEAR(mag, 1.0, 1e-3) << "transparent configuration of " << entry.name;
+  }
+}
+
+TEST(Zoo, FindByName) {
+  EXPECT_EQ(FindInZoo("biquad").name, "biquad");
+  EXPECT_THROW(FindInZoo("nonexistent"), util::Error);
+}
+
+}  // namespace
+}  // namespace mcdft::circuits

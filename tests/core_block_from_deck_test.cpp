@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "spice/parser.hpp"
+
+namespace mcdft::core {
+namespace {
+
+constexpr const char* kDeck = R"(deck filter
+V1 in 0 AC 1
+R1 in minus 1k
+R2 minus out 1k
+C1 minus out 100n
+O1 0 minus out A0=1e6
+.probe v(out)
+.end
+)";
+
+TEST(MakeBlockFromDeck, ExtractsChainInputAndOutput) {
+  auto block = MakeBlockFromDeck(spice::ParseDeck(kDeck));
+  EXPECT_EQ(block.name, "deck filter");
+  EXPECT_EQ(block.input_node, "in");
+  EXPECT_EQ(block.output_node, "out");
+  ASSERT_EQ(block.opamps.size(), 1u);
+  EXPECT_EQ(block.opamps[0], "O1");
+}
+
+TEST(MakeBlockFromDeck, BlockIsTransformableAndSimulatable) {
+  auto block = MakeBlockFromDeck(spice::ParseDeck(kDeck));
+  DftCircuit dft = DftCircuit::Transform(block);
+  auto fault_list = faults::MakeDeviationFaults(dft.Circuit());
+  EXPECT_EQ(fault_list.size(), 3u);
+  CampaignOptions options;
+  options.points_per_decade = 10;
+  auto campaign = AnalyzeFunctionalOnly(dft, fault_list, options);
+  EXPECT_EQ(campaign.FaultCount(), 3u);
+}
+
+TEST(MakeBlockFromDeck, OpampChainFollowsCardOrder) {
+  auto block = MakeBlockFromDeck(spice::ParseDeck(R"(two
+V1 in 0 AC 1
+O2 in a a
+O1 a b b
+.probe v(b)
+)"));
+  ASSERT_EQ(block.opamps.size(), 2u);
+  EXPECT_EQ(block.opamps[0], "O2");
+  EXPECT_EQ(block.opamps[1], "O1");
+}
+
+TEST(MakeBlockFromDeck, MissingPiecesThrow) {
+  // No opamp.
+  EXPECT_THROW(MakeBlockFromDeck(spice::ParseDeck(
+                   "V1 a 0 1\nR1 a 0 1\n.probe v(a)\n")),
+               util::NetlistError);
+  // No source.
+  EXPECT_THROW(MakeBlockFromDeck(spice::ParseDeck(
+                   "R1 a b 1\nO1 a b b\n.probe v(b)\n")),
+               util::NetlistError);
+  // No probe.
+  EXPECT_THROW(MakeBlockFromDeck(spice::ParseDeck(
+                   "V1 a 0 1\nO1 a b b\n")),
+               util::NetlistError);
+}
+
+}  // namespace
+}  // namespace mcdft::core

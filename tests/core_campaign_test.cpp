@@ -1,0 +1,158 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/biquad.hpp"
+#include "paper_fixture.hpp"
+
+namespace mcdft::core {
+namespace {
+
+/// Fast campaign options for circuit-level tests (no Monte-Carlo envelope,
+/// coarse grid).
+CampaignOptions FastOptions() {
+  CampaignOptions o;
+  o.points_per_decade = 10;
+  o.criteria.epsilon = 0.10;
+  o.criteria.relative_floor = 0.25;
+  return o;
+}
+
+TEST(Campaign, RunsAllConfigurations) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  auto faults = faults::MakeDeviationFaults(circuit.Circuit());
+  auto campaign = RunCampaign(circuit, faults,
+                              circuit.Space().AllNonTransparent(),
+                              FastOptions());
+  EXPECT_EQ(campaign.ConfigCount(), 7u);
+  EXPECT_EQ(campaign.FaultCount(), 8u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(campaign.PerConfig()[i].config.Index(), i);
+  }
+}
+
+TEST(Campaign, MatrixAndOmegaTableConsistent) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  auto faults = faults::MakeDeviationFaults(circuit.Circuit());
+  auto campaign = RunCampaign(circuit, faults,
+                              circuit.Space().AllNonTransparent(),
+                              FastOptions());
+  auto matrix = campaign.DetectabilityMatrix();
+  auto omega = campaign.OmegaTable();
+  for (std::size_t i = 0; i < campaign.ConfigCount(); ++i) {
+    for (std::size_t j = 0; j < campaign.FaultCount(); ++j) {
+      // Definition 1 and Definition 2 agree: detectable <=> omega > 0.
+      EXPECT_EQ(matrix[i][j], omega[i][j] > 0.0);
+      EXPECT_GE(omega[i][j], 0.0);
+      EXPECT_LE(omega[i][j], 1.0);
+    }
+  }
+}
+
+TEST(Campaign, CampaignLeavesInputCircuitInFunctionalMode) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  auto faults = faults::MakeDeviationFaults(circuit.Circuit());
+  RunCampaign(circuit, faults, {ConfigVector::FromIndex(3, 3)}, FastOptions());
+  EXPECT_TRUE(circuit.CurrentConfiguration().IsFunctional());
+  // Values untouched.
+  EXPECT_DOUBLE_EQ(circuit.Circuit().GetElement("R1").Value(),
+                   circuits::BiquadParams{}.r1);
+}
+
+TEST(Campaign, FunctionalOnlyIsSingleRow) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  auto faults = faults::MakeDeviationFaults(circuit.Circuit());
+  auto campaign = AnalyzeFunctionalOnly(circuit, faults, FastOptions());
+  EXPECT_EQ(campaign.ConfigCount(), 1u);
+  EXPECT_TRUE(campaign.PerConfig()[0].config.IsFunctional());
+}
+
+TEST(Campaign, EmptyInputsRejected) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  auto faults = faults::MakeDeviationFaults(circuit.Circuit());
+  EXPECT_THROW(RunCampaign(circuit, faults, {}, FastOptions()),
+               util::AnalysisError);
+  EXPECT_THROW(RunCampaign(circuit, {}, circuit.Space().All(), FastOptions()),
+               util::AnalysisError);
+}
+
+TEST(Campaign, ExplicitAnchorOverridesEstimation) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  auto faults = faults::MakeDeviationFaults(circuit.Circuit());
+  CampaignOptions o = FastOptions();
+  o.anchor_hz = 500.0;
+  o.decades_below = 1.0;
+  o.decades_above = 1.0;
+  auto campaign =
+      RunCampaign(circuit, faults, {ConfigVector(3)}, o);
+  EXPECT_NEAR(campaign.Band().FLow(), 50.0, 1e-9);
+  EXPECT_NEAR(campaign.Band().FHigh(), 5000.0, 1e-9);
+}
+
+TEST(Campaign, AutoAnchorLandsNearF0) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  auto faults = faults::MakeDeviationFaults(circuit.Circuit());
+  auto campaign = RunCampaign(circuit, faults, {ConfigVector(3)}, FastOptions());
+  const double f0 = circuits::BiquadParams{}.F0();
+  const double anchor =
+      campaign.Band().FLow() * 100.0;  // 2 decades below anchor
+  EXPECT_NEAR(std::log10(anchor), std::log10(f0), 0.5);
+}
+
+TEST(Campaign, ToleranceEnvelopeReducesDetections) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  auto faults = faults::MakeDeviationFaults(circuit.Circuit());
+  CampaignOptions plain = FastOptions();
+  plain.criteria.epsilon = 0.08;
+  CampaignOptions with_tol = plain;
+  with_tol.tolerance = testability::ToleranceModel{0.03, 16, 1234};
+  auto c_plain = RunCampaign(circuit, faults, {ConfigVector(3)}, plain);
+  auto c_tol = RunCampaign(circuit, faults, {ConfigVector(3)}, with_tol);
+  // The envelope can only raise thresholds, so omega values cannot grow.
+  for (std::size_t j = 0; j < faults.size(); ++j) {
+    EXPECT_LE(c_tol.OmegaTable()[0][j], c_plain.OmegaTable()[0][j] + 1e-12);
+  }
+}
+
+TEST(Campaign, ToleranceModelWithPresetEnvelopeThrows) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  auto faults = faults::MakeDeviationFaults(circuit.Circuit());
+  CampaignOptions o = FastOptions();
+  o.tolerance = testability::ToleranceModel{};
+  o.criteria.envelope.assign(10, 0.1);
+  EXPECT_THROW(RunCampaign(circuit, faults, {ConfigVector(3)}, o),
+               util::AnalysisError);
+}
+
+TEST(Campaign, PaperOptionsAreDeterministic) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  auto faults = faults::MakeDeviationFaults(circuit.Circuit());
+  auto o = MakePaperCampaignOptions();
+  o.points_per_decade = 10;  // keep the test fast
+  auto c1 = RunCampaign(circuit, faults, {ConfigVector(3)}, o);
+  auto c2 = RunCampaign(circuit, faults, {ConfigVector(3)}, o);
+  EXPECT_EQ(c1.OmegaTable(), c2.OmegaTable());
+}
+
+TEST(Campaign, BestCaseSubsetRows) {
+  auto campaign = testdata::PaperCampaign();
+  auto best = campaign.BestCase({2, 5});
+  // {C2, C5}: per-fault maxima 30,30,40,30,30,30,30,40 -> avg 32.5%.
+  double avg = 0.0;
+  for (const auto& d : best) avg += d.omega_detectability;
+  EXPECT_NEAR(avg / best.size(), 0.325, 1e-9);
+  EXPECT_THROW(campaign.BestCase({99}), util::OptimizationError);
+}
+
+TEST(Campaign, RaggedRowsRejected) {
+  auto faults = testdata::PaperFaults();
+  std::vector<ConfigResult> rows;
+  ConfigResult row{ConfigVector::FromIndex(0, 3), {}};
+  rows.push_back(row);  // empty fault list vs 8 faults
+  EXPECT_THROW(CampaignResult(faults, std::move(rows),
+                              testability::ReferenceBand(10.0, 1e5, 25)),
+               util::AnalysisError);
+}
+
+}  // namespace
+}  // namespace mcdft::core

@@ -1,0 +1,119 @@
+#include "core/configuration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcdft::core {
+namespace {
+
+TEST(ConfigVector, IndexBitStringRoundTrip) {
+  // The paper's convention: C5 over 3 opamps is (1 0 1).
+  ConfigVector c5 = ConfigVector::FromIndex(5, 3);
+  EXPECT_EQ(c5.BitString(), "101");
+  EXPECT_EQ(c5.Index(), 5u);
+  EXPECT_EQ(c5.Name(), "C5");
+  EXPECT_TRUE(c5.SelectionOf(0));
+  EXPECT_FALSE(c5.SelectionOf(1));
+  EXPECT_TRUE(c5.SelectionOf(2));
+}
+
+TEST(ConfigVector, AllIndicesRoundTrip) {
+  for (std::size_t n = 1; n <= 6; ++n) {
+    for (std::size_t i = 0; i < (std::size_t{1} << n); ++i) {
+      EXPECT_EQ(ConfigVector::FromIndex(i, n).Index(), i);
+    }
+  }
+}
+
+TEST(ConfigVector, FromBits) {
+  ConfigVector cv = ConfigVector::FromBits("0110");
+  EXPECT_EQ(cv.Index(), 6u);
+  EXPECT_EQ(cv.BitCount(), 4u);
+  EXPECT_THROW(ConfigVector::FromBits(""), util::OptimizationError);
+  EXPECT_THROW(ConfigVector::FromBits("01x"), util::OptimizationError);
+}
+
+TEST(ConfigVector, OutOfRangeThrows) {
+  EXPECT_THROW(ConfigVector::FromIndex(8, 3), util::OptimizationError);
+  EXPECT_THROW(ConfigVector(0), util::OptimizationError);
+  ConfigVector cv(3);
+  EXPECT_THROW(cv.SelectionOf(3), util::OptimizationError);
+  EXPECT_THROW(cv.SetSelection(3, true), util::OptimizationError);
+}
+
+TEST(ConfigVector, FunctionalAndTransparent) {
+  EXPECT_TRUE(ConfigVector::FromIndex(0, 3).IsFunctional());
+  EXPECT_FALSE(ConfigVector::FromIndex(0, 3).IsTransparent());
+  EXPECT_TRUE(ConfigVector::FromIndex(7, 3).IsTransparent());
+  EXPECT_FALSE(ConfigVector::FromIndex(7, 3).IsFunctional());
+  EXPECT_FALSE(ConfigVector::FromIndex(5, 3).IsFunctional());
+}
+
+TEST(ConfigVector, FollowerPositions) {
+  ConfigVector c6 = ConfigVector::FromIndex(6, 3);  // 110
+  EXPECT_EQ(c6.FollowerPositions(), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(c6.FollowerCount(), 2u);
+}
+
+TEST(ConfigVector, SetSelection) {
+  ConfigVector cv(3);
+  cv.SetSelection(1, true);
+  EXPECT_EQ(cv.Index(), 2u);
+  cv.SetSelection(1, false);
+  EXPECT_EQ(cv.Index(), 0u);
+}
+
+TEST(ConfigurationSpace, CountAndEnumeration) {
+  ConfigurationSpace space({"OP1", "OP2", "OP3"});
+  EXPECT_EQ(space.OpampCount(), 3u);
+  EXPECT_EQ(space.ConfigurationCount(), 8u);
+  auto all = space.All();
+  ASSERT_EQ(all.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(all[i].Index(), i);
+}
+
+TEST(ConfigurationSpace, NonTransparentDropsAllOnes) {
+  ConfigurationSpace space({"OP1", "OP2", "OP3"});
+  auto configs = space.AllNonTransparent();
+  EXPECT_EQ(configs.size(), 7u);
+  for (const auto& cv : configs) EXPECT_FALSE(cv.IsTransparent());
+}
+
+TEST(ConfigurationSpace, FollowerOpampsMatchesPaperTable3) {
+  // The paper's Table 3 maps each configuration to the opamps its vector
+  // puts in follower mode (C5 = (101) -> OP1.OP3).  The paper mixes bit
+  // orders between its own tables; we use MSB-first (sel1 = MSB)
+  // consistently: C4 = (100) -> OP1, C1 = (001) -> OP3.
+  ConfigurationSpace space({"OP1", "OP2", "OP3"});
+  EXPECT_TRUE(space.FollowerOpamps(space.At(0)).empty());
+  EXPECT_EQ(space.FollowerOpamps(space.At(4)),
+            (std::vector<std::string>{"OP1"}));
+  EXPECT_EQ(space.FollowerOpamps(space.At(1)),
+            (std::vector<std::string>{"OP3"}));
+  EXPECT_EQ(space.FollowerOpamps(space.At(5)),
+            (std::vector<std::string>{"OP1", "OP3"}));
+  EXPECT_EQ(space.FollowerOpamps(space.At(7)),
+            (std::vector<std::string>{"OP1", "OP2", "OP3"}));
+}
+
+TEST(ConfigurationSpace, FollowerOpampsChecksUniverse) {
+  ConfigurationSpace space({"OP1", "OP2"});
+  EXPECT_THROW(space.FollowerOpamps(ConfigVector::FromIndex(1, 3)),
+               util::OptimizationError);
+}
+
+TEST(ConfigurationSpace, UpToKFollowers) {
+  ConfigurationSpace space({"A", "B", "C", "D"});
+  EXPECT_EQ(space.UpToKFollowers(0).size(), 1u);                // C0
+  EXPECT_EQ(space.UpToKFollowers(1).size(), 5u);                // C0 + 4
+  EXPECT_EQ(space.UpToKFollowers(2).size(), 11u);               // + C(4,2)=6
+  EXPECT_EQ(space.UpToKFollowers(4).size(), 16u);               // everything
+}
+
+TEST(ConfigurationSpace, RejectsDegenerateSizes) {
+  EXPECT_THROW(ConfigurationSpace({}), util::OptimizationError);
+  std::vector<std::string> too_many(21, "OP");
+  EXPECT_THROW(ConfigurationSpace{too_many}, util::OptimizationError);
+}
+
+}  // namespace
+}  // namespace mcdft::core

@@ -1,0 +1,165 @@
+#include "core/dft_transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/biquad.hpp"
+#include "spice/ac_analysis.hpp"
+
+namespace mcdft::core {
+namespace {
+
+TEST(DftTransform, FullTransformMakesEveryOpampConfigurable) {
+  DftCircuit dft = circuits::BuildDftBiquad();
+  EXPECT_EQ(dft.ConfigurableOpamps().size(), 3u);
+  EXPECT_EQ(dft.Chain().size(), 3u);
+  for (const auto& name : dft.ConfigurableOpamps()) {
+    const auto& op =
+        static_cast<const spice::Opamp&>(dft.Circuit().GetElement(name));
+    EXPECT_TRUE(op.IsConfigurable());
+    EXPECT_EQ(op.Mode(), spice::OpampMode::kNormal);
+  }
+}
+
+TEST(DftTransform, InTestChainWiring) {
+  DftCircuit dft = circuits::BuildDftBiquad();
+  const auto& nl = dft.Circuit();
+  const auto& op1 = static_cast<const spice::Opamp&>(nl.GetElement("OP1"));
+  const auto& op2 = static_cast<const spice::Opamp&>(nl.GetElement("OP2"));
+  const auto& op3 = static_cast<const spice::Opamp&>(nl.GetElement("OP3"));
+  EXPECT_EQ(op1.InTest(), nl.FindNode("in"));
+  EXPECT_EQ(op2.InTest(), op1.Out());
+  EXPECT_EQ(op3.InTest(), op2.Out());
+}
+
+TEST(DftTransform, PartialSubsetKeepsChainTaps) {
+  // Partial DFT over {OP1, OP3}: OP3's test input still taps OP2's output
+  // (the physical predecessor), so shared configurations of the full and
+  // partial circuits are electrically identical.
+  auto block = circuits::BuildBiquad();
+  DftCircuit dft = DftCircuit::Transform(block, {"OP1", "OP3"});
+  EXPECT_EQ(dft.ConfigurableOpamps(),
+            (std::vector<std::string>{"OP1", "OP3"}));
+  const auto& nl = dft.Circuit();
+  const auto& op2 = static_cast<const spice::Opamp&>(nl.GetElement("OP2"));
+  const auto& op3 = static_cast<const spice::Opamp&>(nl.GetElement("OP3"));
+  EXPECT_FALSE(op2.IsConfigurable());
+  EXPECT_EQ(op3.InTest(), op2.Out());
+}
+
+TEST(DftTransform, SubsetOrderFollowsChainOrder) {
+  auto block = circuits::BuildBiquad();
+  DftCircuit dft = DftCircuit::Transform(block, {"OP3", "OP1"});
+  EXPECT_EQ(dft.ConfigurableOpamps(),
+            (std::vector<std::string>{"OP1", "OP3"}));
+}
+
+TEST(DftTransform, UnknownOpampThrows) {
+  auto block = circuits::BuildBiquad();
+  EXPECT_THROW(DftCircuit::Transform(block, {"OP9"}), util::NetlistError);
+}
+
+TEST(DftTransform, NonOpampInChainThrows) {
+  auto block = circuits::BuildBiquad();
+  block.opamps.push_back("R1");
+  EXPECT_THROW(DftCircuit::Transform(block), util::NetlistError);
+}
+
+TEST(DftTransform, EmptyChainThrows) {
+  auto block = circuits::BuildBiquad();
+  block.opamps.clear();
+  EXPECT_THROW(DftCircuit::Transform(block), util::NetlistError);
+}
+
+TEST(DftTransform, ApplyConfigurationSwitchesModes) {
+  DftCircuit dft = circuits::BuildDftBiquad();
+  dft.ApplyConfiguration(ConfigVector::FromIndex(5, 3));  // 101
+  const auto& nl = dft.Circuit();
+  EXPECT_EQ(static_cast<const spice::Opamp&>(nl.GetElement("OP1")).Mode(),
+            spice::OpampMode::kFollower);
+  EXPECT_EQ(static_cast<const spice::Opamp&>(nl.GetElement("OP2")).Mode(),
+            spice::OpampMode::kNormal);
+  EXPECT_EQ(static_cast<const spice::Opamp&>(nl.GetElement("OP3")).Mode(),
+            spice::OpampMode::kFollower);
+  EXPECT_EQ(dft.CurrentConfiguration().Index(), 5u);
+}
+
+TEST(DftTransform, ApplyConfigurationWrongWidthThrows) {
+  DftCircuit dft = circuits::BuildDftBiquad();
+  EXPECT_THROW(dft.ApplyConfiguration(ConfigVector::FromIndex(1, 2)),
+               util::OptimizationError);
+}
+
+TEST(DftTransform, ScopedConfigurationRestoresFunctional) {
+  DftCircuit dft = circuits::BuildDftBiquad();
+  {
+    ScopedConfiguration sc(dft, ConfigVector::FromIndex(3, 3));
+    EXPECT_EQ(dft.CurrentConfiguration().Index(), 3u);
+  }
+  EXPECT_TRUE(dft.CurrentConfiguration().IsFunctional());
+}
+
+TEST(DftTransform, CloneIsIndependent) {
+  DftCircuit dft = circuits::BuildDftBiquad();
+  DftCircuit copy = dft.Clone();
+  copy.ApplyConfiguration(ConfigVector::FromIndex(7, 3));
+  EXPECT_TRUE(dft.CurrentConfiguration().IsFunctional());
+  EXPECT_TRUE(copy.CurrentConfiguration().IsTransparent());
+}
+
+TEST(DftTransform, TransparentConfigurationIsIdentity) {
+  // With all opamps in follower mode, the circuit performs the identity
+  // function from primary input to primary output (paper Sec. 3.1).
+  DftCircuit dft = circuits::BuildDftBiquad();
+  dft.ApplyConfiguration(ConfigVector::FromIndex(7, 3));
+  spice::AcAnalyzer analyzer(dft.Circuit());
+  spice::Probe probe{dft.Circuit().FindNode(dft.OutputNode()), spice::kGround,
+                     "v(out)"};
+  auto r = analyzer.Run(spice::SweepSpec::Decade(10.0, 1e5, 10), probe);
+  for (std::size_t i = 0; i < r.PointCount(); ++i) {
+    EXPECT_NEAR(r.MagnitudeAt(i), 1.0, 1e-4) << "f=" << r.freqs_hz[i];
+    EXPECT_NEAR(r.PhaseDegAt(i), 0.0, 0.1);
+  }
+}
+
+TEST(DftTransform, FunctionalConfigurationMatchesUnmodifiedCircuit) {
+  // DFT insertion in configuration C0 must not change the transfer
+  // function at all (the whole point of the technique).
+  auto block = circuits::BuildBiquad();
+  spice::AcAnalyzer before(block.netlist);
+  spice::Probe probe_before{block.netlist.FindNode("out3"), spice::kGround,
+                            "v"};
+  auto sweep = spice::SweepSpec::Decade(10.0, 1e5, 20);
+  auto r_before = before.Run(sweep, probe_before);
+
+  DftCircuit dft = circuits::BuildDftBiquad();
+  spice::AcAnalyzer after(dft.Circuit());
+  spice::Probe probe_after{dft.Circuit().FindNode("out3"), spice::kGround, "v"};
+  auto r_after = after.Run(sweep, probe_after);
+
+  for (std::size_t i = 0; i < r_before.PointCount(); ++i) {
+    EXPECT_NEAR(std::abs(r_before.values[i] - r_after.values[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(DftTransform, SharedConfigsOfFullAndPartialAgree) {
+  // Configuration (1,-,1) on the partial {OP1, OP3} circuit equals C5 on
+  // the full circuit.
+  auto sweep = spice::SweepSpec::Decade(10.0, 1e5, 10);
+  DftCircuit full = circuits::BuildDftBiquad();
+  full.ApplyConfiguration(ConfigVector::FromBits("101"));
+  spice::AcAnalyzer fa(full.Circuit());
+  auto rf = fa.Run(sweep, {full.Circuit().FindNode("out3"), spice::kGround, "v"});
+
+  DftCircuit part =
+      DftCircuit::Transform(circuits::BuildBiquad(), {"OP1", "OP3"});
+  part.ApplyConfiguration(ConfigVector::FromBits("11"));
+  spice::AcAnalyzer pa(part.Circuit());
+  auto rp = pa.Run(sweep, {part.Circuit().FindNode("out3"), spice::kGround, "v"});
+
+  for (std::size_t i = 0; i < rf.PointCount(); ++i) {
+    EXPECT_NEAR(std::abs(rf.values[i] - rp.values[i]), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mcdft::core

@@ -1,0 +1,204 @@
+#include "core/diagnosis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "circuits/biquad.hpp"
+#include "paper_fixture.hpp"
+#include "spice/ac_analysis.hpp"
+
+namespace mcdft::core {
+namespace {
+
+TEST(Diagnose, PaperCampaignSignatures) {
+  auto campaign = testdata::PaperCampaign();
+  auto report = Diagnose(campaign);
+  // Paper's Fig. 5 columns: fR1 and fR4 share the signature 1010101;
+  // fR5 and fR6 share 0111100 up to... compute: fR5 col = C1,C2,C3,C4;
+  // fR6 col = C1,C2,C3.  All other columns are unique.
+  EXPECT_EQ(report.classes.size(), 7u);  // 8 faults, one duplicated pair
+  EXPECT_EQ(report.uniquely_diagnosed, 6u);
+  EXPECT_NEAR(report.resolution, 7.0 / 8.0, 1e-12);
+  // One indistinguishable pair among 28: 27/28 distinguishable.
+  EXPECT_NEAR(report.pairwise_distinguishability, 27.0 / 28.0, 1e-12);
+
+  // Find the two-fault class and check it is {fR1, fR4} (identical columns
+  // in the paper's matrix).
+  for (const auto& cls : report.classes) {
+    if (cls.faults.size() == 2) {
+      EXPECT_EQ(cls.faults[0].ShortLabel(), "fR1");
+      EXPECT_EQ(cls.faults[1].ShortLabel(), "fR4");
+      EXPECT_EQ(cls.signature, "1010101");
+    }
+  }
+}
+
+TEST(Diagnose, SingleConfigurationHasCoarseResolution) {
+  auto campaign = testdata::PaperCampaign();
+  // Restrict to C0 only by building a single-row campaign.
+  std::vector<ConfigResult> rows{campaign.PerConfig()[0]};
+  CampaignResult c0_only(campaign.Faults(), std::move(rows),
+                         testability::ReferenceBand(10.0, 1e5, 25));
+  auto report = Diagnose(c0_only);
+  // Signatures are "0" or "1": at most 2 classes.
+  EXPECT_LE(report.classes.size(), 2u);
+  EXPECT_LT(report.resolution, 0.5);
+}
+
+TEST(RenderDiagnosis, ContainsClassesAndMetrics) {
+  auto campaign = testdata::PaperCampaign();
+  auto report = Diagnose(campaign);
+  std::string out = RenderDiagnosis(report, campaign);
+  EXPECT_NE(out.find("1010101"), std::string::npos);
+  EXPECT_NE(out.find("fR1, fR4"), std::string::npos);
+  EXPECT_NE(out.find("diagnostic resolution"), std::string::npos);
+}
+
+TEST(OpampFaults, GeneratorProducesPerOpampFaults) {
+  auto circuit = circuits::BuildDftBiquad();
+  auto list = faults::MakeOpampFaults(circuit.Circuit());
+  EXPECT_EQ(list.size(), 6u);  // gain + bandwidth per opamp
+  EXPECT_TRUE(list[0].IsOpampFault());
+  faults::OpampFaultOptions only_gain;
+  only_gain.bandwidth = false;
+  EXPECT_EQ(faults::MakeOpampFaults(circuit.Circuit(), only_gain).size(), 3u);
+  faults::OpampFaultOptions none;
+  none.gain = false;
+  none.bandwidth = false;
+  EXPECT_THROW(faults::MakeOpampFaults(circuit.Circuit(), none),
+               util::AnalysisError);
+}
+
+TEST(OpampFaults, ApplyAndScopedRestore) {
+  auto circuit = circuits::BuildDftBiquad();
+  spice::Netlist work = circuit.Circuit().Clone();
+  const auto& op = static_cast<const spice::Opamp&>(work.GetElement("OP1"));
+  const double a0 = op.Model().a0;
+  {
+    faults::ScopedFaultInjection inj(work,
+                                     faults::Fault::GainDegradation("OP1", 1e-4));
+    EXPECT_NEAR(op.Model().a0, a0 * 1e-4, 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(op.Model().a0, a0);
+
+  {
+    faults::ScopedFaultInjection inj(
+        work, faults::Fault::BandwidthDegradation("OP1", 1e-3));
+    EXPECT_EQ(op.Model().kind, spice::OpampModelKind::kSinglePole);
+  }
+  EXPECT_EQ(op.Model().kind, spice::OpampModelKind::kFiniteGain);
+}
+
+TEST(OpampFaults, FactoryValidatesFactor) {
+  EXPECT_THROW(faults::Fault::GainDegradation("OP1", 0.0),
+               util::AnalysisError);
+  EXPECT_THROW(faults::Fault::GainDegradation("OP1", 1.0),
+               util::AnalysisError);
+  EXPECT_THROW(faults::Fault::BandwidthDegradation("OP1", 2.0),
+               util::AnalysisError);
+}
+
+TEST(OpampFaults, ApplyToNonOpampThrows) {
+  auto circuit = circuits::BuildDftBiquad();
+  spice::Netlist work = circuit.Circuit().Clone();
+  EXPECT_THROW(faults::Fault::GainDegradation("R1", 0.5).ApplyTo(work),
+               util::NetlistError);
+}
+
+TEST(OpampFaults, Labels) {
+  EXPECT_EQ(faults::Fault::GainDegradation("OP2", 0.001).Label(),
+            "fOP2(A0x0.001)");
+  EXPECT_EQ(faults::Fault::BandwidthDegradation("OP2", 0.01).Label(),
+            "fOP2(GBWx0.01)");
+}
+
+class TransparentTestFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto circuit = circuits::BuildDftBiquad();
+    result_ = new OpampTestResult(RunOpampTransparentTest(circuit));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static OpampTestResult* result_;
+};
+
+OpampTestResult* TransparentTestFixture::result_ = nullptr;
+
+TEST_F(TransparentTestFixture, ScreenDetectsEveryOpampFault) {
+  // Paper Sec. 3.1: the transparent configuration tests faults inside
+  // opamps.  A severely degraded opamp breaks the identity function.
+  EXPECT_DOUBLE_EQ(result_->screen_coverage, 1.0);
+  for (const auto& v : result_->screen) {
+    EXPECT_TRUE(v.detectable) << v.fault.Label();
+    EXPECT_GT(v.omega_detectability, 0.0);
+  }
+}
+
+TEST_F(TransparentTestFixture, LocalizationUsesTransparentPlusSingles) {
+  EXPECT_EQ(result_->localization.ConfigCount(), 4u);  // C7 + 3 singles
+  EXPECT_TRUE(result_->localization.PerConfig()[0].config.IsTransparent());
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(result_->localization.PerConfig()[i].config.FollowerCount(), 1u);
+  }
+}
+
+TEST_F(TransparentTestFixture, QuantizedSignaturesLocalizeFaults) {
+  // Severe opamp faults are detectable in *every* configuration (the
+  // boolean signatures are uniform), but the 4-level quantized dictionary
+  // separates them: each opamp disturbs a characteristically different
+  // fraction of the band per configuration.
+  const auto& report = result_->diagnosis;
+  EXPECT_GT(report.resolution, 0.5);
+  std::map<std::string, std::string> sig_of;
+  for (const auto& cls : report.classes) {
+    for (const auto& f : cls.faults) sig_of[f.Label()] = cls.signature;
+  }
+  EXPECT_NE(sig_of.at("fOP1(A0x1e-05)"), sig_of.at("fOP2(A0x1e-05)"));
+  EXPECT_NE(sig_of.at("fOP2(A0x1e-05)"), sig_of.at("fOP3(A0x1e-05)"));
+
+  // Boolean signatures, by contrast, are coarse here.
+  auto boolean = Diagnose(result_->localization, DiagnosisOptions{1});
+  EXPECT_LT(boolean.resolution, report.resolution);
+}
+
+TEST_F(TransparentTestFixture, DiagnoseValidatesLevels) {
+  EXPECT_THROW(Diagnose(result_->localization, DiagnosisOptions{0}),
+               util::OptimizationError);
+  EXPECT_THROW(Diagnose(result_->localization, DiagnosisOptions{10}),
+               util::OptimizationError);
+}
+
+TEST(TransparentTest, RequiresFullDft) {
+  auto block = circuits::BuildBiquad();
+  auto partial = DftCircuit::Transform(block, {"OP1", "OP2"});
+  EXPECT_THROW(RunOpampTransparentTest(partial), util::AnalysisError);
+}
+
+TEST(TransparentTest, RejectsPassiveFaults) {
+  auto circuit = circuits::BuildDftBiquad();
+  EXPECT_THROW(RunOpampTransparentTest(
+                   circuit, {faults::Fault("R1", faults::FaultKind::kDeviationUp,
+                                           0.2)}),
+               util::AnalysisError);
+}
+
+TEST(Diagnosis, DftImprovesPassiveFaultDiagnosis) {
+  // The multi-configuration signatures diagnose passive faults far better
+  // than the single functional configuration (the diagnosis literature's
+  // question, answered with the paper's DFT).
+  auto campaign = testdata::PaperCampaign();
+  auto multi = Diagnose(campaign);
+
+  std::vector<ConfigResult> rows{campaign.PerConfig()[0]};
+  CampaignResult c0_only(campaign.Faults(), std::move(rows),
+                         testability::ReferenceBand(10.0, 1e5, 25));
+  auto single = Diagnose(c0_only);
+  EXPECT_GT(multi.resolution, 2.0 * single.resolution);
+}
+
+}  // namespace
+}  // namespace mcdft::core

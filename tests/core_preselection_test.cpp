@@ -1,0 +1,115 @@
+#include "core/preselection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/biquad.hpp"
+#include "core/optimizer.hpp"
+
+namespace mcdft::core {
+namespace {
+
+class PreselectionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    circuit_ = new DftCircuit(circuits::BuildDftBiquad());
+    fault_list_ = new std::vector<faults::Fault>(
+        faults::MakeDeviationFaults(circuit_->Circuit()));
+    candidates_ = new std::vector<ConfigVector>(
+        circuit_->Space().AllNonTransparent());
+    result_ = new PreselectionResult(
+        PreselectConfigurations(*circuit_, *fault_list_, *candidates_));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete candidates_;
+    delete fault_list_;
+    delete circuit_;
+    result_ = nullptr;
+  }
+  static DftCircuit* circuit_;
+  static std::vector<faults::Fault>* fault_list_;
+  static std::vector<ConfigVector>* candidates_;
+  static PreselectionResult* result_;
+};
+
+DftCircuit* PreselectionTest::circuit_ = nullptr;
+std::vector<faults::Fault>* PreselectionTest::fault_list_ = nullptr;
+std::vector<ConfigVector>* PreselectionTest::candidates_ = nullptr;
+PreselectionResult* PreselectionTest::result_ = nullptr;
+
+TEST_F(PreselectionTest, SelectsAStrictSubsetIncludingFunctional) {
+  EXPECT_LT(result_->selected.size(), candidates_->size());
+  EXPECT_GE(result_->selected.size(), 2u);
+  bool has_functional = false;
+  for (const auto& cv : result_->selected) {
+    has_functional = has_functional || cv.IsFunctional();
+  }
+  EXPECT_TRUE(has_functional);
+}
+
+TEST_F(PreselectionTest, PredictedMatrixShapeMatches) {
+  ASSERT_EQ(result_->predicted.size(), candidates_->size());
+  for (const auto& row : result_->predicted) {
+    EXPECT_EQ(row.size(), fault_list_->size());
+  }
+  EXPECT_GT(result_->sweeps_used, 0u);
+}
+
+TEST_F(PreselectionTest, SelectedSubsetPreservesFullCampaignCoverage) {
+  // Run the expensive campaign on all candidates and on the pre-selected
+  // subset: the subset must reach the same maximum fault coverage.
+  auto options = MakePaperCampaignOptions();
+  options.points_per_decade = 25;
+  options.tolerance->samples = 16;
+  auto full = RunCampaign(*circuit_, *fault_list_, *candidates_, options);
+  auto sub = RunCampaign(*circuit_, *fault_list_, result_->selected, options);
+  EXPECT_DOUBLE_EQ(sub.Coverage(), full.Coverage());
+  // And most of the omega-detectability (headroom configs retain it).
+  EXPECT_GT(sub.AverageOmegaDet(), 0.6 * full.AverageOmegaDet());
+}
+
+TEST_F(PreselectionTest, ScreeningIsCheaperThanFullCampaign) {
+  // Screen cost: 2 sweeps per (candidate, fault) at a 5x coarser grid.
+  // Full-campaign cost per candidate: tolerance samples + faults + 1
+  // sweeps at the fine grid.  The screen must be well under half of it in
+  // solve volume.
+  const std::size_t screen_points = result_->sweeps_used * (4 * 10 + 1);
+  const auto full_options = MakePaperCampaignOptions();
+  const std::size_t full_sweeps =
+      candidates_->size() *
+      (full_options.tolerance->samples + fault_list_->size() + 2);
+  const std::size_t full_points = full_sweeps * (4 * 50 + 1);
+  EXPECT_LT(screen_points, full_points / 2);
+}
+
+TEST(Preselection, ValidatesInputs) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  auto fault_list = faults::MakeDeviationFaults(circuit.Circuit());
+  EXPECT_THROW(PreselectConfigurations(circuit, fault_list, {}),
+               util::AnalysisError);
+  EXPECT_THROW(
+      PreselectConfigurations(circuit, {}, circuit.Space().AllNonTransparent()),
+      util::AnalysisError);
+}
+
+TEST(Preselection, ExplicitAnchorAndNoExtras) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  auto fault_list = faults::MakeDeviationFaults(circuit.Circuit());
+  PreselectionOptions options;
+  options.anchor_hz = 1000.0;
+  options.extra_configs = 0;
+  auto r = PreselectConfigurations(circuit, fault_list,
+                                   circuit.Space().AllNonTransparent(),
+                                   options);
+  EXPECT_FALSE(r.selected.empty());
+  // With no extras the subset is exactly functional + greedy cover.
+  PreselectionOptions with_extras = options;
+  with_extras.extra_configs = 3;
+  auto r2 = PreselectConfigurations(circuit, fault_list,
+                                    circuit.Space().AllNonTransparent(),
+                                    with_extras);
+  EXPECT_GE(r2.selected.size(), r.selected.size());
+}
+
+}  // namespace
+}  // namespace mcdft::core

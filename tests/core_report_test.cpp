@@ -1,0 +1,109 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "paper_fixture.hpp"
+
+namespace mcdft::core {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  ReportTest()
+      : campaign_(testdata::PaperCampaign()),
+        circuit_(testdata::PaperCircuit()),
+        optimizer_(circuit_, campaign_) {}
+
+  CampaignResult campaign_;
+  DftCircuit circuit_;
+  DftOptimizer optimizer_;
+};
+
+TEST_F(ReportTest, ConfigurationTableListsAllRows) {
+  auto space = circuit_.Space();
+  std::string out = RenderConfigurationTable(space);
+  EXPECT_NE(out.find("C0"), std::string::npos);
+  EXPECT_NE(out.find("C7"), std::string::npos);
+  EXPECT_NE(out.find("Funct. Conf"), std::string::npos);
+  EXPECT_NE(out.find("Transp. Conf"), std::string::npos);
+  EXPECT_NE(out.find("New Test Conf"), std::string::npos);
+  EXPECT_NE(out.find("101"), std::string::npos);
+}
+
+TEST_F(ReportTest, DetectabilityMatrixShowsOnesAndZeros) {
+  std::string out = RenderDetectabilityMatrix(campaign_);
+  EXPECT_NE(out.find("fR1"), std::string::npos);
+  EXPECT_NE(out.find("fC2"), std::string::npos);
+  EXPECT_NE(out.find("| C6"), std::string::npos);
+  EXPECT_NE(out.find(" 1 "), std::string::npos);
+  EXPECT_NE(out.find(" 0 "), std::string::npos);
+}
+
+TEST_F(ReportTest, OmegaTableMarksPerFaultBest) {
+  std::string out = RenderOmegaTable(campaign_, true);
+  // fR5/fR6 best is 100 in C3.
+  EXPECT_NE(out.find("100*"), std::string::npos);
+  // Row averages column present.
+  EXPECT_NE(out.find("<w-det>"), std::string::npos);
+  std::string plain = RenderOmegaTable(campaign_, false);
+  EXPECT_EQ(plain.find("100*"), std::string::npos);
+}
+
+TEST_F(ReportTest, MappingTableMatchesTable3) {
+  std::string out = RenderMappingTable(circuit_.Space());
+  EXPECT_NE(out.find("OP1.OP3"), std::string::npos);       // C5
+  EXPECT_NE(out.find("OP1.OP2.OP3"), std::string::npos);   // C7
+  EXPECT_NE(out.find("-"), std::string::npos);             // C0
+}
+
+TEST_F(ReportTest, FundamentalNarrativeShowsExpressions) {
+  auto f = optimizer_.SolveFundamental();
+  std::string out = RenderFundamental(f, campaign_);
+  EXPECT_NE(out.find("xi"), std::string::npos);
+  EXPECT_NE(out.find("(C2)"), std::string::npos);          // essential factor
+  EXPECT_NE(out.find("C2.C5"), std::string::npos);         // SOP term
+  EXPECT_NE(out.find("max fault coverage = 100%"), std::string::npos);
+}
+
+TEST_F(ReportTest, SelectionShowsWinner) {
+  auto sel = optimizer_.OptimizeConfigurationCount();
+  std::string out = RenderSelection(sel, campaign_);
+  EXPECT_NE(out.find("S_opt = {C2, C5}"), std::string::npos);
+  EXPECT_NE(out.find("32.5"), std::string::npos);
+  EXPECT_NE(out.find("30"), std::string::npos);
+  EXPECT_NE(out.find("<== S_opt"), std::string::npos);
+}
+
+TEST_F(ReportTest, PartialDftReport) {
+  auto part = optimizer_.OptimizePartialDft();
+  std::string out = RenderPartialDft(part, campaign_, circuit_);
+  EXPECT_NE(out.find("2 of 3"), std::string::npos);
+  EXPECT_NE(out.find("52.5"), std::string::npos);
+  EXPECT_NE(out.find("permitted configurations: C0 C1 C2 C3"),
+            std::string::npos);
+}
+
+TEST_F(ReportTest, OmegaBarsRendersSeries) {
+  std::vector<double> initial(8, 0.1), brute(8, 0.6);
+  std::string out = RenderOmegaBars(
+      campaign_.Faults(),
+      {{"initial", initial}, {"brute force", brute}}, "Graph 2");
+  EXPECT_NE(out.find("Graph 2"), std::string::npos);
+  EXPECT_NE(out.find("initial"), std::string::npos);
+  EXPECT_NE(out.find("fR1"), std::string::npos);
+  EXPECT_NE(out.find("<w-det> averages"), std::string::npos);
+}
+
+TEST_F(ReportTest, OmegaBarsRejectsWrongLength) {
+  EXPECT_THROW(RenderOmegaBars(campaign_.Faults(), {{"x", {0.1}}}, "t"),
+               util::AnalysisError);
+}
+
+TEST_F(ReportTest, RowNamesAndSets) {
+  EXPECT_EQ(RowName(campaign_, 5), "C5");
+  EXPECT_EQ(RowSetName(campaign_, boolcov::Cube(7, {2, 5})), "{C2, C5}");
+  EXPECT_EQ(RowSetName(campaign_, boolcov::Cube(7)), "{}");
+}
+
+}  // namespace
+}  // namespace mcdft::core

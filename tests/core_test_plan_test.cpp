@@ -1,0 +1,183 @@
+#include "core/test_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "circuits/biquad.hpp"
+#include "core/optimizer.hpp"
+#include "paper_fixture.hpp"
+
+namespace mcdft::core {
+namespace {
+
+class TestPlanFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    circuit_ = new DftCircuit(circuits::BuildDftBiquad());
+    auto fault_list = faults::MakeDeviationFaults(circuit_->Circuit());
+    campaign_ = new CampaignResult(
+        RunCampaign(*circuit_, fault_list,
+                    circuit_->Space().AllNonTransparent(),
+                    MakePaperCampaignOptions()));
+    plan_ = new TestPlan(GenerateTestPlan(*campaign_));
+  }
+  static void TearDownTestSuite() {
+    delete plan_;
+    delete campaign_;
+    delete circuit_;
+    plan_ = nullptr;
+  }
+  static DftCircuit* circuit_;
+  static CampaignResult* campaign_;
+  static TestPlan* plan_;
+};
+
+DftCircuit* TestPlanFixture::circuit_ = nullptr;
+CampaignResult* TestPlanFixture::campaign_ = nullptr;
+TestPlan* TestPlanFixture::plan_ = nullptr;
+
+TEST_F(TestPlanFixture, CoversEveryFaultWithFewMeasurements) {
+  EXPECT_DOUBLE_EQ(plan_->coverage, 1.0);
+  EXPECT_TRUE(plan_->uncovered.empty());
+  // 8 faults, strongly overlapping regions: a handful of points suffices
+  // (versus 7 configurations x 201 grid points = 1407 measured sweeps).
+  EXPECT_LE(plan_->steps.size(), 8u);
+  EXPECT_GE(plan_->steps.size(), 2u);
+}
+
+TEST_F(TestPlanFixture, StepsAreGroupedByConfiguration) {
+  // Reconfigurations = number of config blocks; grouping means the count
+  // equals the number of *distinct* configurations used.
+  std::set<std::size_t> distinct;
+  for (const auto& m : plan_->steps) distinct.insert(m.row);
+  EXPECT_EQ(plan_->reconfigurations, distinct.size());
+}
+
+TEST_F(TestPlanFixture, WindowsAreConsistent) {
+  for (const auto& m : plan_->steps) {
+    EXPECT_GE(m.expected_magnitude, 0.0);
+    EXPECT_LE(m.lower_bound, m.expected_magnitude);
+    EXPECT_GE(m.upper_bound, m.expected_magnitude);
+    EXPECT_GT(m.upper_bound, m.lower_bound);
+    EXPECT_FALSE(m.covers.empty());
+    EXPECT_GT(m.frequency_hz, 0.0);
+  }
+}
+
+TEST_F(TestPlanFixture, EveryCoveredFaultViolatesItsWindow) {
+  // End-to-end check of the plan semantics: simulate each fault and verify
+  // that at least one plan measurement falls outside its window.
+  auto fault_list = faults::MakeDeviationFaults(circuit_->Circuit());
+  DftCircuit work = circuit_->Clone();
+  for (std::size_t j = 0; j < fault_list.size(); ++j) {
+    bool caught = false;
+    for (const auto& m : plan_->steps) {
+      if (std::find(m.covers.begin(), m.covers.end(), j) == m.covers.end()) {
+        continue;
+      }
+      ScopedConfiguration sc(work, m.config);
+      faults::ScopedFaultInjection inj(
+          const_cast<spice::Netlist&>(work.Circuit()), fault_list[j]);
+      spice::AcAnalyzer analyzer(work.Circuit());
+      auto r = analyzer.Run(
+          spice::SweepSpec::List({m.frequency_hz}),
+          {work.Circuit().FindNode(work.OutputNode()), spice::kGround, "v"});
+      // Vector (complex) measurement against the window radius.
+      if (std::abs(r.values[0] - m.expected) > m.window_radius) {
+        caught = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(caught) << fault_list[j].Label();
+  }
+}
+
+TEST_F(TestPlanFixture, FaultFreeCircuitPassesThePlan) {
+  DftCircuit work = circuit_->Clone();
+  for (const auto& m : plan_->steps) {
+    ScopedConfiguration sc(work, m.config);
+    spice::AcAnalyzer analyzer(work.Circuit());
+    auto r = analyzer.Run(
+        spice::SweepSpec::List({m.frequency_hz}),
+        {work.Circuit().FindNode(work.OutputNode()), spice::kGround, "v"});
+    EXPECT_LE(std::abs(r.values[0] - m.expected), m.window_radius);
+    EXPECT_GE(r.MagnitudeAt(0), m.lower_bound);
+    EXPECT_LE(r.MagnitudeAt(0), m.upper_bound);
+  }
+}
+
+TEST_F(TestPlanFixture, RestrictedRowsRespectTheSubset) {
+  DftOptimizer optimizer(*circuit_, *campaign_);
+  auto sel = optimizer.OptimizeConfigurationCount();
+  TestPlanOptions options;
+  options.rows = sel.selected.rows.Variables();
+  auto plan = GenerateTestPlan(*campaign_, options);
+  for (const auto& m : plan.steps) {
+    EXPECT_NE(std::find(options.rows.begin(), options.rows.end(), m.row),
+              options.rows.end());
+  }
+  EXPECT_DOUBLE_EQ(plan.coverage, 1.0);  // S_opt keeps max coverage
+}
+
+TEST_F(TestPlanFixture, ExactCoverNotLargerThanGreedy) {
+  TestPlanOptions greedy_options;
+  TestPlanOptions exact_options;
+  exact_options.exact = true;
+  exact_options.max_exact_points = 5000;
+  auto greedy = GenerateTestPlan(*campaign_, greedy_options);
+  auto exact = GenerateTestPlan(*campaign_, exact_options);
+  EXPECT_LE(exact.steps.size(), greedy.steps.size());
+  EXPECT_DOUBLE_EQ(exact.coverage, 1.0);
+}
+
+TEST_F(TestPlanFixture, TimeModelAccounting) {
+  TestPlanOptions options;
+  options.seconds_per_measurement = 1.0;
+  options.seconds_per_reconfiguration = 10.0;
+  auto plan = GenerateTestPlan(*campaign_, options);
+  EXPECT_NEAR(plan.estimated_time_s,
+              static_cast<double>(plan.steps.size()) +
+                  10.0 * static_cast<double>(plan.reconfigurations),
+              1e-9);
+}
+
+TEST_F(TestPlanFixture, RenderListsMeasurements) {
+  std::string out = RenderTestPlan(*plan_, *campaign_);
+  EXPECT_NE(out.find("Test plan"), std::string::npos);
+  EXPECT_NE(out.find("accept window"), std::string::npos);
+  EXPECT_NE(out.find("plan fault coverage: 100%"), std::string::npos);
+}
+
+TEST_F(TestPlanFixture, MagnitudeModeLosesPhaseOnlyFaults) {
+  // fR2 deviates the response in phase only (its magnitude stays inside
+  // the tolerance window everywhere): a scalar magnitude tester cannot
+  // cover it, and the plan must say so instead of pretending.
+  TestPlanOptions options;
+  options.mode = MeasurementMode::kMagnitude;
+  auto plan = GenerateTestPlan(*campaign_, options);
+  EXPECT_LT(plan.coverage, 1.0);
+  bool fr2_uncovered = false;
+  for (const auto& f : plan.uncovered) {
+    if (f.ShortLabel() == "fR2") fr2_uncovered = true;
+  }
+  EXPECT_TRUE(fr2_uncovered);
+  // The complex-mode plan covers everything.
+  EXPECT_DOUBLE_EQ(plan_->coverage, 1.0);
+}
+
+TEST(TestPlanErrors, SyntheticCampaignRejected) {
+  auto campaign = testdata::PaperCampaign();
+  EXPECT_THROW(GenerateTestPlan(campaign), util::AnalysisError);
+}
+
+TEST(TestPlanErrors, RowOutOfRange) {
+  auto campaign = testdata::PaperCampaign();
+  TestPlanOptions options;
+  options.rows = {99};
+  EXPECT_THROW(GenerateTestPlan(campaign, options), util::AnalysisError);
+}
+
+}  // namespace
+}  // namespace mcdft::core

@@ -1,0 +1,133 @@
+#include "core/test_quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/biquad.hpp"
+#include "paper_fixture.hpp"
+
+namespace mcdft::core {
+namespace {
+
+class TestQualityFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    circuit_ = new DftCircuit(circuits::BuildDftBiquad());
+    fault_list_ = new std::vector<faults::Fault>(
+        faults::MakeDeviationFaults(circuit_->Circuit()));
+    campaign_ = new CampaignResult(
+        RunCampaign(*circuit_, *fault_list_,
+                    circuit_->Space().AllNonTransparent(),
+                    MakePaperCampaignOptions()));
+    plan_ = new TestPlan(GenerateTestPlan(*campaign_));
+    TestQualityOptions options;
+    options.good_samples = 32;
+    options.faulty_samples = 8;
+    report_ = new TestQualityReport(EvaluateTestQuality(
+        *circuit_, *plan_, *fault_list_, MeasurementMode::kComplex, options));
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    delete plan_;
+    delete campaign_;
+    delete fault_list_;
+    delete circuit_;
+    report_ = nullptr;
+  }
+  static DftCircuit* circuit_;
+  static std::vector<faults::Fault>* fault_list_;
+  static CampaignResult* campaign_;
+  static TestPlan* plan_;
+  static TestQualityReport* report_;
+};
+
+DftCircuit* TestQualityFixture::circuit_ = nullptr;
+std::vector<faults::Fault>* TestQualityFixture::fault_list_ = nullptr;
+CampaignResult* TestQualityFixture::campaign_ = nullptr;
+TestPlan* TestQualityFixture::plan_ = nullptr;
+TestQualityReport* TestQualityFixture::report_ = nullptr;
+
+TEST_F(TestQualityFixture, InToleranceCircuitsMostlyPass) {
+  // The acceptance windows were built from (epsilon + MC envelope), so
+  // in-tolerance spread should rarely trip them.
+  EXPECT_EQ(report_->good_total, 32u);
+  EXPECT_LE(report_->FalseRejectRate(), 0.15);
+}
+
+TEST_F(TestQualityFixture, FaultsAreMostlyCaught) {
+  // Every fault is covered by the plan; with tolerance spread on top some
+  // samples can slip through, but the majority must be caught.
+  ASSERT_EQ(report_->escapes.size(), fault_list_->size());
+  EXPECT_LE(report_->OverallEscapeRate(), 0.4);
+  std::size_t fully_caught = 0;
+  for (const auto& e : report_->escapes) {
+    EXPECT_EQ(e.total, 8u);
+    if (e.escaped == 0) ++fully_caught;
+  }
+  EXPECT_GE(fully_caught, fault_list_->size() / 2);
+}
+
+TEST_F(TestQualityFixture, DeterministicForFixedSeed) {
+  TestQualityOptions options;
+  options.good_samples = 8;
+  options.faulty_samples = 4;
+  auto r1 = EvaluateTestQuality(*circuit_, *plan_, *fault_list_,
+                                MeasurementMode::kComplex, options);
+  auto r2 = EvaluateTestQuality(*circuit_, *plan_, *fault_list_,
+                                MeasurementMode::kComplex, options);
+  EXPECT_EQ(r1.good_rejected, r2.good_rejected);
+  for (std::size_t i = 0; i < r1.escapes.size(); ++i) {
+    EXPECT_EQ(r1.escapes[i].escaped, r2.escapes[i].escaped);
+  }
+}
+
+TEST_F(TestQualityFixture, ZeroToleranceCatchesEveryCoveredFault) {
+  // Without process spread, the plan's windows are exactly the campaign's
+  // detection boundaries: every covered fault must fail the plan and the
+  // nominal circuit must pass.
+  TestQualityOptions options;
+  options.tolerance.component_tolerance = 1e-9;
+  options.good_samples = 4;
+  options.faulty_samples = 1;
+  auto report = EvaluateTestQuality(*circuit_, *plan_, *fault_list_,
+                                    MeasurementMode::kComplex, options);
+  EXPECT_EQ(report.good_rejected, 0u);
+  for (const auto& e : report.escapes) {
+    EXPECT_EQ(e.escaped, 0u) << e.fault.Label();
+  }
+}
+
+TEST_F(TestQualityFixture, MagnitudeModeLetsPhaseOnlyFaultEscape) {
+  TestPlanOptions plan_options;
+  plan_options.mode = MeasurementMode::kMagnitude;
+  auto mag_plan = GenerateTestPlan(*campaign_, plan_options);
+  TestQualityOptions options;
+  options.tolerance.component_tolerance = 1e-9;
+  options.good_samples = 2;
+  options.faulty_samples = 1;
+  auto report = EvaluateTestQuality(*circuit_, mag_plan, *fault_list_,
+                                    MeasurementMode::kMagnitude, options);
+  // fR2 is not covered by the magnitude plan: it must escape.
+  bool fr2_escapes = false;
+  for (const auto& e : report.escapes) {
+    if (e.fault.ShortLabel() == "fR2" && e.escaped == e.total) {
+      fr2_escapes = true;
+    }
+  }
+  EXPECT_TRUE(fr2_escapes);
+}
+
+TEST_F(TestQualityFixture, RenderShowsRates) {
+  std::string out = RenderTestQuality(*report_);
+  EXPECT_NE(out.find("false-reject"), std::string::npos);
+  EXPECT_NE(out.find("escape rate"), std::string::npos);
+  EXPECT_NE(out.find("fR1"), std::string::npos);
+}
+
+TEST(TestQualityErrors, EmptyPlanRejected) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  TestPlan empty;
+  EXPECT_THROW(EvaluateTestQuality(circuit, empty, {}), util::AnalysisError);
+}
+
+}  // namespace
+}  // namespace mcdft::core

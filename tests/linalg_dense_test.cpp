@@ -1,0 +1,122 @@
+#include "linalg/dense.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcdft::linalg {
+namespace {
+
+TEST(Vector, ConstructionAndAccess) {
+  Vector v(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], Complex(0.0, 0.0));
+  v[1] = Complex(1.0, -2.0);
+  EXPECT_EQ(v[1], Complex(1.0, -2.0));
+}
+
+TEST(Vector, Norms) {
+  Vector v(2);
+  v[0] = Complex(3.0, 0.0);
+  v[1] = Complex(0.0, 4.0);
+  EXPECT_DOUBLE_EQ(v.Norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(v.NormInf(), 4.0);
+}
+
+TEST(Vector, Axpy) {
+  Vector x(2), y(2);
+  x[0] = Complex(1.0, 0.0);
+  x[1] = Complex(2.0, 0.0);
+  y[0] = Complex(10.0, 0.0);
+  y[1] = Complex(20.0, 0.0);
+  y.Axpy(Complex(0.0, 1.0), x);  // y += i*x
+  EXPECT_EQ(y[0], Complex(10.0, 1.0));
+  EXPECT_EQ(y[1], Complex(20.0, 2.0));
+}
+
+TEST(Vector, AxpySizeMismatchThrows) {
+  Vector x(2), y(3);
+  EXPECT_THROW(y.Axpy(Complex(1.0, 0.0), x), util::NumericError);
+}
+
+TEST(Vector, SetZeroAndResize) {
+  Vector v(2, Complex(5.0, 0.0));
+  v.Resize(4);
+  EXPECT_EQ(v[3], Complex(0.0, 0.0));
+  EXPECT_EQ(v[0], Complex(5.0, 0.0));
+  v.SetZero();
+  EXPECT_EQ(v[0], Complex(0.0, 0.0));
+}
+
+TEST(Matrix, ShapeAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.Rows(), 2u);
+  EXPECT_EQ(m.Cols(), 3u);
+  m.At(1, 2) = Complex(7.0, 0.0);
+  m.Add(1, 2, Complex(1.0, 1.0));
+  EXPECT_EQ(m.At(1, 2), Complex(8.0, 1.0));
+}
+
+TEST(Matrix, Identity) {
+  Matrix id = Matrix::Identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(id.At(r, c), r == c ? Complex(1.0, 0.0) : Complex(0.0, 0.0));
+    }
+  }
+}
+
+TEST(Matrix, MultiplyIdentityIsNoOp) {
+  Matrix id = Matrix::Identity(2);
+  Vector x(2);
+  x[0] = Complex(1.0, 2.0);
+  x[1] = Complex(-3.0, 0.5);
+  Vector y = id.Multiply(x);
+  EXPECT_EQ(y[0], x[0]);
+  EXPECT_EQ(y[1], x[1]);
+}
+
+TEST(Matrix, MultiplyKnownResult) {
+  Matrix m(2, 2);
+  m.At(0, 0) = Complex(1.0, 0.0);
+  m.At(0, 1) = Complex(2.0, 0.0);
+  m.At(1, 0) = Complex(0.0, 1.0);
+  m.At(1, 1) = Complex(0.0, 0.0);
+  Vector x(2);
+  x[0] = Complex(1.0, 0.0);
+  x[1] = Complex(1.0, 0.0);
+  Vector y = m.Multiply(x);
+  EXPECT_EQ(y[0], Complex(3.0, 0.0));
+  EXPECT_EQ(y[1], Complex(0.0, 1.0));
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix m(2, 3);
+  Vector x(2);
+  EXPECT_THROW(m.Multiply(x), util::NumericError);
+}
+
+TEST(Matrix, Norms) {
+  Matrix m(2, 2);
+  m.At(0, 0) = Complex(3.0, 4.0);  // |.| = 5
+  m.At(1, 1) = Complex(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.NormFrobenius(), std::sqrt(26.0));
+  EXPECT_DOUBLE_EQ(m.NormInf(), 5.0);
+}
+
+TEST(Matrix, ToStringContainsEntries) {
+  Matrix m(1, 1);
+  m.At(0, 0) = Complex(2.5, -1.0);
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_NE(s.find("-1"), std::string::npos);
+}
+
+TEST(Matrix, SetZeroKeepsShape) {
+  Matrix m(2, 3);
+  m.At(0, 0) = Complex(1.0, 0.0);
+  m.SetZero();
+  EXPECT_EQ(m.Rows(), 2u);
+  EXPECT_EQ(m.At(0, 0), Complex(0.0, 0.0));
+}
+
+}  // namespace
+}  // namespace mcdft::linalg

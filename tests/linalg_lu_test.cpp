@@ -1,0 +1,148 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace mcdft::linalg {
+namespace {
+
+Matrix RandomMatrix(std::size_t n, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  Matrix m(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      m.At(r, c) = Complex(u(rng), u(rng));
+    }
+    m.At(r, r) += Complex(2.0 * static_cast<double>(n), 0.0);  // well conditioned
+  }
+  return m;
+}
+
+Vector RandomVector(std::size_t n, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = Complex(u(rng), u(rng));
+  return v;
+}
+
+TEST(DenseLu, Solves2x2RealSystem) {
+  // [2 1; 1 3] x = [3; 5] -> x = [0.8; 1.4]
+  Matrix a(2);
+  a.At(0, 0) = Complex(2, 0);
+  a.At(0, 1) = Complex(1, 0);
+  a.At(1, 0) = Complex(1, 0);
+  a.At(1, 1) = Complex(3, 0);
+  Vector b(2);
+  b[0] = Complex(3, 0);
+  b[1] = Complex(5, 0);
+  Vector x = SolveDense(a, b);
+  EXPECT_NEAR(x[0].real(), 0.8, 1e-12);
+  EXPECT_NEAR(x[1].real(), 1.4, 1e-12);
+}
+
+TEST(DenseLu, SolvesComplexSystem) {
+  // (i) * x = 1  ->  x = -i
+  Matrix a(1);
+  a.At(0, 0) = Complex(0, 1);
+  Vector b(1);
+  b[0] = Complex(1, 0);
+  Vector x = SolveDense(a, b);
+  EXPECT_NEAR(x[0].real(), 0.0, 1e-15);
+  EXPECT_NEAR(x[0].imag(), -1.0, 1e-15);
+}
+
+TEST(DenseLu, RequiresSquareMatrix) {
+  Matrix a(2, 3);
+  EXPECT_THROW(LuFactorization{a}, util::NumericError);
+}
+
+TEST(DenseLu, SingularMatrixThrows) {
+  Matrix a(2);
+  a.At(0, 0) = Complex(1, 0);
+  a.At(0, 1) = Complex(2, 0);
+  a.At(1, 0) = Complex(2, 0);
+  a.At(1, 1) = Complex(4, 0);  // rank 1
+  EXPECT_THROW(LuFactorization{a}, util::NumericError);
+}
+
+TEST(DenseLu, ZeroPivotHandledByRowExchange) {
+  // a11 = 0 forces a pivot swap; the system is still regular.
+  Matrix a(2);
+  a.At(0, 0) = Complex(0, 0);
+  a.At(0, 1) = Complex(1, 0);
+  a.At(1, 0) = Complex(1, 0);
+  a.At(1, 1) = Complex(0, 0);
+  Vector b(2);
+  b[0] = Complex(5, 0);
+  b[1] = Complex(7, 0);
+  Vector x = SolveDense(a, b);
+  EXPECT_NEAR(x[0].real(), 7.0, 1e-12);
+  EXPECT_NEAR(x[1].real(), 5.0, 1e-12);
+}
+
+TEST(DenseLu, SolveDimensionMismatchThrows) {
+  LuFactorization lu(Matrix::Identity(3));
+  Vector b(2);
+  EXPECT_THROW(lu.Solve(b), util::NumericError);
+}
+
+TEST(DenseLu, DeterminantOfIdentityIsOne) {
+  LuFactorization lu(Matrix::Identity(4));
+  EXPECT_NEAR(lu.Log10AbsDeterminant(), 0.0, 1e-12);
+  EXPECT_NEAR(lu.PivotRatio(), 1.0, 1e-12);
+}
+
+TEST(DenseLu, DeterminantOfScaledIdentity) {
+  Matrix a = Matrix::Identity(3);
+  for (std::size_t i = 0; i < 3; ++i) a.At(i, i) = Complex(10.0, 0.0);
+  LuFactorization lu(a);
+  EXPECT_NEAR(lu.Log10AbsDeterminant(), 3.0, 1e-12);
+}
+
+TEST(DenseLu, ReusableFactorizationForMultipleRhs) {
+  std::mt19937_64 rng(7);
+  Matrix a = RandomMatrix(5, rng);
+  LuFactorization lu(a);
+  for (int k = 0; k < 3; ++k) {
+    Vector x_true = RandomVector(5, rng);
+    Vector b = a.Multiply(x_true);
+    Vector x = lu.Solve(b);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-10);
+    }
+  }
+}
+
+class DenseLuPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DenseLuPropertyTest, SolveRecoversKnownSolution) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(1000 + n);
+  for (int trial = 0; trial < 5; ++trial) {
+    Matrix a = RandomMatrix(n, rng);
+    Vector x_true = RandomVector(n, rng);
+    Vector b = a.Multiply(x_true);
+    Vector x = LuFactorization(a).Solve(b);
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) err += std::abs(x[i] - x_true[i]);
+    EXPECT_LT(err / n, 1e-9) << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST_P(DenseLuPropertyTest, ResidualIsSmall) {
+  const std::size_t n = GetParam();
+  std::mt19937_64 rng(2000 + n);
+  Matrix a = RandomMatrix(n, rng);
+  Vector b = RandomVector(n, rng);
+  Vector x = LuFactorization(a).Solve(b);
+  Vector r = a.Multiply(x);
+  r.Axpy(Complex(-1.0, 0.0), b);
+  EXPECT_LT(r.Norm2() / (b.Norm2() + 1e-30), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DenseLuPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 40, 64));
+
+}  // namespace
+}  // namespace mcdft::linalg

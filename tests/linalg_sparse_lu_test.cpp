@@ -1,0 +1,155 @@
+#include "linalg/sparse_lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/lu.hpp"
+
+namespace mcdft::linalg {
+namespace {
+
+/// Random sparse diagonally-dominant system.
+TripletMatrix RandomSparse(std::size_t n, double density, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  TripletMatrix t(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r == c) {
+        t.Add(r, c, Complex(3.0 + u(rng), u(rng)));
+      } else if (coin(rng) < density) {
+        t.Add(r, c, Complex(u(rng), u(rng)) * 0.3);
+      }
+    }
+  }
+  return t;
+}
+
+TEST(SparseLu, SolvesDiagonalSystem) {
+  TripletMatrix t(3, 3);
+  t.Add(0, 0, Complex(2, 0));
+  t.Add(1, 1, Complex(4, 0));
+  t.Add(2, 2, Complex(0, 2));
+  Vector b(3);
+  b[0] = Complex(2, 0);
+  b[1] = Complex(8, 0);
+  b[2] = Complex(0, 4);
+  Vector x = SolveSparse(CsrMatrix(t), b);
+  EXPECT_NEAR(std::abs(x[0] - Complex(1, 0)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(x[1] - Complex(2, 0)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(x[2] - Complex(2, 0)), 0.0, 1e-14);
+}
+
+TEST(SparseLu, RequiresSquare) {
+  TripletMatrix t(2, 3);
+  EXPECT_THROW(SparseLu{CsrMatrix(t)}, util::NumericError);
+}
+
+TEST(SparseLu, SingularThrows) {
+  TripletMatrix t(2, 2);
+  t.Add(0, 0, Complex(1, 0));
+  t.Add(0, 1, Complex(1, 0));
+  t.Add(1, 0, Complex(1, 0));
+  t.Add(1, 1, Complex(1, 0));
+  EXPECT_THROW(SparseLu{CsrMatrix(t)}, util::NumericError);
+}
+
+TEST(SparseLu, StructurallySingularThrows) {
+  TripletMatrix t(2, 2);
+  t.Add(0, 0, Complex(1, 0));  // row/col 1 empty
+  EXPECT_THROW(SparseLu{CsrMatrix(t)}, util::NumericError);
+}
+
+TEST(SparseLu, PermutedIdentity) {
+  TripletMatrix t(3, 3);
+  t.Add(0, 2, Complex(1, 0));
+  t.Add(1, 0, Complex(1, 0));
+  t.Add(2, 1, Complex(1, 0));
+  Vector b(3);
+  b[0] = Complex(10, 0);
+  b[1] = Complex(20, 0);
+  b[2] = Complex(30, 0);
+  Vector x = SolveSparse(CsrMatrix(t), b);
+  EXPECT_NEAR(x[2].real(), 10.0, 1e-14);
+  EXPECT_NEAR(x[0].real(), 20.0, 1e-14);
+  EXPECT_NEAR(x[1].real(), 30.0, 1e-14);
+}
+
+TEST(SparseLu, SolveDimensionMismatchThrows) {
+  TripletMatrix t(2, 2);
+  t.Add(0, 0, Complex(1, 0));
+  t.Add(1, 1, Complex(1, 0));
+  SparseLu lu{CsrMatrix(t)};
+  Vector b(3);
+  EXPECT_THROW(lu.Solve(b), util::NumericError);
+}
+
+TEST(SparseLu, FactorNonZeroCountAtLeastMatrixNnz) {
+  std::mt19937_64 rng(3);
+  TripletMatrix t = RandomSparse(20, 0.15, rng);
+  CsrMatrix csr(t);
+  SparseLu lu(csr);
+  EXPECT_GE(lu.FactorNonZeroCount(), 20u);  // at least the diagonal
+}
+
+struct SparseCase {
+  std::size_t n;
+  double density;
+};
+
+class SparseLuPropertyTest : public ::testing::TestWithParam<SparseCase> {};
+
+TEST_P(SparseLuPropertyTest, MatchesDenseSolver) {
+  std::mt19937_64 rng(500 + GetParam().n);
+  for (int trial = 0; trial < 3; ++trial) {
+    TripletMatrix t = RandomSparse(GetParam().n, GetParam().density, rng);
+    CsrMatrix csr(t);
+    std::uniform_real_distribution<double> u(-1.0, 1.0);
+    Vector b(GetParam().n);
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = Complex(u(rng), u(rng));
+    Vector xs = SolveSparse(csr, b);
+    Vector xd = SolveDense(t.ToDense(), b);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      EXPECT_NEAR(std::abs(xs[i] - xd[i]), 0.0, 1e-9)
+          << "n=" << GetParam().n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(SparseLuPropertyTest, ResidualSmall) {
+  std::mt19937_64 rng(900 + GetParam().n);
+  TripletMatrix t = RandomSparse(GetParam().n, GetParam().density, rng);
+  CsrMatrix csr(t);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  Vector b(GetParam().n);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = Complex(u(rng), u(rng));
+  Vector x = SolveSparse(csr, b);
+  Vector r = csr.Multiply(x);
+  r.Axpy(Complex(-1.0, 0.0), b);
+  EXPECT_LT(r.Norm2() / (b.Norm2() + 1e-30), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SparseLuPropertyTest,
+    ::testing::Values(SparseCase{4, 0.5}, SparseCase{10, 0.3},
+                      SparseCase{25, 0.15}, SparseCase{50, 0.08},
+                      SparseCase{100, 0.04}, SparseCase{64, 1.0}));
+
+TEST(SparseLu, PivotThresholdOneIsPartialPivoting) {
+  std::mt19937_64 rng(42);
+  TripletMatrix t = RandomSparse(30, 0.2, rng);
+  CsrMatrix csr(t);
+  Vector b(30);
+  for (std::size_t i = 0; i < 30; ++i) b[i] = Complex(1.0, 0.0);
+  SparseLuOptions strict;
+  strict.pivot_threshold = 1.0;
+  Vector x1 = SolveSparse(csr, b, strict);
+  Vector x2 = SolveDense(t.ToDense(), b);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_NEAR(std::abs(x1[i] - x2[i]), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mcdft::linalg

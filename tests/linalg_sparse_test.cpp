@@ -1,0 +1,116 @@
+#include "linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace mcdft::linalg {
+namespace {
+
+TEST(TripletMatrix, AccumulatesEntries) {
+  TripletMatrix t(3, 3);
+  t.Add(0, 0, Complex(1, 0));
+  t.Add(0, 0, Complex(2, 0));  // duplicate: summed at compression
+  t.Add(1, 2, Complex(0, 1));
+  EXPECT_EQ(t.EntryCount(), 3u);
+  CsrMatrix csr(t);
+  EXPECT_EQ(csr.At(0, 0), Complex(3, 0));
+  EXPECT_EQ(csr.At(1, 2), Complex(0, 1));
+  EXPECT_EQ(csr.At(2, 2), Complex(0, 0));
+  EXPECT_EQ(csr.NonZeroCount(), 2u);
+}
+
+TEST(TripletMatrix, OutOfRangeThrows) {
+  TripletMatrix t(2, 2);
+  EXPECT_THROW(t.Add(2, 0, Complex(1, 0)), util::NumericError);
+  EXPECT_THROW(t.Add(0, 5, Complex(1, 0)), util::NumericError);
+}
+
+TEST(TripletMatrix, ClearKeepsShape) {
+  TripletMatrix t(2, 2);
+  t.Add(0, 0, Complex(1, 0));
+  t.Clear();
+  EXPECT_EQ(t.EntryCount(), 0u);
+  EXPECT_EQ(t.Rows(), 2u);
+}
+
+TEST(TripletMatrix, ToDenseMatchesEntries) {
+  TripletMatrix t(2, 3);
+  t.Add(1, 2, Complex(4, 0));
+  t.Add(1, 2, Complex(1, 0));
+  Matrix d = t.ToDense();
+  EXPECT_EQ(d.At(1, 2), Complex(5, 0));
+  EXPECT_EQ(d.At(0, 0), Complex(0, 0));
+}
+
+TEST(CsrMatrix, RowPointersConsistent) {
+  TripletMatrix t(3, 3);
+  t.Add(2, 0, Complex(1, 0));
+  t.Add(0, 1, Complex(2, 0));
+  t.Add(2, 2, Complex(3, 0));
+  CsrMatrix csr(t);
+  const auto& rp = csr.RowPointers();
+  ASSERT_EQ(rp.size(), 4u);
+  EXPECT_EQ(rp[0], 0u);
+  EXPECT_EQ(rp[1], 1u);  // row 0 has one entry
+  EXPECT_EQ(rp[2], 1u);  // row 1 empty
+  EXPECT_EQ(rp[3], 3u);  // row 2 has two entries
+  // Columns sorted within the row.
+  EXPECT_EQ(csr.ColumnIndices()[1], 0u);
+  EXPECT_EQ(csr.ColumnIndices()[2], 2u);
+}
+
+TEST(CsrMatrix, MultiplyMatchesDense) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> u(-1, 1);
+  const std::size_t n = 12;
+  TripletMatrix t(n, n);
+  for (int k = 0; k < 50; ++k) {
+    t.Add(rng() % n, rng() % n, Complex(u(rng), u(rng)));
+  }
+  CsrMatrix csr(t);
+  Matrix dense = t.ToDense();
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = Complex(u(rng), u(rng));
+  Vector y1 = csr.Multiply(x);
+  Vector y2 = dense.Multiply(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(y1[i] - y2[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(CsrMatrix, MultiplyDimensionMismatchThrows) {
+  CsrMatrix csr{TripletMatrix(2, 2)};
+  Vector x(3);
+  EXPECT_THROW(csr.Multiply(x), util::NumericError);
+}
+
+TEST(CsrMatrix, AtOutOfRangeThrows) {
+  CsrMatrix csr{TripletMatrix(2, 2)};
+  EXPECT_THROW(csr.At(2, 0), util::NumericError);
+}
+
+TEST(CsrMatrix, NormInfMatchesDense) {
+  TripletMatrix t(2, 2);
+  t.Add(0, 0, Complex(3, 4));
+  t.Add(0, 1, Complex(1, 0));
+  t.Add(1, 1, Complex(2, 0));
+  CsrMatrix csr(t);
+  EXPECT_DOUBLE_EQ(csr.NormInf(), t.ToDense().NormInf());
+  EXPECT_DOUBLE_EQ(csr.NormInf(), 6.0);
+}
+
+TEST(CsrMatrix, ToDenseRoundTrip) {
+  TripletMatrix t(3, 2);
+  t.Add(0, 1, Complex(1, 1));
+  t.Add(2, 0, Complex(-2, 0));
+  CsrMatrix csr(t);
+  Matrix d = csr.ToDense();
+  EXPECT_EQ(d.At(0, 1), Complex(1, 1));
+  EXPECT_EQ(d.At(2, 0), Complex(-2, 0));
+  EXPECT_EQ(d.Rows(), 3u);
+  EXPECT_EQ(d.Cols(), 2u);
+}
+
+}  // namespace
+}  // namespace mcdft::linalg

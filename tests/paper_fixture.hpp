@@ -1,0 +1,64 @@
+// Shared test fixture: a synthetic CampaignResult carrying the paper's
+// published data (Fig. 5 detectability matrix and Table 2 omega-detectability
+// values) so the Section 4 optimizer can be validated against the paper's
+// own worked example, independent of our circuit simulation.
+#pragma once
+
+#include "circuits/biquad.hpp"
+#include "core/campaign.hpp"
+
+namespace mcdft::testdata {
+
+/// Fault order used by the paper's tables: fR1..fR6, fC1, fC2.
+inline std::vector<faults::Fault> PaperFaults() {
+  std::vector<faults::Fault> f;
+  for (const char* name : {"R1", "R2", "R3", "R4", "R5", "R6"}) {
+    f.emplace_back(name, faults::FaultKind::kDeviationUp, 0.2);
+  }
+  f.emplace_back("C1", faults::FaultKind::kDeviationUp, 0.2);
+  f.emplace_back("C2", faults::FaultKind::kDeviationUp, 0.2);
+  return f;
+}
+
+/// The paper's Table 2 (omega-detectability in percent, rows C0..C6).
+/// Zero means "not detectable" (Fig. 5's zeros coincide with these).
+inline std::vector<std::vector<double>> PaperOmegaTable() {
+  return {
+      {54, 0, 0, 46, 0, 0, 0, 0},        // C0
+      {0, 0, 30, 0, 30, 30, 0, 30},      // C1
+      {30, 30, 0, 30, 30, 30, 30, 0},    // C2
+      {0, 0, 0, 0, 100, 100, 0, 0},      // C3
+      {14, 70, 70, 70, 70, 0, 0, 0},     // C4
+      {0, 0, 40, 0, 0, 0, 0, 40},        // C5
+      {66, 40, 0, 40, 0, 0, 0, 0},       // C6
+  };
+}
+
+/// Build a CampaignResult whose rows are C0..C6 over 3 configurable opamps
+/// with the paper's omega values (detectable iff omega > 0).
+inline core::CampaignResult PaperCampaign() {
+  const auto faults = PaperFaults();
+  const auto omega = PaperOmegaTable();
+  std::vector<core::ConfigResult> rows;
+  for (std::size_t i = 0; i < omega.size(); ++i) {
+    core::ConfigResult row{core::ConfigVector::FromIndex(i, 3), {}};
+    for (std::size_t j = 0; j < faults.size(); ++j) {
+      testability::FaultDetectability d{faults[j]};
+      d.detectable = omega[i][j] > 0.0;
+      d.omega_detectability = omega[i][j] / 100.0;
+      row.faults.push_back(std::move(d));
+    }
+    rows.push_back(std::move(row));
+  }
+  return core::CampaignResult(faults, std::move(rows),
+                              testability::ReferenceBand(10.0, 1e5, 25));
+}
+
+/// A biquad-shaped DftCircuit whose element names match PaperFaults()
+/// (needed only for the opamp mapping; its simulated behaviour is not used
+/// with the synthetic campaign).
+inline core::DftCircuit PaperCircuit() {
+  return circuits::BuildDftBiquad();
+}
+
+}  // namespace mcdft::testdata

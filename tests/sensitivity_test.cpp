@@ -1,0 +1,97 @@
+#include "testability/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace mcdft::testability {
+namespace {
+
+spice::Netlist Divider() {
+  spice::Netlist nl("divider");
+  nl.AddVoltageSource("V1", "in", "0", 0.0, 1.0);
+  nl.AddResistor("R1", "in", "out", 1e3);
+  nl.AddResistor("R2", "out", "0", 1e3);
+  return nl;
+}
+
+spice::Probe OutProbe(const spice::Netlist& nl) {
+  return spice::Probe{nl.FindNode("out"), spice::kGround, "v(out)"};
+}
+
+TEST(Sensitivity, MatchesAnalyticDividerSensitivity) {
+  // T = R2/(R1+R2) = 1/2; S^T_R1 = -R1/(R1+R2) = -1/2 -> |S| = 0.5.
+  auto nl = Divider();
+  auto sweep = spice::SweepSpec::List({100.0, 1000.0});
+  SensitivityOptions opt;
+  opt.delta = 1e-4;
+  auto s = ComputeRelativeSensitivity(nl, sweep, OutProbe(nl), "R1", opt);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_NEAR(s[0], 0.5, 1e-3);
+  EXPECT_NEAR(s[1], 0.5, 1e-3);
+  auto s2 = ComputeRelativeSensitivity(nl, sweep, OutProbe(nl), "R2", opt);
+  EXPECT_NEAR(s2[0], 0.5, 1e-3);
+}
+
+TEST(Sensitivity, CentralDifferenceCloserForLargeDelta) {
+  auto nl = Divider();
+  auto sweep = spice::SweepSpec::List({1000.0});
+  SensitivityOptions fwd;
+  fwd.delta = 0.2;
+  SensitivityOptions ctr = fwd;
+  ctr.central = true;
+  const double s_fwd =
+      ComputeRelativeSensitivity(nl, sweep, OutProbe(nl), "R1", fwd)[0];
+  const double s_ctr =
+      ComputeRelativeSensitivity(nl, sweep, OutProbe(nl), "R1", ctr)[0];
+  EXPECT_LT(std::abs(s_ctr - 0.5), std::abs(s_fwd - 0.5));
+}
+
+TEST(Sensitivity, RcLowPassSensitivityPeaksAboveCutoff) {
+  spice::Netlist nl("rc");
+  nl.AddVoltageSource("V1", "in", "0", 0.0, 1.0);
+  nl.AddResistor("R1", "in", "out", 1e3);
+  nl.AddCapacitor("C1", "out", "0", 1e-6);
+  const double fc = 1.0 / (2.0 * std::numbers::pi * 1e-3);
+  auto sweep = spice::SweepSpec::List({fc / 100.0, fc, fc * 10.0});
+  SensitivityOptions opt;
+  opt.delta = 1e-4;
+  opt.relative_floor = 1e-9;  // pointwise
+  auto s = ComputeRelativeSensitivity(nl, sweep, OutProbe(nl), "C1", opt);
+  // |S^T_C| = (w R C) / sqrt(1 + (wRC)^2) ... rises from ~0 to ~1.
+  EXPECT_LT(s[0], 0.05);
+  EXPECT_NEAR(s[1], 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_GT(s[2], 0.9);
+}
+
+TEST(Sensitivity, BatchSharesNominal) {
+  auto nl = Divider();
+  auto sweep = spice::SweepSpec::List({1000.0});
+  auto all = ComputeSensitivities(nl, sweep, OutProbe(nl), {"R1", "R2"});
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_NEAR(all[0][0], all[1][0], 1e-6);
+}
+
+TEST(Sensitivity, LeavesNetlistUntouched) {
+  auto nl = Divider();
+  ComputeRelativeSensitivity(nl, spice::SweepSpec::List({1e3}), OutProbe(nl),
+                             "R1");
+  EXPECT_DOUBLE_EQ(nl.GetElement("R1").Value(), 1e3);
+}
+
+TEST(Sensitivity, ValidatesArguments) {
+  auto nl = Divider();
+  auto sweep = spice::SweepSpec::List({1e3});
+  SensitivityOptions bad;
+  bad.delta = 0.0;
+  EXPECT_THROW(ComputeRelativeSensitivity(nl, sweep, OutProbe(nl), "R1", bad),
+               util::AnalysisError);
+  bad.delta = 1.5;
+  EXPECT_THROW(ComputeRelativeSensitivity(nl, sweep, OutProbe(nl), "R1", bad),
+               util::AnalysisError);
+  EXPECT_THROW(ComputeRelativeSensitivity(nl, sweep, OutProbe(nl), "R9"),
+               util::NetlistError);
+}
+
+}  // namespace
+}  // namespace mcdft::testability

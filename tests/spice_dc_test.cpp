@@ -1,0 +1,56 @@
+#include "spice/dc_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcdft::spice {
+namespace {
+
+TEST(DcAnalysis, OperatingPointOfDivider) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 9.0);
+  nl.AddResistor("R1", "in", "mid", 2e3);
+  nl.AddResistor("R2", "mid", "0", 1e3);
+  auto op = SolveOperatingPoint(nl);
+  EXPECT_DOUBLE_EQ(op.VoltageAt(kGround), 0.0);
+  EXPECT_NEAR(op.VoltageAt(nl.FindNode("in")), 9.0, 1e-12);
+  EXPECT_NEAR(op.VoltageAt(nl.FindNode("mid")), 3.0, 1e-9);
+}
+
+TEST(DcAnalysis, OpampVirtualGroundAtDc) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 2.0);
+  nl.AddResistor("RIN", "in", "minus", 1e3);
+  nl.AddResistor("RF", "minus", "out", 3e3);
+  nl.AddOpamp("OP1", "0", "minus", "out");
+  auto op = SolveOperatingPoint(nl);
+  EXPECT_NEAR(op.VoltageAt(nl.FindNode("out")), -6.0, 1e-3);
+  EXPECT_NEAR(op.VoltageAt(nl.FindNode("minus")), 0.0, 1e-4);
+}
+
+TEST(DcAnalysis, VoltageAtOutOfRangeThrows) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddResistor("R1", "in", "0", 1e3);
+  auto op = SolveOperatingPoint(nl);
+  EXPECT_THROW(op.VoltageAt(99), util::AnalysisError);
+}
+
+TEST(DcAnalysis, AcSourceContributesNothingAtDc) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 0.0, 1.0);  // DC 0, AC 1
+  nl.AddResistor("R1", "in", "out", 1e3);
+  nl.AddResistor("R2", "out", "0", 1e3);
+  auto op = SolveOperatingPoint(nl);
+  EXPECT_NEAR(op.VoltageAt(nl.FindNode("out")), 0.0, 1e-12);
+}
+
+TEST(DcAnalysis, SingularDcThrowsNumericError) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddCapacitor("C1", "in", "island", 1e-9);
+  nl.AddCapacitor("C2", "island", "0", 1e-9);
+  EXPECT_THROW(SolveOperatingPoint(nl), util::NumericError);
+}
+
+}  // namespace
+}  // namespace mcdft::spice

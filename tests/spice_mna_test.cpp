@@ -1,0 +1,266 @@
+// Element-stamp and MNA-engine tests: every element type is verified
+// against hand-computed circuit solutions.
+#include "spice/mna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace mcdft::spice {
+namespace {
+
+TEST(Mna, ResistiveDivider) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 10.0);
+  nl.AddResistor("R1", "in", "out", 1e3);
+  nl.AddResistor("R2", "out", "0", 3e3);
+  MnaSystem sys(nl);
+  auto sol = sys.SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(nl.FindNode("out")).real(), 7.5, 1e-9);
+  // Source branch current: 10V across 4k = 2.5 mA flowing out of +.
+  auto i = sol.BranchCurrent(sys.ElementIndexOf("V1"));
+  EXPECT_NEAR(i.real(), -2.5e-3, 1e-12);
+}
+
+TEST(Mna, CurrentSourceIntoResistor) {
+  Netlist nl;
+  nl.AddCurrentSource("I1", "0", "out", 2e-3);  // 2 mA into node out
+  nl.AddResistor("R1", "out", "0", 1e3);
+  auto sol = MnaSystem(nl).SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(nl.FindNode("out")).real(), 2.0, 1e-12);
+}
+
+TEST(Mna, CapacitorOpenAtDc) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 5.0);
+  nl.AddResistor("R1", "in", "out", 1e3);
+  nl.AddCapacitor("C1", "out", "0", 1e-6);
+  nl.AddResistor("R2", "out", "0", 1e9);  // keeps the DC system regular
+  auto sol = MnaSystem(nl).SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(nl.FindNode("out")).real(), 5.0, 1e-3);
+}
+
+TEST(Mna, InductorShortAtDc) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 5.0);
+  nl.AddResistor("R1", "in", "out", 1e3);
+  nl.AddInductor("L1", "out", "0", 1e-3);
+  MnaSystem sys(nl);
+  auto sol = sys.SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(nl.FindNode("out")).real(), 0.0, 1e-12);
+  // All 5 mA flows through the inductor branch.
+  auto i = sol.BranchCurrent(sys.ElementIndexOf("L1"));
+  EXPECT_NEAR(i.real(), 5e-3, 1e-12);
+}
+
+TEST(Mna, RcLowPassAtCutoff) {
+  // R-C low-pass: |H| = 1/sqrt(2), phase -45 deg at f = 1/(2 pi R C).
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 0.0, 1.0);
+  nl.AddResistor("R1", "in", "out", 1e3);
+  nl.AddCapacitor("C1", "out", "0", 1e-6);
+  const double fc = 1.0 / (2.0 * std::numbers::pi * 1e3 * 1e-6);
+  auto sol = MnaSystem(nl).SolveAcHz(fc);
+  Complex h = sol.VoltageAt(nl.FindNode("out"));
+  EXPECT_NEAR(std::abs(h), 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(std::arg(h) * 180.0 / std::numbers::pi, -45.0, 1e-6);
+}
+
+TEST(Mna, RlHighPass) {
+  // series R, shunt L: |H| = wL/sqrt(R^2 + (wL)^2).
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 0.0, 1.0);
+  nl.AddResistor("R1", "in", "out", 100.0);
+  nl.AddInductor("L1", "out", "0", 1e-3);
+  const double f = 100.0 / (2.0 * std::numbers::pi * 1e-3);  // wL = R
+  auto sol = MnaSystem(nl).SolveAcHz(f);
+  EXPECT_NEAR(std::abs(sol.VoltageAt(nl.FindNode("out"))),
+              1.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Mna, RlcSeriesResonance) {
+  // At resonance the LC cancels: full source voltage across R.
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 0.0, 1.0);
+  nl.AddInductor("L1", "in", "a", 1e-3);
+  nl.AddCapacitor("C1", "a", "out", 1e-9);
+  nl.AddResistor("R1", "out", "0", 50.0);
+  const double f0 = 1.0 / (2.0 * std::numbers::pi * std::sqrt(1e-3 * 1e-9));
+  auto sol = MnaSystem(nl).SolveAcHz(f0);
+  EXPECT_NEAR(std::abs(sol.VoltageAt(nl.FindNode("out"))), 1.0, 1e-6);
+}
+
+TEST(Mna, VcvsGain) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 2.0);
+  nl.AddResistor("RL0", "in", "0", 1e3);
+  nl.AddVcvs("E1", "out", "0", "in", "0", 10.0);
+  nl.AddResistor("RL", "out", "0", 1e3);
+  auto sol = MnaSystem(nl).SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(nl.FindNode("out")).real(), 20.0, 1e-9);
+}
+
+TEST(Mna, VccsTransconductance) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddResistor("RI", "in", "0", 1e6);
+  nl.AddVccs("G1", "0", "out", "in", "0", 1e-3);  // 1 mA into out per volt
+  nl.AddResistor("RL", "out", "0", 2e3);
+  auto sol = MnaSystem(nl).SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(nl.FindNode("out")).real(), 2.0, 1e-9);
+}
+
+TEST(Mna, CcvsTransresistance) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddResistor("R1", "in", "0", 500.0);  // source current = 2 mA
+  nl.AddCcvs("H1", "out", "0", "V1", 1e3);
+  nl.AddResistor("RL", "out", "0", 1e3);
+  auto sol = MnaSystem(nl).SolveDc();
+  // V1 branch current is -2 mA (flows out of +), so V(out) = -2 V.
+  EXPECT_NEAR(sol.VoltageAt(nl.FindNode("out")).real(), -2.0, 1e-9);
+}
+
+TEST(Mna, CccsGain) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddResistor("R1", "in", "0", 1e3);  // 1 mA through V1 (out of +)
+  nl.AddCccs("F1", "0", "out", "V1", 5.0);
+  nl.AddResistor("RL", "out", "0", 1e3);
+  auto sol = MnaSystem(nl).SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(nl.FindNode("out")).real(), -5.0, 1e-9);
+}
+
+TEST(Mna, OpampInvertingAmplifier) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddResistor("RIN", "in", "minus", 1e3);
+  nl.AddResistor("RF", "minus", "out", 10e3);
+  nl.AddOpamp("OP1", "0", "minus", "out");
+  auto sol = MnaSystem(nl).SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(nl.FindNode("out")).real(), -10.0, 1e-3);
+  EXPECT_NEAR(sol.VoltageAt(nl.FindNode("minus")).real(), 0.0, 1e-4);
+}
+
+TEST(Mna, OpampNonInvertingAmplifier) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddResistor("RG", "minus", "0", 1e3);
+  nl.AddResistor("RF", "minus", "out", 4e3);
+  nl.AddOpamp("OP1", "in", "minus", "out");
+  auto sol = MnaSystem(nl).SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(nl.FindNode("out")).real(), 5.0, 1e-3);
+}
+
+TEST(Mna, IdealOpampModel) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddResistor("RIN", "in", "minus", 1e3);
+  nl.AddResistor("RF", "minus", "out", 10e3);
+  OpampModel ideal{OpampModelKind::kIdeal, 0.0, 0.0};
+  nl.AddElement(std::make_unique<Opamp>("OP1", nl.Node("0"), nl.Node("minus"),
+                                        nl.Node("out"), ideal));
+  auto sol = MnaSystem(nl).SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(nl.FindNode("out")).real(), -10.0, 1e-9);
+}
+
+TEST(Mna, SinglePoleOpampRollsOff) {
+  // Unity follower with GBW 1 MHz: at 1 MHz |H| ~ 1/sqrt(2).
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 0.0, 1.0);
+  OpampModel pole{OpampModelKind::kSinglePole, 1e5, 1e6};
+  nl.AddElement(std::make_unique<Opamp>("OP1", nl.Node("in"), nl.Node("out"),
+                                        nl.Node("out"), pole));
+  nl.AddResistor("RL", "out", "0", 1e4);
+  MnaSystem sys(nl);
+  EXPECT_NEAR(std::abs(sys.SolveAcHz(1e3).VoltageAt(nl.FindNode("out"))), 1.0,
+              1e-2);
+  EXPECT_NEAR(std::abs(sys.SolveAcHz(1e6).VoltageAt(nl.FindNode("out"))),
+              1.0 / std::sqrt(2.0), 2e-2);
+}
+
+TEST(Mna, ConfigurableOpampFollowerTracksTestInput) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "sig", "0", 3.0);
+  nl.AddResistor("RS", "sig", "0", 1e3);
+  nl.AddResistor("RIN", "sig", "minus", 1e3);
+  nl.AddResistor("RF", "minus", "out", 1e3);
+  auto& e = nl.AddOpamp("OP1", "0", "minus", "out");
+  auto& op = static_cast<Opamp&>(e);
+  op.MakeConfigurable(nl.Node("sig"));
+
+  // Normal mode: inverting gain -1.
+  auto sol_normal = MnaSystem(nl).SolveDc();
+  EXPECT_NEAR(sol_normal.VoltageAt(nl.FindNode("out")).real(), -3.0, 1e-3);
+
+  // Follower mode: output tracks the test input, feedback network is
+  // driven but ignored.
+  op.SetMode(OpampMode::kFollower);
+  auto sol_follow = MnaSystem(nl).SolveDc();
+  EXPECT_NEAR(sol_follow.VoltageAt(nl.FindNode("out")).real(), 3.0, 1e-3);
+}
+
+TEST(Mna, BackendsAgree) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 0.0, 1.0);
+  nl.AddResistor("R1", "in", "a", 1e3);
+  nl.AddCapacitor("C1", "a", "0", 1e-9);
+  nl.AddResistor("R2", "a", "b", 2e3);
+  nl.AddInductor("L1", "b", "0", 1e-3);
+  MnaOptions dense;
+  dense.backend = SolverBackend::kDense;
+  MnaOptions sparse;
+  sparse.backend = SolverBackend::kSparse;
+  auto sd = MnaSystem(nl, dense).SolveAcHz(50e3);
+  auto ss = MnaSystem(nl, sparse).SolveAcHz(50e3);
+  for (NodeId n = 1; n < nl.NodeCount(); ++n) {
+    EXPECT_NEAR(std::abs(sd.VoltageAt(n) - ss.VoltageAt(n)), 0.0, 1e-10);
+  }
+}
+
+TEST(Mna, UnknownCountsNodesPlusBranches) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);  // 1 branch
+  nl.AddResistor("R1", "in", "out", 1e3);     // 0 branches
+  nl.AddInductor("L1", "out", "0", 1e-3);     // 1 branch
+  MnaSystem sys(nl);
+  EXPECT_EQ(sys.NodeUnknownCount(), 2u);
+  EXPECT_EQ(sys.UnknownCount(), 4u);
+}
+
+TEST(Mna, InvalidNetlistRejectedAtConstruction) {
+  Netlist nl;  // empty
+  EXPECT_THROW(MnaSystem{nl}, util::NetlistError);
+}
+
+TEST(Mna, ElementIndexOfUnknownThrows) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddResistor("R1", "in", "0", 1.0);
+  MnaSystem sys(nl);
+  EXPECT_THROW(sys.ElementIndexOf("nope"), util::AnalysisError);
+}
+
+TEST(Mna, BranchCurrentOfBranchlessElementThrows) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddResistor("R1", "in", "0", 1.0);
+  MnaSystem sys(nl);
+  auto sol = sys.SolveDc();
+  EXPECT_THROW(sol.BranchCurrent(sys.ElementIndexOf("R1")),
+               util::AnalysisError);
+}
+
+TEST(Mna, FloatingNodeSingularSystemThrows) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddCapacitor("C1", "in", "mid", 1e-9);
+  nl.AddCapacitor("C2", "mid", "0", 1e-9);
+  // DC: mid is isolated by the capacitors -> singular DC system.
+  EXPECT_THROW(MnaSystem(nl).SolveDc(), util::NumericError);
+  // AC is fine.
+  EXPECT_NO_THROW(MnaSystem(nl).SolveAcHz(1e3));
+}
+
+}  // namespace
+}  // namespace mcdft::spice

@@ -1,0 +1,202 @@
+#include "spice/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/elements.hpp"
+
+namespace mcdft::spice {
+namespace {
+
+TEST(Netlist, GroundAliases) {
+  Netlist nl;
+  EXPECT_EQ(nl.Node("0"), kGround);
+  EXPECT_EQ(nl.Node("gnd"), kGround);
+  EXPECT_EQ(nl.Node("GND"), kGround);
+}
+
+TEST(Netlist, NodeCreationIsIdempotent) {
+  Netlist nl;
+  NodeId a = nl.Node("n1");
+  EXPECT_EQ(nl.Node("n1"), a);
+  EXPECT_EQ(nl.Node("N1"), a);  // case-insensitive
+  EXPECT_EQ(nl.NodeCount(), 2u);
+}
+
+TEST(Netlist, NodeNamePreservesFirstSpelling) {
+  Netlist nl;
+  NodeId a = nl.Node("OutNode");
+  EXPECT_EQ(nl.NodeName(a), "OutNode");
+}
+
+TEST(Netlist, FindNodeThrowsOnUnknown) {
+  Netlist nl;
+  EXPECT_THROW(nl.FindNode("nope"), util::NetlistError);
+  EXPECT_FALSE(nl.TryFindNode("nope").has_value());
+}
+
+TEST(Netlist, NodeNameOutOfRangeThrows) {
+  Netlist nl;
+  EXPECT_THROW(nl.NodeName(99), util::NetlistError);
+}
+
+TEST(Netlist, DuplicateElementNameThrows) {
+  Netlist nl;
+  nl.AddResistor("R1", "a", "b", 100.0);
+  EXPECT_THROW(nl.AddResistor("r1", "b", "c", 200.0), util::NetlistError);
+}
+
+TEST(Netlist, FindElementCaseInsensitive) {
+  Netlist nl;
+  nl.AddResistor("R1", "a", "b", 100.0);
+  EXPECT_NE(nl.FindElement("r1"), nullptr);
+  EXPECT_EQ(nl.FindElement("r2"), nullptr);
+  EXPECT_EQ(nl.GetElement("R1").Name(), "R1");
+  EXPECT_THROW(nl.GetElement("R2"), util::NetlistError);
+}
+
+TEST(Netlist, RemoveElement) {
+  Netlist nl;
+  nl.AddResistor("R1", "a", "b", 100.0);
+  nl.AddResistor("R2", "b", "0", 100.0);
+  nl.RemoveElement("R1");
+  EXPECT_EQ(nl.ElementCount(), 1u);
+  EXPECT_EQ(nl.FindElement("R1"), nullptr);
+  EXPECT_NE(nl.FindElement("R2"), nullptr);
+  EXPECT_THROW(nl.RemoveElement("R1"), util::NetlistError);
+}
+
+TEST(Netlist, RemoveKeepsIndexConsistent) {
+  Netlist nl;
+  nl.AddResistor("R1", "a", "0", 1.0);
+  nl.AddResistor("R2", "a", "0", 2.0);
+  nl.AddResistor("R3", "a", "0", 3.0);
+  nl.RemoveElement("R2");
+  EXPECT_DOUBLE_EQ(nl.GetElement("R3").Value(), 3.0);
+  EXPECT_DOUBLE_EQ(nl.GetElement("R1").Value(), 1.0);
+}
+
+TEST(Netlist, CloneIsDeep) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 0.0, 1.0);
+  nl.AddResistor("R1", "in", "out", 1e3);
+  nl.AddResistor("R2", "out", "0", 1e3);
+  Netlist copy = nl.Clone();
+  copy.GetElement("R1").SetValue(5e3);
+  EXPECT_DOUBLE_EQ(nl.GetElement("R1").Value(), 1e3);
+  EXPECT_DOUBLE_EQ(copy.GetElement("R1").Value(), 5e3);
+  EXPECT_EQ(copy.NodeCount(), nl.NodeCount());
+}
+
+TEST(Netlist, ValidateAcceptsSimpleDivider) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddResistor("R1", "in", "out", 1e3);
+  nl.AddResistor("R2", "out", "0", 1e3);
+  EXPECT_TRUE(nl.Validate().empty());
+  EXPECT_NO_THROW(nl.ValidateOrThrow());
+}
+
+TEST(Netlist, ValidateFlagsEmptyCircuit) {
+  Netlist nl;
+  EXPECT_FALSE(nl.Validate().empty());
+  EXPECT_THROW(nl.ValidateOrThrow(), util::NetlistError);
+}
+
+TEST(Netlist, ValidateFlagsDanglingNode) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.Node("floating");  // created but never used
+  auto problems = nl.Validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("floating"), std::string::npos);
+}
+
+TEST(Netlist, ValidateFlagsIslandWithoutGroundPath) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddResistor("R1", "in", "0", 1e3);
+  nl.AddResistor("R2", "a", "b", 1e3);  // island {a, b}
+  auto problems = nl.Validate();
+  bool found = false;
+  for (const auto& p : problems) {
+    if (p.find("no path to ground") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Netlist, ValidateFlagsUnknownControlSource) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddCcvs("H1", "in", "0", "VMISSING", 10.0);
+  auto problems = nl.Validate();
+  bool found = false;
+  for (const auto& p : problems) {
+    if (p.find("VMISSING") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Netlist, ValidateFlagsControlWithoutBranch) {
+  Netlist nl;
+  nl.AddVoltageSource("V1", "in", "0", 1.0);
+  nl.AddResistor("R1", "in", "0", 1e3);
+  nl.AddCccs("F1", "in", "0", "R1", 2.0);  // resistor carries no branch
+  auto problems = nl.Validate();
+  bool found = false;
+  for (const auto& p : problems) {
+    if (p.find("no branch current") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Netlist, AddElementChecksNodeOwnership) {
+  Netlist nl1, nl2;
+  NodeId foreign = nl2.Node("a");  // id 1 in nl2
+  (void)foreign;
+  // Use an id that does not exist in nl1.
+  auto r = std::make_unique<Resistor>("R1", NodeId{5}, kGround, 1e3);
+  EXPECT_THROW(nl1.AddElement(std::move(r)), util::NetlistError);
+}
+
+TEST(Elements, InvalidValuesThrow) {
+  Netlist nl;
+  EXPECT_THROW(nl.AddResistor("R1", "a", "b", 0.0), util::NetlistError);
+  EXPECT_THROW(nl.AddResistor("R2", "a", "b", -1.0), util::NetlistError);
+  EXPECT_THROW(nl.AddCapacitor("C1", "a", "b", 0.0), util::NetlistError);
+  EXPECT_THROW(nl.AddInductor("L1", "a", "b", -2.0), util::NetlistError);
+}
+
+TEST(Elements, SetValueValidates) {
+  Netlist nl;
+  auto& r = nl.AddResistor("R1", "a", "b", 100.0);
+  EXPECT_THROW(r.SetValue(-5.0), util::NetlistError);
+  r.SetValue(200.0);
+  EXPECT_DOUBLE_EQ(r.Value(), 200.0);
+}
+
+TEST(Elements, OpampHasNoPrincipalValue) {
+  Netlist nl;
+  auto& op = nl.AddOpamp("OP1", "p", "n", "out");
+  EXPECT_FALSE(op.HasValue());
+  EXPECT_THROW(op.Value(), util::NetlistError);
+  EXPECT_THROW(op.SetValue(1.0), util::NetlistError);
+}
+
+TEST(Elements, OpampFollowerRequiresConfigurable) {
+  Netlist nl;
+  auto& e = nl.AddOpamp("OP1", "p", "n", "out");
+  auto& op = static_cast<Opamp&>(e);
+  EXPECT_THROW(op.SetMode(OpampMode::kFollower), util::NetlistError);
+  op.MakeConfigurable(nl.Node("test"));
+  EXPECT_NO_THROW(op.SetMode(OpampMode::kFollower));
+  EXPECT_EQ(op.Mode(), OpampMode::kFollower);
+}
+
+TEST(Elements, KindNames) {
+  EXPECT_EQ(ElementKindName(ElementKind::kResistor), "resistor");
+  EXPECT_EQ(ElementKindName(ElementKind::kOpamp), "opamp");
+  EXPECT_EQ(ElementKindName(ElementKind::kVcvs), "vcvs");
+}
+
+}  // namespace
+}  // namespace mcdft::spice

@@ -1,0 +1,145 @@
+// Randomized writer -> parser round-trip: generate random (valid) netlists
+// programmatically, serialize them, parse them back, and verify the two
+// netlists are electrically identical (same AC solution at random
+// frequencies) and structurally equivalent.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "spice/elements.hpp"
+#include "spice/mna.hpp"
+#include "spice/parser.hpp"
+#include "spice/writer.hpp"
+
+namespace mcdft::spice {
+namespace {
+
+/// Random connected netlist: a chain of nodes from "in" to ground with
+/// random elements bridging random node pairs; always includes a source
+/// and a resistive path to ground at every node (keeps MNA regular).
+Netlist RandomNetlist(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> logval(-1.0, 1.0);
+  auto rand_r = [&] { return 1e3 * std::pow(10.0, logval(rng)); };
+  auto rand_c = [&] { return 1e-9 * std::pow(10.0, logval(rng)); };
+  auto rand_l = [&] { return 1e-3 * std::pow(10.0, logval(rng)); };
+
+  const std::size_t nnodes = 3 + rng() % 5;  // n0 .. n{k}
+  Netlist nl("fuzz");
+  auto node_name = [&](std::size_t i) {
+    return i == 0 ? std::string("in") : "n" + std::to_string(i);
+  };
+  nl.AddVoltageSource("V1", "in", "0", 1.0, 1.0);
+  // Spine of resistors guaranteeing ground connectivity.
+  for (std::size_t i = 0; i < nnodes; ++i) {
+    nl.AddResistor("RS" + std::to_string(i), node_name(i),
+                   i + 1 < nnodes ? node_name(i + 1) : "0", rand_r());
+  }
+  // Random extra elements.
+  const std::size_t extras = 2 + rng() % 6;
+  for (std::size_t e = 0; e < extras; ++e) {
+    const std::string a = node_name(rng() % nnodes);
+    std::string b = node_name(rng() % nnodes);
+    if (a == b) b = "0";
+    const std::string id = std::to_string(e);
+    switch (rng() % 4) {
+      case 0: nl.AddResistor("RX" + id, a, b, rand_r()); break;
+      case 1: nl.AddCapacitor("CX" + id, a, b, rand_c()); break;
+      case 2: nl.AddInductor("LX" + id, a, b, rand_l()); break;
+      case 3:
+        nl.AddVcvs("EX" + id, "e" + id, "0", a, b, logval(rng));
+        nl.AddResistor("RE" + id, "e" + id, "0", rand_r());
+        break;
+    }
+  }
+  return nl;
+}
+
+class RoundTripFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripFuzzTest, WriteParseWriteIsStable) {
+  std::mt19937_64 rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    Netlist original = RandomNetlist(rng);
+    const std::string deck1 = WriteDeck(original);
+    ParsedDeck reparsed = ParseDeck(deck1);
+    const std::string deck2 = WriteDeck(reparsed.netlist);
+    // Idempotence: the second serialization is byte-identical.
+    EXPECT_EQ(deck1, deck2) << "seed=" << GetParam() << " trial=" << trial;
+  }
+}
+
+TEST_P(RoundTripFuzzTest, ParsedNetlistIsElectricallyIdentical) {
+  std::mt19937_64 rng(GetParam() ^ 0xabcdef);
+  for (int trial = 0; trial < 5; ++trial) {
+    Netlist original = RandomNetlist(rng);
+    ParsedDeck reparsed = ParseDeck(WriteDeck(original));
+    ASSERT_EQ(reparsed.netlist.ElementCount(), original.ElementCount());
+    MnaSystem sys1(original);
+    MnaSystem sys2(reparsed.netlist);
+    for (double f : {13.0, 1.7e3, 420e3}) {
+      auto s1 = sys1.SolveAcHz(f);
+      auto s2 = sys2.SolveAcHz(f);
+      for (NodeId n = 1; n < original.NodeCount(); ++n) {
+        const NodeId n2 = reparsed.netlist.FindNode(original.NodeName(n));
+        // Values pass through engineering formatting (4 significant
+        // digits), so allow a small relative error.
+        EXPECT_NEAR(std::abs(s1.VoltageAt(n) - s2.VoltageAt(n2)), 0.0,
+                    2e-3 * (std::abs(s1.VoltageAt(n)) + 1.0))
+            << "f=" << f << " node=" << original.NodeName(n);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ParserFuzz, GarbageInputsThrowCleanly) {
+  // Every malformed deck must throw a typed error, never crash or accept.
+  const char* bad[] = {
+      "R1\n",
+      "R1 a\n",
+      "R1 a b\n",
+      "V1 a 0 DC\n",
+      "E1 a 0 b\n",
+      "O1 a\n",
+      "X1\n",
+      ".ac\n",
+      ".ac dec\n",
+      ".ac dec five 1 10\n",
+      ".probe\nR1 a 0 1\n.probe v(\n",
+      // A garbage *second* line is an error (the first would be a title).
+      ".title t\n\x01\x02\x03 a b c\n",
+  };
+  for (const char* deck : bad) {
+    EXPECT_THROW(ParseDeck(deck), util::Error) << deck;
+  }
+}
+
+TEST(ParserFuzz, RandomTokenSoupNeverCrashes) {
+  std::mt19937_64 rng(99);
+  const char* tokens[] = {"R1", "C2",  "a",   "b",    "0",   "1k",  "2.2n",
+                          ".ac", "dec", "X1",  ".subckt", ".ends", "V1",
+                          "AC",  "DC",  "O1",  "A0=1e6",  "+",     "v(a)"};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string deck;
+    const std::size_t lines = 1 + rng() % 6;
+    for (std::size_t l = 0; l < lines; ++l) {
+      const std::size_t words = 1 + rng() % 6;
+      for (std::size_t w = 0; w < words; ++w) {
+        deck += tokens[rng() % std::size(tokens)];
+        deck += " ";
+      }
+      deck += "\n";
+    }
+    try {
+      ParseDeck(deck);  // accepting is fine; crashing is not
+    } catch (const util::Error&) {
+      // expected for most random soups
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mcdft::spice

@@ -1,0 +1,187 @@
+// Subcircuit (.subckt / .ends / X-instance) parser tests.
+#include <gtest/gtest.h>
+
+#include "spice/elements.hpp"
+#include "spice/mna.hpp"
+#include "spice/parser.hpp"
+
+namespace mcdft::spice {
+namespace {
+
+TEST(Subckt, FlattensSimpleInstance) {
+  ParsedDeck d = ParseDeck(R"(
+.subckt divider in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+V1 vin 0 DC 4
+X1 vin mid divider
+.end
+)");
+  // Flattened names: R1.X1 and R2.X1; local node 'out' bound to 'mid'.
+  EXPECT_NE(d.netlist.FindElement("R1.X1"), nullptr);
+  EXPECT_NE(d.netlist.FindElement("R2.X1"), nullptr);
+  auto sol = MnaSystem(d.netlist).SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(d.netlist.FindNode("mid")).real(), 2.0, 1e-9);
+}
+
+TEST(Subckt, MultipleInstancesAreIndependent) {
+  ParsedDeck d = ParseDeck(R"(
+.subckt sect a b
+R1 a b 1k
+C1 b 0 1n
+.ends
+V1 in 0 AC 1
+X1 in m1 sect
+X2 m1 m2 sect
+X3 m2 out sect
+.end
+)");
+  EXPECT_EQ(d.netlist.ElementCount(), 7u);  // V1 + 3*(R+C)
+  EXPECT_NE(d.netlist.FindElement("R1.X3"), nullptr);
+  // Internal nodes are distinct per instance? sect has no internal nodes,
+  // but the chain must simulate: 3-pole RC ladder.
+  auto sol = MnaSystem(d.netlist).SolveAcHz(1.0);
+  EXPECT_NEAR(std::abs(sol.VoltageAt(d.netlist.FindNode("out"))), 1.0, 1e-3);
+}
+
+TEST(Subckt, InternalNodesArePrefixed) {
+  ParsedDeck d = ParseDeck(R"(
+.subckt twostep a b
+R1 a mid 1k
+R2 mid b 1k
+.ends
+V1 in 0 DC 1
+X1 in out twostep
+R3 out 0 2k
+.end
+)");
+  // The internal node is X1.mid, not a global 'mid'.
+  EXPECT_TRUE(d.netlist.TryFindNode("X1.mid").has_value());
+  EXPECT_FALSE(d.netlist.TryFindNode("mid").has_value());
+  auto sol = MnaSystem(d.netlist).SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(d.netlist.FindNode("out")).real(), 0.5, 1e-9);
+}
+
+TEST(Subckt, GroundStaysGlobal) {
+  ParsedDeck d = ParseDeck(R"(
+.subckt shunt a
+R1 a 0 1k
+.ends
+V1 in 0 DC 2
+X1 in shunt
+.end
+)");
+  auto sol = MnaSystem(d.netlist).SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(d.netlist.FindNode("in")).real(), 2.0, 1e-12);
+}
+
+TEST(Subckt, NestedInstances) {
+  ParsedDeck d = ParseDeck(R"(
+.subckt unit a b
+R1 a b 1k
+.ends
+.subckt pair a b
+X1 a m unit
+X2 m b unit
+.ends
+V1 in 0 DC 3
+X9 in out pair
+R9 out 0 2k
+.end
+)");
+  // Names nest: R1.X9.X1 / R1.X9.X2; node m becomes X9.m.
+  EXPECT_NE(d.netlist.FindElement("R1.X9.X1"), nullptr);
+  EXPECT_NE(d.netlist.FindElement("R1.X9.X2"), nullptr);
+  EXPECT_TRUE(d.netlist.TryFindNode("X9.m").has_value());
+  auto sol = MnaSystem(d.netlist).SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(d.netlist.FindNode("out")).real(), 1.5, 1e-9);
+}
+
+TEST(Subckt, OpampInsideSubcircuit) {
+  ParsedDeck d = ParseDeck(R"(
+.subckt inverting in out
+R1 in minus 1k
+R2 minus out 10k
+O1 0 minus out A0=1e6
+.ends
+V1 src 0 DC 1
+X1 src vo inverting
+.end
+)");
+  EXPECT_NE(d.netlist.FindElement("O1.X1"), nullptr);
+  auto sol = MnaSystem(d.netlist).SolveDc();
+  EXPECT_NEAR(sol.VoltageAt(d.netlist.FindNode("vo")).real(), -10.0, 1e-3);
+}
+
+TEST(Subckt, ControlSourceScopedToInstance) {
+  ParsedDeck d = ParseDeck(R"(
+.subckt sense in out
+V1 in m DC 0
+R1 m 0 1k
+F1 0 out V1 2
+.ends
+V9 top 0 DC 1
+X1 top o sense
+R2 o 0 1k
+.end
+)");
+  // F1.X1 must reference V1.X1, not the outer V9.
+  const auto& f1 = static_cast<const Cccs&>(d.netlist.GetElement("F1.X1"));
+  EXPECT_EQ(f1.ControlSource(), "V1.X1");
+  auto sol = MnaSystem(d.netlist).SolveDc();
+  // 1 mA flows from 'top' *into* V1.X1's + terminal (branch current +1 mA),
+  // so F1 (gain 2) drives 2 mA from ground into 'o': V(o) = +2 V.
+  EXPECT_NEAR(sol.VoltageAt(d.netlist.FindNode("o")).real(), 2.0, 1e-6);
+}
+
+TEST(Subckt, Errors) {
+  // Unknown subcircuit.
+  EXPECT_THROW(ParseDeck("X1 a b nosuch\n"), util::ParseError);
+  // Port-count mismatch.
+  EXPECT_THROW(ParseDeck(".subckt s a b\nR1 a b 1\n.ends\nX1 n1 s\n"),
+               util::ParseError);
+  // .ends without .subckt.
+  EXPECT_THROW(ParseDeck(".ends\n"), util::ParseError);
+  // Unterminated definition.
+  EXPECT_THROW(ParseDeck(".subckt s a\nR1 a 0 1\n"), util::ParseError);
+  // Duplicate definition.
+  EXPECT_THROW(ParseDeck(".subckt s a\nR1 a 0 1\n.ends\n"
+                         ".subckt s a\nR1 a 0 1\n.ends\n"),
+               util::ParseError);
+  // Nested definitions unsupported.
+  EXPECT_THROW(
+      ParseDeck(".subckt s a\n.subckt t b\nR1 b 0 1\n.ends\n.ends\n"),
+      util::ParseError);
+  // Directives inside a subcircuit body.
+  EXPECT_THROW(ParseDeck(".subckt s a\n.ac dec 5 1 10\n.ends\nV1 a 0 1\n"
+                         "X1 a s\n"),
+               util::ParseError);
+}
+
+TEST(Subckt, SelfRecursionIsRejected) {
+  // A subcircuit that instantiates itself must hit the depth guard, not
+  // hang.  (Instantiation happens at X-card time, so the definition parses.)
+  EXPECT_THROW(ParseDeck(R"(
+.subckt loop a
+X1 a loop
+.ends
+X0 n loop
+)"),
+               util::ParseError);
+}
+
+TEST(Subckt, DefinitionWithoutInstanceIsInert) {
+  ParsedDeck d = ParseDeck(R"(
+.subckt unused a b
+R1 a b 1k
+.ends
+V1 in 0 DC 1
+R2 in 0 1k
+.end
+)");
+  EXPECT_EQ(d.netlist.ElementCount(), 2u);
+}
+
+}  // namespace
+}  // namespace mcdft::spice

@@ -1,0 +1,266 @@
+#include "testability/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace mcdft::testability {
+namespace {
+
+using faults::Fault;
+using faults::FaultKind;
+using spice::Complex;
+using spice::FrequencyResponse;
+
+FrequencyResponse MakeResponse(std::vector<double> freqs,
+                               std::vector<double> mags) {
+  FrequencyResponse r;
+  r.freqs_hz = std::move(freqs);
+  for (double m : mags) r.values.emplace_back(m, 0.0);
+  return r;
+}
+
+std::vector<double> LogGrid(double lo, double hi, std::size_t n) {
+  std::vector<double> f(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    f[i] = lo * std::pow(hi / lo, static_cast<double>(i) / (n - 1));
+  }
+  return f;
+}
+
+// --- ReferenceBand ------------------------------------------------------
+
+TEST(ReferenceBand, AroundBuildsSymmetricDecades) {
+  auto band = ReferenceBand::Around(1e3, 2.0, 2.0, 10);
+  EXPECT_NEAR(band.FLow(), 10.0, 1e-9);
+  EXPECT_NEAR(band.FHigh(), 1e7 / 100.0, 1e-3);
+  EXPECT_NEAR(band.Decades(), 4.0, 1e-12);
+}
+
+TEST(ReferenceBand, InvalidArgumentsThrow) {
+  EXPECT_THROW(ReferenceBand(0.0, 1.0), util::AnalysisError);
+  EXPECT_THROW(ReferenceBand(10.0, 1.0), util::AnalysisError);
+  EXPECT_THROW(ReferenceBand(1.0, 10.0, 0), util::AnalysisError);
+  EXPECT_THROW(ReferenceBand::Around(-5.0), util::AnalysisError);
+}
+
+TEST(ReferenceBand, SweepSpansBand) {
+  auto band = ReferenceBand(100.0, 1e4, 25);
+  auto sweep = band.MakeSweep();
+  EXPECT_DOUBLE_EQ(sweep.FStart(), 100.0);
+  EXPECT_DOUBLE_EQ(sweep.FStop(), 1e4);
+  EXPECT_EQ(sweep.PointCount(), 51u);
+}
+
+TEST(ReferenceBand, LogMeasureWeightsSumToOne) {
+  auto freqs = LogGrid(10.0, 1e5, 37);
+  auto w = ReferenceBand::LogMeasureWeights(freqs);
+  double sum = 0.0;
+  for (double x : w) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Interior weights uniform on a log-uniform grid; endpoints half.
+  EXPECT_NEAR(w[1], w[18], 1e-12);
+  EXPECT_NEAR(w[0], w[1] / 2.0, 1e-12);
+}
+
+TEST(ReferenceBand, LogMeasureWeightsNeedTwoPoints) {
+  EXPECT_THROW(ReferenceBand::LogMeasureWeights({1.0}), util::AnalysisError);
+}
+
+// --- Anchor estimation --------------------------------------------------
+
+TEST(AnchorEstimation, LowPassUsesCutoff) {
+  // Synthetic 1-pole LP with fc at 1 kHz on a 1..1e6 grid.
+  auto freqs = LogGrid(1.0, 1e6, 121);
+  std::vector<double> mags;
+  for (double f : freqs) mags.push_back(1.0 / std::sqrt(1.0 + (f / 1e3) * (f / 1e3)));
+  auto r = MakeResponse(freqs, mags);
+  double anchor = EstimateAnchorFrequency(r);
+  EXPECT_NEAR(std::log10(anchor), 3.0, 0.1);
+}
+
+TEST(AnchorEstimation, BandPassUsesGeometricCentre) {
+  auto freqs = LogGrid(1.0, 1e6, 121);
+  std::vector<double> mags;
+  for (double f : freqs) {
+    const double x = f / 1e3;
+    mags.push_back(x / ((1.0 + x * x)));  // peak at 1 kHz
+  }
+  auto r = MakeResponse(freqs, mags);
+  EXPECT_NEAR(std::log10(EstimateAnchorFrequency(r)), 3.0, 0.15);
+}
+
+TEST(AnchorEstimation, FlatResponseFallsBackToPeak) {
+  auto freqs = LogGrid(10.0, 1e4, 31);
+  std::vector<double> mags(31, 2.0);
+  auto r = MakeResponse(freqs, mags);
+  double anchor = EstimateAnchorFrequency(r);
+  EXPECT_GE(anchor, 10.0);
+  EXPECT_LE(anchor, 1e4);
+}
+
+TEST(AnchorEstimation, AllZeroResponseUsesMidBand) {
+  auto freqs = LogGrid(10.0, 1e5, 31);
+  std::vector<double> mags(31, 0.0);
+  auto r = MakeResponse(freqs, mags);
+  EXPECT_NEAR(std::log10(EstimateAnchorFrequency(r)), 3.0, 1e-9);
+}
+
+// --- Detectability (Definitions 1 & 2) ----------------------------------
+
+TEST(Detectability, UndetectableWhenDeviationBelowEpsilon) {
+  auto freqs = LogGrid(10.0, 1e3, 21);
+  auto nominal = MakeResponse(freqs, std::vector<double>(21, 1.0));
+  auto faulty = MakeResponse(freqs, std::vector<double>(21, 1.05));
+  DetectionCriteria criteria;
+  criteria.epsilon = 0.10;
+  auto d = AnalyzeFault(Fault("R1", FaultKind::kDeviationUp, 0.2), nominal,
+                        faulty, criteria);
+  EXPECT_FALSE(d.detectable);
+  EXPECT_DOUBLE_EQ(d.omega_detectability, 0.0);
+  EXPECT_TRUE(d.region.intervals.empty());
+  EXPECT_NEAR(d.peak_deviation, 0.05, 1e-12);
+}
+
+TEST(Detectability, FullyDetectableGivesOmegaOne) {
+  auto freqs = LogGrid(10.0, 1e3, 21);
+  auto nominal = MakeResponse(freqs, std::vector<double>(21, 1.0));
+  auto faulty = MakeResponse(freqs, std::vector<double>(21, 1.5));
+  auto d = AnalyzeFault(Fault("R1", FaultKind::kDeviationUp, 0.2), nominal,
+                        faulty, {});
+  EXPECT_TRUE(d.detectable);
+  EXPECT_NEAR(d.omega_detectability, 1.0, 1e-12);
+  ASSERT_EQ(d.region.intervals.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.region.intervals[0].first, freqs.front());
+  EXPECT_DOUBLE_EQ(d.region.intervals[0].second, freqs.back());
+}
+
+TEST(Detectability, HalfBandRegionMeasuresHalf) {
+  // Detectable exactly over the upper half of the log band.
+  auto freqs = LogGrid(1.0, 1e4, 41);
+  std::vector<double> nom(41, 1.0), fau(41, 1.0);
+  for (std::size_t i = 0; i < 41; ++i) {
+    if (freqs[i] >= 100.0) fau[i] = 1.5;
+  }
+  auto d = AnalyzeFault(Fault("R1", FaultKind::kDeviationUp, 0.2),
+                        MakeResponse(freqs, nom), MakeResponse(freqs, fau), {});
+  EXPECT_NEAR(d.omega_detectability, 0.5, 0.03);
+  ASSERT_EQ(d.region.intervals.size(), 1u);
+}
+
+TEST(Detectability, DisjointRegions) {
+  auto freqs = LogGrid(1.0, 1e4, 41);
+  std::vector<double> nom(41, 1.0), fau(41, 1.0);
+  fau[2] = 2.0;
+  fau[3] = 2.0;
+  fau[30] = 2.0;
+  auto d = AnalyzeFault(Fault("R1", FaultKind::kDeviationUp, 0.2),
+                        MakeResponse(freqs, nom), MakeResponse(freqs, fau), {});
+  EXPECT_EQ(d.region.intervals.size(), 2u);
+  EXPECT_TRUE(d.detectable);
+  EXPECT_GT(d.omega_detectability, 0.0);
+  EXPECT_LT(d.omega_detectability, 0.2);
+}
+
+TEST(Detectability, PeakDeviationTracksFrequency) {
+  auto freqs = LogGrid(1.0, 1e4, 41);
+  std::vector<double> nom(41, 1.0), fau(41, 1.0);
+  fau[10] = 1.3;
+  fau[20] = 1.8;
+  auto d = AnalyzeFault(Fault("R1", FaultKind::kDeviationUp, 0.2),
+                        MakeResponse(freqs, nom), MakeResponse(freqs, fau), {});
+  EXPECT_NEAR(d.peak_deviation, 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(d.peak_frequency_hz, freqs[20]);
+}
+
+TEST(Detectability, EnvelopeRaisesThreshold) {
+  auto freqs = LogGrid(1.0, 1e4, 11);
+  auto nominal = MakeResponse(freqs, std::vector<double>(11, 1.0));
+  auto faulty = MakeResponse(freqs, std::vector<double>(11, 1.2));
+  DetectionCriteria criteria;
+  criteria.epsilon = 0.10;
+  // Without envelope: detectable (20% > 10%).
+  EXPECT_TRUE(AnalyzeFault(Fault("R1", FaultKind::kDeviationUp, 0.2), nominal,
+                           faulty, criteria)
+                  .detectable);
+  // Envelope of 15% masks it (threshold 25%).
+  criteria.envelope.assign(11, 0.15);
+  EXPECT_FALSE(AnalyzeFault(Fault("R1", FaultKind::kDeviationUp, 0.2), nominal,
+                            faulty, criteria)
+                   .detectable);
+}
+
+TEST(Detectability, EnvelopeSizeMismatchThrows) {
+  auto freqs = LogGrid(1.0, 1e4, 11);
+  auto nominal = MakeResponse(freqs, std::vector<double>(11, 1.0));
+  DetectionCriteria criteria;
+  criteria.envelope.assign(5, 0.1);
+  EXPECT_THROW(AnalyzeFault(Fault("R1", FaultKind::kDeviationUp, 0.2), nominal,
+                            nominal, criteria),
+               util::AnalysisError);
+}
+
+TEST(Detectability, NonPositiveEpsilonThrows) {
+  auto freqs = LogGrid(1.0, 1e4, 11);
+  auto nominal = MakeResponse(freqs, std::vector<double>(11, 1.0));
+  DetectionCriteria criteria;
+  criteria.epsilon = 0.0;
+  EXPECT_THROW(AnalyzeFault(Fault("R1", FaultKind::kDeviationUp, 0.2), nominal,
+                            nominal, criteria),
+               util::AnalysisError);
+}
+
+// --- Metrics -------------------------------------------------------------
+
+FaultDetectability MakeVerdict(const std::string& dev, bool det, double omega) {
+  FaultDetectability d{Fault(dev, FaultKind::kDeviationUp, 0.2)};
+  d.detectable = det;
+  d.omega_detectability = omega;
+  return d;
+}
+
+TEST(Metrics, FaultCoverage) {
+  std::vector<FaultDetectability> r{MakeVerdict("R1", true, 0.5),
+                                    MakeVerdict("R2", false, 0.0),
+                                    MakeVerdict("R3", true, 0.1),
+                                    MakeVerdict("R4", false, 0.0)};
+  EXPECT_DOUBLE_EQ(FaultCoverage(r), 0.5);
+}
+
+TEST(Metrics, AverageOmegaDetectability) {
+  std::vector<FaultDetectability> r{MakeVerdict("R1", true, 0.54),
+                                    MakeVerdict("R2", false, 0.0),
+                                    MakeVerdict("R3", true, 0.46),
+                                    MakeVerdict("R4", false, 0.0)};
+  EXPECT_NEAR(AverageOmegaDetectability(r), 0.25, 1e-12);
+}
+
+TEST(Metrics, EmptyListsThrow) {
+  EXPECT_THROW(FaultCoverage({}), util::AnalysisError);
+  EXPECT_THROW(AverageOmegaDetectability({}), util::AnalysisError);
+}
+
+TEST(Metrics, BestCaseTakesPerFaultMaximum) {
+  std::vector<FaultDetectability> c0{MakeVerdict("R1", true, 0.54),
+                                     MakeVerdict("R2", false, 0.0)};
+  std::vector<FaultDetectability> c1{MakeVerdict("R1", true, 0.3),
+                                     MakeVerdict("R2", true, 0.7)};
+  auto best = BestCasePerFault({c0, c1});
+  ASSERT_EQ(best.size(), 2u);
+  EXPECT_DOUBLE_EQ(best[0].omega_detectability, 0.54);
+  EXPECT_DOUBLE_EQ(best[1].omega_detectability, 0.7);
+  EXPECT_TRUE(best[1].detectable);
+}
+
+TEST(Metrics, BestCaseRejectsMismatchedLists) {
+  std::vector<FaultDetectability> a{MakeVerdict("R1", true, 0.5)};
+  std::vector<FaultDetectability> b{MakeVerdict("R2", true, 0.5)};
+  EXPECT_THROW(BestCasePerFault({a, b}), util::AnalysisError);
+  std::vector<FaultDetectability> c{MakeVerdict("R1", true, 0.5),
+                                    MakeVerdict("R2", true, 0.5)};
+  EXPECT_THROW(BestCasePerFault({a, c}), util::AnalysisError);
+  EXPECT_THROW(BestCasePerFault({}), util::AnalysisError);
+}
+
+}  // namespace
+}  // namespace mcdft::testability

@@ -1,0 +1,126 @@
+#include "testability/tolerance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcdft::testability {
+namespace {
+
+spice::Netlist RcCircuit() {
+  spice::Netlist nl("rc");
+  nl.AddVoltageSource("V1", "in", "0", 0.0, 1.0);
+  nl.AddResistor("R1", "in", "out", 1e3);
+  nl.AddCapacitor("C1", "out", "0", 1e-6);
+  return nl;
+}
+
+spice::Probe OutProbe(const spice::Netlist& nl) {
+  return spice::Probe{nl.FindNode("out"), spice::kGround, "v(out)"};
+}
+
+TEST(ToleranceEnvelope, DeterministicForFixedSeed) {
+  auto nl = RcCircuit();
+  auto sweep = spice::SweepSpec::Decade(10.0, 1e4, 10);
+  ToleranceModel model;
+  model.samples = 16;
+  auto e1 = ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R1", "C1"},
+                                     model, 0.25);
+  auto e2 = ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R1", "C1"},
+                                     model, 0.25);
+  ASSERT_EQ(e1.size(), sweep.PointCount());
+  EXPECT_EQ(e1, e2);
+}
+
+TEST(ToleranceEnvelope, DifferentSeedsDiffer) {
+  auto nl = RcCircuit();
+  auto sweep = spice::SweepSpec::Decade(10.0, 1e4, 10);
+  ToleranceModel m1;
+  m1.samples = 8;
+  ToleranceModel m2 = m1;
+  m2.seed = 999;
+  auto e1 = ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R1", "C1"}, m1,
+                                     0.25);
+  auto e2 = ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R1", "C1"}, m2,
+                                     0.25);
+  EXPECT_NE(e1, e2);
+}
+
+TEST(ToleranceEnvelope, GrowsWithTolerance) {
+  auto nl = RcCircuit();
+  auto sweep = spice::SweepSpec::Decade(10.0, 1e4, 10);
+  ToleranceModel small;
+  small.component_tolerance = 0.01;
+  small.samples = 16;
+  ToleranceModel big = small;
+  big.component_tolerance = 0.10;
+  auto es = ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R1", "C1"},
+                                     small, 0.25);
+  auto eb = ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R1", "C1"},
+                                     big, 0.25);
+  double max_s = 0.0, max_b = 0.0;
+  for (double v : es) max_s = std::max(max_s, v);
+  for (double v : eb) max_b = std::max(max_b, v);
+  EXPECT_GT(max_b, 2.0 * max_s);
+}
+
+TEST(ToleranceEnvelope, MoreSamplesNeverShrinkIt) {
+  auto nl = RcCircuit();
+  auto sweep = spice::SweepSpec::Decade(10.0, 1e4, 8);
+  ToleranceModel few;
+  few.samples = 4;
+  ToleranceModel many = few;
+  many.samples = 32;
+  auto ef = ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R1"}, few, 0.25);
+  auto em = ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R1"}, many, 0.25);
+  // Same seed: the first 4 samples are a prefix of the 32.
+  for (std::size_t i = 0; i < ef.size(); ++i) EXPECT_GE(em[i], ef[i] - 1e-15);
+}
+
+TEST(ToleranceEnvelope, BoundedByWorstCaseSensitivity) {
+  // For the RC divider, a +/-5% change of R and C cannot move |T| by more
+  // than ~10-12% anywhere; the envelope must respect that.
+  auto nl = RcCircuit();
+  auto sweep = spice::SweepSpec::Decade(1.0, 1e5, 10);
+  ToleranceModel model;
+  model.component_tolerance = 0.05;
+  model.samples = 32;
+  auto e = ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R1", "C1"},
+                                    model, 1e-9);
+  for (double v : e) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 0.25);
+  }
+}
+
+TEST(ToleranceEnvelope, LeavesInputNetlistUntouched) {
+  auto nl = RcCircuit();
+  ToleranceModel model;
+  model.samples = 4;
+  ComputeToleranceEnvelope(nl, spice::SweepSpec::Decade(10, 1e3, 5),
+                           OutProbe(nl), {"R1", "C1"}, model, 0.25);
+  EXPECT_DOUBLE_EQ(nl.GetElement("R1").Value(), 1e3);
+  EXPECT_DOUBLE_EQ(nl.GetElement("C1").Value(), 1e-6);
+}
+
+TEST(ToleranceEnvelope, ValidatesArguments) {
+  auto nl = RcCircuit();
+  auto sweep = spice::SweepSpec::Decade(10, 1e3, 5);
+  ToleranceModel bad_tol;
+  bad_tol.component_tolerance = 0.0;
+  EXPECT_THROW(ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R1"},
+                                        bad_tol, 0.25),
+               util::AnalysisError);
+  ToleranceModel bad_samples;
+  bad_samples.samples = 0;
+  EXPECT_THROW(ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R1"},
+                                        bad_samples, 0.25),
+               util::AnalysisError);
+  ToleranceModel ok;
+  EXPECT_THROW(ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {}, ok, 0.25),
+               util::AnalysisError);
+  EXPECT_THROW(ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R9"}, ok,
+                                        0.25),
+               util::NetlistError);
+}
+
+}  // namespace
+}  // namespace mcdft::testability

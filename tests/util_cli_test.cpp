@@ -1,0 +1,69 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcdft::util {
+namespace {
+
+CliArgs Make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, SpaceSeparatedValue) {
+  auto a = Make({"--circuit", "biquad"});
+  EXPECT_TRUE(a.Has("circuit"));
+  EXPECT_EQ(a.GetString("circuit", ""), "biquad");
+}
+
+TEST(CliArgs, EqualsSeparatedValue) {
+  auto a = Make({"--eps=0.1"});
+  EXPECT_DOUBLE_EQ(a.GetDouble("eps", 0.0), 0.1);
+}
+
+TEST(CliArgs, BooleanFlag) {
+  auto a = Make({"--verbose"});
+  EXPECT_TRUE(a.Has("verbose"));
+  EXPECT_EQ(a.GetString("verbose", "x"), "");
+}
+
+TEST(CliArgs, EngineeringValues) {
+  auto a = Make({"--f0", "1k"});
+  EXPECT_DOUBLE_EQ(a.GetDouble("f0", 0.0), 1000.0);
+}
+
+TEST(CliArgs, IntValues) {
+  auto a = Make({"--n=42"});
+  EXPECT_EQ(a.GetInt("n", 0), 42);
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  auto a = Make({});
+  EXPECT_FALSE(a.Has("x"));
+  EXPECT_EQ(a.GetString("x", "def"), "def");
+  EXPECT_DOUBLE_EQ(a.GetDouble("x", 1.5), 1.5);
+  EXPECT_EQ(a.GetInt("x", 7), 7);
+}
+
+TEST(CliArgs, PositionalArguments) {
+  auto a = Make({"file1", "--opt", "v", "file2"});
+  ASSERT_EQ(a.Positional().size(), 2u);
+  EXPECT_EQ(a.Positional()[0], "file1");
+  EXPECT_EQ(a.Positional()[1], "file2");
+}
+
+TEST(CliArgs, UnparsableDoubleFallsBack) {
+  auto a = Make({"--eps", "abc"});
+  EXPECT_DOUBLE_EQ(a.GetDouble("eps", 9.0), 9.0);
+}
+
+TEST(CliArgs, FlagFollowedByFlag) {
+  auto a = Make({"--a", "--b", "val"});
+  EXPECT_TRUE(a.Has("a"));
+  EXPECT_EQ(a.GetString("a", "x"), "");
+  EXPECT_EQ(a.GetString("b", ""), "val");
+}
+
+}  // namespace
+}  // namespace mcdft::util

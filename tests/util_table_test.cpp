@@ -1,0 +1,110 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcdft::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t;
+  t.SetHeader({"Conf", "fR1"});
+  t.AddRow({"C0", "1"});
+  t.AddRow({"C1", "0"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("Conf"), std::string::npos);
+  EXPECT_NE(out.find("C1"), std::string::npos);
+  // Frame characters present.
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  const std::string out = t.Render();
+  // Every data line has the same width as the rule line.
+  std::size_t rule_len = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    std::size_t end = out.find('\n', pos);
+    if (end == std::string::npos) break;
+    EXPECT_EQ(end - pos, rule_len);
+    pos = end + 1;
+  }
+}
+
+TEST(Table, TitleAppearsAboveFrame) {
+  Table t;
+  t.SetTitle("My title");
+  t.SetHeader({"x"});
+  t.AddRow({"1"});
+  const std::string out = t.Render();
+  EXPECT_EQ(out.rfind("My title", 0), 0u);
+}
+
+TEST(Table, SeparatorAddsRule) {
+  Table t;
+  t.SetHeader({"x"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const std::string out = t.Render();
+  // Expect 5 rule lines: top, under header, separator, bottom... count '+--'.
+  std::size_t rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(Table, AlignmentRightByDefaultForDataColumns) {
+  Table t;
+  t.SetHeader({"name", "val"});
+  t.AddRow({"x", "1"});
+  const std::string out = t.Render();
+  // "val" column width 3, value "1" right-aligned -> "  1".
+  EXPECT_NE(out.find("|   1 |"), std::string::npos);
+}
+
+TEST(Table, ExplicitCenterAlignment) {
+  Table t;
+  t.SetHeader({"aaaaa"});
+  t.SetAlign(0, Table::Align::kCenter);
+  t.AddRow({"x"});
+  EXPECT_NE(t.Render().find("|   x   |"), std::string::npos);
+}
+
+TEST(Table, EmptyTableRendersNothingButTitle) {
+  Table t;
+  t.SetTitle("t");
+  EXPECT_EQ(t.Render(), "t\n");
+}
+
+TEST(Table, RowCount) {
+  Table t;
+  t.AddRow({"a"});
+  t.AddRow({"b"});
+  EXPECT_EQ(t.RowCount(), 2u);
+}
+
+TEST(BarLine, FullAndEmpty) {
+  const std::string full = BarLine("x", 1.0, "100%", 10, 4);
+  EXPECT_NE(full.find("##########"), std::string::npos);
+  const std::string empty = BarLine("x", 0.0, "0%", 10, 4);
+  EXPECT_EQ(empty.find('#'), std::string::npos);
+}
+
+TEST(BarLine, ClampsOutOfRange) {
+  EXPECT_EQ(BarLine("x", 2.0, "v", 10, 1), BarLine("x", 1.0, "v", 10, 1));
+  EXPECT_EQ(BarLine("x", -1.0, "v", 10, 1), BarLine("x", 0.0, "v", 10, 1));
+}
+
+TEST(BarLine, HalfBar) {
+  const std::string half = BarLine("x", 0.5, "50%", 10, 4);
+  EXPECT_NE(half.find("#####"), std::string::npos);
+  EXPECT_EQ(half.find("######"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcdft::util

@@ -1,0 +1,257 @@
+// mcdft — the command-line front end to the multi-configuration DFT flow.
+//
+// Subcommands:
+//   list                       circuits bundled in the zoo
+//   analyze                    campaign: detectability matrix + w-det table
+//   optimize                   Sec. 4 flow: xi, config-count opt, partial DFT
+//   plan                       compile a multi-frequency test plan
+//   diagnose                   fault diagnosis by configuration signature
+//   opamp-test                 transparent-configuration opamp screen
+//   bode                       nominal frequency response of the circuit
+//
+// Circuit selection (all subcommands):
+//   --circuit NAME             a zoo circuit (default: biquad), or
+//   --deck FILE                a SPICE deck (needs >=1 opamp, a V source,
+//                              and a .probe card)
+//
+// Campaign knobs:
+//   --eps X                    tester accuracy (default 0.08)
+//   --tol X                    process tolerance (default 0.03; 0 = off)
+//   --samples N                Monte-Carlo samples (default 48)
+//   --ppd N                    sweep points per decade (default 50)
+//   --max-followers K          structural config pre-selection
+//   --preselect                run the sensitivity screen first
+//
+// Examples:
+//   mcdft analyze --circuit leapfrog --max-followers 2
+//   mcdft optimize --circuit biquad
+//   mcdft plan --circuit biquad --sopt
+//   mcdft diagnose --deck myfilter.cir --levels 4
+
+#include <cstdio>
+
+#include "circuits/zoo.hpp"
+#include "core/diagnosis.hpp"
+#include "core/optimizer.hpp"
+#include "core/preselection.hpp"
+#include "core/report.hpp"
+#include "core/test_plan.hpp"
+#include "spice/parser.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace mcdft;
+
+/// Everything a subcommand needs, built from the common flags.
+struct Session {
+  core::DftCircuit circuit;
+  std::vector<faults::Fault> fault_list;
+  std::vector<core::ConfigVector> configs;
+  core::CampaignOptions options;
+
+  core::CampaignResult RunCampaignNow() const {
+    return core::RunCampaign(circuit, fault_list, configs, options);
+  }
+};
+
+core::AnalogBlock LoadBlock(const util::CliArgs& args) {
+  if (args.Has("deck")) {
+    return core::MakeBlockFromDeck(
+        spice::ParseDeckFile(args.GetString("deck", "")));
+  }
+  return circuits::FindInZoo(args.GetString("circuit", "biquad")).build();
+}
+
+Session MakeSession(const util::CliArgs& args) {
+  auto block = LoadBlock(args);
+  core::DftCircuit circuit = core::DftCircuit::Transform(block);
+  auto fault_list = faults::MakeDeviationFaults(circuit.Circuit());
+
+  auto options = core::MakePaperCampaignOptions();
+  options.criteria.epsilon = args.GetDouble("eps", 0.08);
+  options.points_per_decade =
+      static_cast<std::size_t>(args.GetInt("ppd", 50));
+  const double tol = args.GetDouble("tol", 0.03);
+  if (tol <= 0.0) {
+    options.tolerance.reset();
+  } else {
+    options.tolerance->component_tolerance = tol;
+    options.tolerance->samples =
+        static_cast<std::size_t>(args.GetInt("samples", 48));
+  }
+
+  auto space = circuit.Space();
+  const std::size_t default_k = space.OpampCount() > 5 ? 2 : space.OpampCount();
+  const std::size_t k = static_cast<std::size_t>(
+      args.GetInt("max-followers", static_cast<int>(default_k)));
+  std::vector<core::ConfigVector> configs = space.UpToKFollowers(k);
+  std::erase_if(configs, [](const core::ConfigVector& cv) {
+    return cv.IsTransparent();
+  });
+
+  if (args.Has("preselect")) {
+    auto pre = core::PreselectConfigurations(circuit, fault_list, configs);
+    std::printf("pre-selection kept %zu of %zu configurations:",
+                pre.selected.size(), configs.size());
+    for (const auto& cv : pre.selected) std::printf(" %s", cv.Name().c_str());
+    std::printf("\n\n");
+    configs = pre.selected;
+  }
+
+  return Session{std::move(circuit), std::move(fault_list), std::move(configs),
+                 std::move(options)};
+}
+
+int CmdList() {
+  std::printf("Bundled circuits:\n");
+  for (const auto& entry : circuits::Zoo()) {
+    auto block = entry.build();
+    std::printf("  %-10s %-55s (%zu opamps)\n", entry.name.c_str(),
+                entry.description.c_str(), block.opamps.size());
+  }
+  return 0;
+}
+
+int CmdBode(const util::CliArgs& args) {
+  auto block = LoadBlock(args);
+  spice::AcAnalyzer analyzer(block.netlist);
+  spice::Probe probe{block.netlist.FindNode(block.output_node), spice::kGround,
+                     "v(" + block.output_node + ")"};
+  auto sweep = spice::SweepSpec::Decade(args.GetDouble("fstart", 10.0),
+                                        args.GetDouble("fstop", 1e5),
+                                        static_cast<std::size_t>(
+                                            args.GetInt("ppd", 10)));
+  auto r = analyzer.Run(sweep, probe);
+  std::printf("%s of %s:\n", probe.label.c_str(), block.name.c_str());
+  for (std::size_t i = 0; i < r.PointCount(); ++i) {
+    const double db = r.MagnitudeDbAt(i);
+    const double frac = std::clamp((db + 80.0) / 80.0, 0.0, 1.0);
+    std::printf("  %s\n",
+                util::BarLine(util::FormatEngineering(r.freqs_hz[i], 3) + "Hz",
+                              frac,
+                              util::FormatTrimmed(db, 1) + " dB  " +
+                                  util::FormatTrimmed(r.PhaseDegAt(i), 0) +
+                                  "deg",
+                              30, 10)
+                    .c_str());
+  }
+  return 0;
+}
+
+int CmdAnalyze(const util::CliArgs& args) {
+  Session session = MakeSession(args);
+  auto campaign = session.RunCampaignNow();
+  std::printf("%s\n", core::RenderDetectabilityMatrix(campaign).c_str());
+  std::printf("%s\n", core::RenderOmegaTable(campaign).c_str());
+  const std::size_t c0 = campaign.RowOf(
+      core::ConfigVector(session.circuit.ConfigurableOpamps().size()));
+  std::printf("functional configuration: coverage %s%%, <w-det> %s%%\n",
+              util::FormatTrimmed(100.0 * campaign.Coverage({c0}), 1).c_str(),
+              util::FormatTrimmed(100.0 * campaign.AverageOmegaDet({c0}), 1)
+                  .c_str());
+  std::printf("all configurations:       coverage %s%%, <w-det> %s%%\n",
+              util::FormatTrimmed(100.0 * campaign.Coverage(), 1).c_str(),
+              util::FormatTrimmed(100.0 * campaign.AverageOmegaDet(), 1)
+                  .c_str());
+  return 0;
+}
+
+int CmdOptimize(const util::CliArgs& args) {
+  Session session = MakeSession(args);
+  auto campaign = session.RunCampaignNow();
+  core::DftOptimizer optimizer(session.circuit, campaign);
+  auto fundamental = optimizer.SolveFundamental();
+  std::printf("%s\n", core::RenderFundamental(fundamental, campaign).c_str());
+  auto sel = optimizer.OptimizeConfigurationCount();
+  std::printf("%s\n", core::RenderSelection(sel, campaign).c_str());
+  auto part = optimizer.OptimizePartialDft();
+  std::printf("%s\n",
+              core::RenderPartialDft(part, campaign, session.circuit).c_str());
+  return 0;
+}
+
+int CmdPlan(const util::CliArgs& args) {
+  Session session = MakeSession(args);
+  auto campaign = session.RunCampaignNow();
+  core::TestPlanOptions plan_options;
+  if (args.Has("magnitude-only")) {
+    plan_options.mode = core::MeasurementMode::kMagnitude;
+  }
+  plan_options.exact = args.Has("exact");
+  if (args.Has("sopt")) {
+    core::DftOptimizer optimizer(session.circuit, campaign);
+    auto sel = optimizer.OptimizeConfigurationCount();
+    plan_options.rows = sel.selected.rows.Variables();
+    std::printf("restricting the plan to S_opt = %s\n\n",
+                core::RowSetName(campaign, sel.selected.rows).c_str());
+  }
+  auto plan = core::GenerateTestPlan(campaign, plan_options);
+  std::printf("%s\n", core::RenderTestPlan(plan, campaign).c_str());
+  return 0;
+}
+
+int CmdDiagnose(const util::CliArgs& args) {
+  Session session = MakeSession(args);
+  auto campaign = session.RunCampaignNow();
+  core::DiagnosisOptions diag;
+  diag.levels = static_cast<std::size_t>(args.GetInt("levels", 1));
+  auto report = core::Diagnose(campaign, diag);
+  std::printf("%s\n", core::RenderDiagnosis(report, campaign).c_str());
+  return 0;
+}
+
+int CmdOpampTest(const util::CliArgs& args) {
+  auto block = LoadBlock(args);
+  core::DftCircuit circuit = core::DftCircuit::Transform(block);
+  auto result = core::RunOpampTransparentTest(circuit);
+  std::printf("transparent-configuration opamp screen:\n");
+  for (const auto& v : result.screen) {
+    std::printf("  %-20s %sdetected (w-det %s%%)\n", v.fault.Label().c_str(),
+                v.detectable ? "" : "NOT ",
+                util::FormatTrimmed(100.0 * v.omega_detectability, 1).c_str());
+  }
+  std::printf("screen coverage: %s%%\n\n",
+              util::FormatTrimmed(100.0 * result.screen_coverage, 1).c_str());
+  std::printf("%s\n",
+              core::RenderDiagnosis(result.diagnosis, result.localization)
+                  .c_str());
+  return 0;
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: mcdft <list|bode|analyze|optimize|plan|diagnose|opamp-test>\n"
+      "             [--circuit NAME | --deck FILE] [--eps X] [--tol X]\n"
+      "             [--samples N] [--ppd N] [--max-followers K] [--preselect]\n"
+      "             [plan: --sopt --magnitude-only --exact]\n"
+      "             [diagnose: --levels N]\n"
+      "Run 'mcdft list' for the bundled circuits.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  if (args.Positional().empty()) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string& cmd = args.Positional()[0];
+  try {
+    if (cmd == "list") return CmdList();
+    if (cmd == "bode") return CmdBode(args);
+    if (cmd == "analyze") return CmdAnalyze(args);
+    if (cmd == "optimize") return CmdOptimize(args);
+    if (cmd == "plan") return CmdPlan(args);
+    if (cmd == "diagnose") return CmdDiagnose(args);
+    if (cmd == "opamp-test") return CmdOpampTest(args);
+    std::fprintf(stderr, "unknown subcommand '%s'\n\n", cmd.c_str());
+    PrintUsage();
+    return 2;
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
