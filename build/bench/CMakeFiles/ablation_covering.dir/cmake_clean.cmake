@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_covering.dir/ablation_covering.cpp.o"
+  "CMakeFiles/ablation_covering.dir/ablation_covering.cpp.o.d"
+  "ablation_covering"
+  "ablation_covering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_covering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_preselection.dir/ablation_preselection.cpp.o"
+  "CMakeFiles/ablation_preselection.dir/ablation_preselection.cpp.o.d"
+  "ablation_preselection"
+  "ablation_preselection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preselection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

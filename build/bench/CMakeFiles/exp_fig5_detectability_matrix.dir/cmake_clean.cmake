@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig5_detectability_matrix.dir/exp_fig5_detectability_matrix.cpp.o"
+  "CMakeFiles/exp_fig5_detectability_matrix.dir/exp_fig5_detectability_matrix.cpp.o.d"
+  "exp_fig5_detectability_matrix"
+  "exp_fig5_detectability_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig5_detectability_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_graph1_initial_testability.dir/exp_graph1_initial_testability.cpp.o"
+  "CMakeFiles/exp_graph1_initial_testability.dir/exp_graph1_initial_testability.cpp.o.d"
+  "exp_graph1_initial_testability"
+  "exp_graph1_initial_testability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_graph1_initial_testability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_graph1_initial_testability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_graph2_dft_improvement.dir/exp_graph2_dft_improvement.cpp.o"
+  "CMakeFiles/exp_graph2_dft_improvement.dir/exp_graph2_dft_improvement.cpp.o.d"
+  "exp_graph2_dft_improvement"
+  "exp_graph2_dft_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_graph2_dft_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_graph2_dft_improvement.
+# This may be replaced when dependencies are built.

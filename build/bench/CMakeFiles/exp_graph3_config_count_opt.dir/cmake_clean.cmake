@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_graph3_config_count_opt.dir/exp_graph3_config_count_opt.cpp.o"
+  "CMakeFiles/exp_graph3_config_count_opt.dir/exp_graph3_config_count_opt.cpp.o.d"
+  "exp_graph3_config_count_opt"
+  "exp_graph3_config_count_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_graph3_config_count_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

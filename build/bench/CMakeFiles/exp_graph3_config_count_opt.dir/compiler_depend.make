@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_graph3_config_count_opt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_graph3_config_count_opt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_graph4_full_vs_partial.dir/exp_graph4_full_vs_partial.cpp.o"
+  "CMakeFiles/exp_graph4_full_vs_partial.dir/exp_graph4_full_vs_partial.cpp.o.d"
+  "exp_graph4_full_vs_partial"
+  "exp_graph4_full_vs_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_graph4_full_vs_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_graph4_full_vs_partial.
+# This may be replaced when dependencies are built.

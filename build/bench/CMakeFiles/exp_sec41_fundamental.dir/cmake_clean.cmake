@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sec41_fundamental.dir/exp_sec41_fundamental.cpp.o"
+  "CMakeFiles/exp_sec41_fundamental.dir/exp_sec41_fundamental.cpp.o.d"
+  "exp_sec41_fundamental"
+  "exp_sec41_fundamental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sec41_fundamental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_sec41_fundamental.
+# This may be replaced when dependencies are built.

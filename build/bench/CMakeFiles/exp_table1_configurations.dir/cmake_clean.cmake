@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table1_configurations.dir/exp_table1_configurations.cpp.o"
+  "CMakeFiles/exp_table1_configurations.dir/exp_table1_configurations.cpp.o.d"
+  "exp_table1_configurations"
+  "exp_table1_configurations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table1_configurations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

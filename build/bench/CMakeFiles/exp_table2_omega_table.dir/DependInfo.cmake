@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/exp_table2_omega_table.cpp" "bench/CMakeFiles/exp_table2_omega_table.dir/exp_table2_omega_table.cpp.o" "gcc" "bench/CMakeFiles/exp_table2_omega_table.dir/exp_table2_omega_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcdft_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_boolcov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_testability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

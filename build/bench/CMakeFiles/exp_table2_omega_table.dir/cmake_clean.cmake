@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table2_omega_table.dir/exp_table2_omega_table.cpp.o"
+  "CMakeFiles/exp_table2_omega_table.dir/exp_table2_omega_table.cpp.o.d"
+  "exp_table2_omega_table"
+  "exp_table2_omega_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table2_omega_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

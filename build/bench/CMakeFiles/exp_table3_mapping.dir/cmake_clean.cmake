@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table3_mapping.dir/exp_table3_mapping.cpp.o"
+  "CMakeFiles/exp_table3_mapping.dir/exp_table3_mapping.cpp.o.d"
+  "exp_table3_mapping"
+  "exp_table3_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table3_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

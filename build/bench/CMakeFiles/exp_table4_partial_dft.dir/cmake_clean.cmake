@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table4_partial_dft.dir/exp_table4_partial_dft.cpp.o"
+  "CMakeFiles/exp_table4_partial_dft.dir/exp_table4_partial_dft.cpp.o.d"
+  "exp_table4_partial_dft"
+  "exp_table4_partial_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table4_partial_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_complex_circuits.dir/ext_complex_circuits.cpp.o"
+  "CMakeFiles/ext_complex_circuits.dir/ext_complex_circuits.cpp.o.d"
+  "ext_complex_circuits"
+  "ext_complex_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_complex_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_complex_circuits.
+# This may be replaced when dependencies are built.

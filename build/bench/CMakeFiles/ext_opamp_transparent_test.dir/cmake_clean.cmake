@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_opamp_transparent_test.dir/ext_opamp_transparent_test.cpp.o"
+  "CMakeFiles/ext_opamp_transparent_test.dir/ext_opamp_transparent_test.cpp.o.d"
+  "ext_opamp_transparent_test"
+  "ext_opamp_transparent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_opamp_transparent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_test_plan.dir/ext_test_plan.cpp.o"
+  "CMakeFiles/ext_test_plan.dir/ext_test_plan.cpp.o.d"
+  "ext_test_plan"
+  "ext_test_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_test_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biquad_dft_flow.dir/biquad_dft_flow.cpp.o"
+  "CMakeFiles/biquad_dft_flow.dir/biquad_dft_flow.cpp.o.d"
+  "biquad_dft_flow"
+  "biquad_dft_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biquad_dft_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

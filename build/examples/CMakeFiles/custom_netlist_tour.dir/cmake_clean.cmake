@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_netlist_tour.dir/custom_netlist_tour.cpp.o"
+  "CMakeFiles/custom_netlist_tour.dir/custom_netlist_tour.cpp.o.d"
+  "custom_netlist_tour"
+  "custom_netlist_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_netlist_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_dft_explorer.dir/partial_dft_explorer.cpp.o"
+  "CMakeFiles/partial_dft_explorer.dir/partial_dft_explorer.cpp.o.d"
+  "partial_dft_explorer"
+  "partial_dft_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_dft_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boolcov/cube.cpp" "src/CMakeFiles/mcdft_boolcov.dir/boolcov/cube.cpp.o" "gcc" "src/CMakeFiles/mcdft_boolcov.dir/boolcov/cube.cpp.o.d"
+  "/root/repo/src/boolcov/petrick.cpp" "src/CMakeFiles/mcdft_boolcov.dir/boolcov/petrick.cpp.o" "gcc" "src/CMakeFiles/mcdft_boolcov.dir/boolcov/petrick.cpp.o.d"
+  "/root/repo/src/boolcov/pos.cpp" "src/CMakeFiles/mcdft_boolcov.dir/boolcov/pos.cpp.o" "gcc" "src/CMakeFiles/mcdft_boolcov.dir/boolcov/pos.cpp.o.d"
+  "/root/repo/src/boolcov/setcover.cpp" "src/CMakeFiles/mcdft_boolcov.dir/boolcov/setcover.cpp.o" "gcc" "src/CMakeFiles/mcdft_boolcov.dir/boolcov/setcover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcdft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

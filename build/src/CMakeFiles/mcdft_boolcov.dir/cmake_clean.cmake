@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdft_boolcov.dir/boolcov/cube.cpp.o"
+  "CMakeFiles/mcdft_boolcov.dir/boolcov/cube.cpp.o.d"
+  "CMakeFiles/mcdft_boolcov.dir/boolcov/petrick.cpp.o"
+  "CMakeFiles/mcdft_boolcov.dir/boolcov/petrick.cpp.o.d"
+  "CMakeFiles/mcdft_boolcov.dir/boolcov/pos.cpp.o"
+  "CMakeFiles/mcdft_boolcov.dir/boolcov/pos.cpp.o.d"
+  "CMakeFiles/mcdft_boolcov.dir/boolcov/setcover.cpp.o"
+  "CMakeFiles/mcdft_boolcov.dir/boolcov/setcover.cpp.o.d"
+  "libmcdft_boolcov.a"
+  "libmcdft_boolcov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdft_boolcov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

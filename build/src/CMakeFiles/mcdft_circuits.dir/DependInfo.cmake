@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/ackerberg.cpp" "src/CMakeFiles/mcdft_circuits.dir/circuits/ackerberg.cpp.o" "gcc" "src/CMakeFiles/mcdft_circuits.dir/circuits/ackerberg.cpp.o.d"
+  "/root/repo/src/circuits/biquad.cpp" "src/CMakeFiles/mcdft_circuits.dir/circuits/biquad.cpp.o" "gcc" "src/CMakeFiles/mcdft_circuits.dir/circuits/biquad.cpp.o.d"
+  "/root/repo/src/circuits/cascade.cpp" "src/CMakeFiles/mcdft_circuits.dir/circuits/cascade.cpp.o" "gcc" "src/CMakeFiles/mcdft_circuits.dir/circuits/cascade.cpp.o.d"
+  "/root/repo/src/circuits/instrumentation.cpp" "src/CMakeFiles/mcdft_circuits.dir/circuits/instrumentation.cpp.o" "gcc" "src/CMakeFiles/mcdft_circuits.dir/circuits/instrumentation.cpp.o.d"
+  "/root/repo/src/circuits/khn.cpp" "src/CMakeFiles/mcdft_circuits.dir/circuits/khn.cpp.o" "gcc" "src/CMakeFiles/mcdft_circuits.dir/circuits/khn.cpp.o.d"
+  "/root/repo/src/circuits/leapfrog.cpp" "src/CMakeFiles/mcdft_circuits.dir/circuits/leapfrog.cpp.o" "gcc" "src/CMakeFiles/mcdft_circuits.dir/circuits/leapfrog.cpp.o.d"
+  "/root/repo/src/circuits/notch.cpp" "src/CMakeFiles/mcdft_circuits.dir/circuits/notch.cpp.o" "gcc" "src/CMakeFiles/mcdft_circuits.dir/circuits/notch.cpp.o.d"
+  "/root/repo/src/circuits/sallen_key.cpp" "src/CMakeFiles/mcdft_circuits.dir/circuits/sallen_key.cpp.o" "gcc" "src/CMakeFiles/mcdft_circuits.dir/circuits/sallen_key.cpp.o.d"
+  "/root/repo/src/circuits/zoo.cpp" "src/CMakeFiles/mcdft_circuits.dir/circuits/zoo.cpp.o" "gcc" "src/CMakeFiles/mcdft_circuits.dir/circuits/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcdft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_testability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_boolcov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

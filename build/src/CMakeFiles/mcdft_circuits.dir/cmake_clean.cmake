@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdft_circuits.dir/circuits/ackerberg.cpp.o"
+  "CMakeFiles/mcdft_circuits.dir/circuits/ackerberg.cpp.o.d"
+  "CMakeFiles/mcdft_circuits.dir/circuits/biquad.cpp.o"
+  "CMakeFiles/mcdft_circuits.dir/circuits/biquad.cpp.o.d"
+  "CMakeFiles/mcdft_circuits.dir/circuits/cascade.cpp.o"
+  "CMakeFiles/mcdft_circuits.dir/circuits/cascade.cpp.o.d"
+  "CMakeFiles/mcdft_circuits.dir/circuits/instrumentation.cpp.o"
+  "CMakeFiles/mcdft_circuits.dir/circuits/instrumentation.cpp.o.d"
+  "CMakeFiles/mcdft_circuits.dir/circuits/khn.cpp.o"
+  "CMakeFiles/mcdft_circuits.dir/circuits/khn.cpp.o.d"
+  "CMakeFiles/mcdft_circuits.dir/circuits/leapfrog.cpp.o"
+  "CMakeFiles/mcdft_circuits.dir/circuits/leapfrog.cpp.o.d"
+  "CMakeFiles/mcdft_circuits.dir/circuits/notch.cpp.o"
+  "CMakeFiles/mcdft_circuits.dir/circuits/notch.cpp.o.d"
+  "CMakeFiles/mcdft_circuits.dir/circuits/sallen_key.cpp.o"
+  "CMakeFiles/mcdft_circuits.dir/circuits/sallen_key.cpp.o.d"
+  "CMakeFiles/mcdft_circuits.dir/circuits/zoo.cpp.o"
+  "CMakeFiles/mcdft_circuits.dir/circuits/zoo.cpp.o.d"
+  "libmcdft_circuits.a"
+  "libmcdft_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdft_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

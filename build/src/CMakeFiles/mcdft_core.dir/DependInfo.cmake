@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bist.cpp" "src/CMakeFiles/mcdft_core.dir/core/bist.cpp.o" "gcc" "src/CMakeFiles/mcdft_core.dir/core/bist.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/CMakeFiles/mcdft_core.dir/core/campaign.cpp.o" "gcc" "src/CMakeFiles/mcdft_core.dir/core/campaign.cpp.o.d"
+  "/root/repo/src/core/configuration.cpp" "src/CMakeFiles/mcdft_core.dir/core/configuration.cpp.o" "gcc" "src/CMakeFiles/mcdft_core.dir/core/configuration.cpp.o.d"
+  "/root/repo/src/core/cost_functions.cpp" "src/CMakeFiles/mcdft_core.dir/core/cost_functions.cpp.o" "gcc" "src/CMakeFiles/mcdft_core.dir/core/cost_functions.cpp.o.d"
+  "/root/repo/src/core/dft_transform.cpp" "src/CMakeFiles/mcdft_core.dir/core/dft_transform.cpp.o" "gcc" "src/CMakeFiles/mcdft_core.dir/core/dft_transform.cpp.o.d"
+  "/root/repo/src/core/diagnosis.cpp" "src/CMakeFiles/mcdft_core.dir/core/diagnosis.cpp.o" "gcc" "src/CMakeFiles/mcdft_core.dir/core/diagnosis.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/CMakeFiles/mcdft_core.dir/core/optimizer.cpp.o" "gcc" "src/CMakeFiles/mcdft_core.dir/core/optimizer.cpp.o.d"
+  "/root/repo/src/core/preselection.cpp" "src/CMakeFiles/mcdft_core.dir/core/preselection.cpp.o" "gcc" "src/CMakeFiles/mcdft_core.dir/core/preselection.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/mcdft_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/mcdft_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/test_plan.cpp" "src/CMakeFiles/mcdft_core.dir/core/test_plan.cpp.o" "gcc" "src/CMakeFiles/mcdft_core.dir/core/test_plan.cpp.o.d"
+  "/root/repo/src/core/test_quality.cpp" "src/CMakeFiles/mcdft_core.dir/core/test_quality.cpp.o" "gcc" "src/CMakeFiles/mcdft_core.dir/core/test_quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcdft_testability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_boolcov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

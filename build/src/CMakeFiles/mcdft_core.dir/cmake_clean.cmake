@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdft_core.dir/core/bist.cpp.o"
+  "CMakeFiles/mcdft_core.dir/core/bist.cpp.o.d"
+  "CMakeFiles/mcdft_core.dir/core/campaign.cpp.o"
+  "CMakeFiles/mcdft_core.dir/core/campaign.cpp.o.d"
+  "CMakeFiles/mcdft_core.dir/core/configuration.cpp.o"
+  "CMakeFiles/mcdft_core.dir/core/configuration.cpp.o.d"
+  "CMakeFiles/mcdft_core.dir/core/cost_functions.cpp.o"
+  "CMakeFiles/mcdft_core.dir/core/cost_functions.cpp.o.d"
+  "CMakeFiles/mcdft_core.dir/core/dft_transform.cpp.o"
+  "CMakeFiles/mcdft_core.dir/core/dft_transform.cpp.o.d"
+  "CMakeFiles/mcdft_core.dir/core/diagnosis.cpp.o"
+  "CMakeFiles/mcdft_core.dir/core/diagnosis.cpp.o.d"
+  "CMakeFiles/mcdft_core.dir/core/optimizer.cpp.o"
+  "CMakeFiles/mcdft_core.dir/core/optimizer.cpp.o.d"
+  "CMakeFiles/mcdft_core.dir/core/preselection.cpp.o"
+  "CMakeFiles/mcdft_core.dir/core/preselection.cpp.o.d"
+  "CMakeFiles/mcdft_core.dir/core/report.cpp.o"
+  "CMakeFiles/mcdft_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/mcdft_core.dir/core/test_plan.cpp.o"
+  "CMakeFiles/mcdft_core.dir/core/test_plan.cpp.o.d"
+  "CMakeFiles/mcdft_core.dir/core/test_quality.cpp.o"
+  "CMakeFiles/mcdft_core.dir/core/test_quality.cpp.o.d"
+  "libmcdft_core.a"
+  "libmcdft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/fault.cpp" "src/CMakeFiles/mcdft_faults.dir/faults/fault.cpp.o" "gcc" "src/CMakeFiles/mcdft_faults.dir/faults/fault.cpp.o.d"
+  "/root/repo/src/faults/fault_list.cpp" "src/CMakeFiles/mcdft_faults.dir/faults/fault_list.cpp.o" "gcc" "src/CMakeFiles/mcdft_faults.dir/faults/fault_list.cpp.o.d"
+  "/root/repo/src/faults/injector.cpp" "src/CMakeFiles/mcdft_faults.dir/faults/injector.cpp.o" "gcc" "src/CMakeFiles/mcdft_faults.dir/faults/injector.cpp.o.d"
+  "/root/repo/src/faults/simulator.cpp" "src/CMakeFiles/mcdft_faults.dir/faults/simulator.cpp.o" "gcc" "src/CMakeFiles/mcdft_faults.dir/faults/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcdft_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdft_faults.dir/faults/fault.cpp.o"
+  "CMakeFiles/mcdft_faults.dir/faults/fault.cpp.o.d"
+  "CMakeFiles/mcdft_faults.dir/faults/fault_list.cpp.o"
+  "CMakeFiles/mcdft_faults.dir/faults/fault_list.cpp.o.d"
+  "CMakeFiles/mcdft_faults.dir/faults/injector.cpp.o"
+  "CMakeFiles/mcdft_faults.dir/faults/injector.cpp.o.d"
+  "CMakeFiles/mcdft_faults.dir/faults/simulator.cpp.o"
+  "CMakeFiles/mcdft_faults.dir/faults/simulator.cpp.o.d"
+  "libmcdft_faults.a"
+  "libmcdft_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdft_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/dense.cpp" "src/CMakeFiles/mcdft_linalg.dir/linalg/dense.cpp.o" "gcc" "src/CMakeFiles/mcdft_linalg.dir/linalg/dense.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "src/CMakeFiles/mcdft_linalg.dir/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/mcdft_linalg.dir/linalg/lu.cpp.o.d"
+  "/root/repo/src/linalg/sparse.cpp" "src/CMakeFiles/mcdft_linalg.dir/linalg/sparse.cpp.o" "gcc" "src/CMakeFiles/mcdft_linalg.dir/linalg/sparse.cpp.o.d"
+  "/root/repo/src/linalg/sparse_lu.cpp" "src/CMakeFiles/mcdft_linalg.dir/linalg/sparse_lu.cpp.o" "gcc" "src/CMakeFiles/mcdft_linalg.dir/linalg/sparse_lu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcdft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

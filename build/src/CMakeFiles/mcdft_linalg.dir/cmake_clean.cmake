@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdft_linalg.dir/linalg/dense.cpp.o"
+  "CMakeFiles/mcdft_linalg.dir/linalg/dense.cpp.o.d"
+  "CMakeFiles/mcdft_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/mcdft_linalg.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/mcdft_linalg.dir/linalg/sparse.cpp.o"
+  "CMakeFiles/mcdft_linalg.dir/linalg/sparse.cpp.o.d"
+  "CMakeFiles/mcdft_linalg.dir/linalg/sparse_lu.cpp.o"
+  "CMakeFiles/mcdft_linalg.dir/linalg/sparse_lu.cpp.o.d"
+  "libmcdft_linalg.a"
+  "libmcdft_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdft_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

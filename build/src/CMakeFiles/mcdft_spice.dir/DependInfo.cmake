@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac_analysis.cpp" "src/CMakeFiles/mcdft_spice.dir/spice/ac_analysis.cpp.o" "gcc" "src/CMakeFiles/mcdft_spice.dir/spice/ac_analysis.cpp.o.d"
+  "/root/repo/src/spice/dc_analysis.cpp" "src/CMakeFiles/mcdft_spice.dir/spice/dc_analysis.cpp.o" "gcc" "src/CMakeFiles/mcdft_spice.dir/spice/dc_analysis.cpp.o.d"
+  "/root/repo/src/spice/elements.cpp" "src/CMakeFiles/mcdft_spice.dir/spice/elements.cpp.o" "gcc" "src/CMakeFiles/mcdft_spice.dir/spice/elements.cpp.o.d"
+  "/root/repo/src/spice/mna.cpp" "src/CMakeFiles/mcdft_spice.dir/spice/mna.cpp.o" "gcc" "src/CMakeFiles/mcdft_spice.dir/spice/mna.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "src/CMakeFiles/mcdft_spice.dir/spice/netlist.cpp.o" "gcc" "src/CMakeFiles/mcdft_spice.dir/spice/netlist.cpp.o.d"
+  "/root/repo/src/spice/parser.cpp" "src/CMakeFiles/mcdft_spice.dir/spice/parser.cpp.o" "gcc" "src/CMakeFiles/mcdft_spice.dir/spice/parser.cpp.o.d"
+  "/root/repo/src/spice/transfer_function.cpp" "src/CMakeFiles/mcdft_spice.dir/spice/transfer_function.cpp.o" "gcc" "src/CMakeFiles/mcdft_spice.dir/spice/transfer_function.cpp.o.d"
+  "/root/repo/src/spice/writer.cpp" "src/CMakeFiles/mcdft_spice.dir/spice/writer.cpp.o" "gcc" "src/CMakeFiles/mcdft_spice.dir/spice/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcdft_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

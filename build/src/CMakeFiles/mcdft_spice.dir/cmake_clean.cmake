@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdft_spice.dir/spice/ac_analysis.cpp.o"
+  "CMakeFiles/mcdft_spice.dir/spice/ac_analysis.cpp.o.d"
+  "CMakeFiles/mcdft_spice.dir/spice/dc_analysis.cpp.o"
+  "CMakeFiles/mcdft_spice.dir/spice/dc_analysis.cpp.o.d"
+  "CMakeFiles/mcdft_spice.dir/spice/elements.cpp.o"
+  "CMakeFiles/mcdft_spice.dir/spice/elements.cpp.o.d"
+  "CMakeFiles/mcdft_spice.dir/spice/mna.cpp.o"
+  "CMakeFiles/mcdft_spice.dir/spice/mna.cpp.o.d"
+  "CMakeFiles/mcdft_spice.dir/spice/netlist.cpp.o"
+  "CMakeFiles/mcdft_spice.dir/spice/netlist.cpp.o.d"
+  "CMakeFiles/mcdft_spice.dir/spice/parser.cpp.o"
+  "CMakeFiles/mcdft_spice.dir/spice/parser.cpp.o.d"
+  "CMakeFiles/mcdft_spice.dir/spice/transfer_function.cpp.o"
+  "CMakeFiles/mcdft_spice.dir/spice/transfer_function.cpp.o.d"
+  "CMakeFiles/mcdft_spice.dir/spice/writer.cpp.o"
+  "CMakeFiles/mcdft_spice.dir/spice/writer.cpp.o.d"
+  "libmcdft_spice.a"
+  "libmcdft_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdft_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

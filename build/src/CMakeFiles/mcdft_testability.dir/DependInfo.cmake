@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testability/detectability.cpp" "src/CMakeFiles/mcdft_testability.dir/testability/detectability.cpp.o" "gcc" "src/CMakeFiles/mcdft_testability.dir/testability/detectability.cpp.o.d"
+  "/root/repo/src/testability/metrics.cpp" "src/CMakeFiles/mcdft_testability.dir/testability/metrics.cpp.o" "gcc" "src/CMakeFiles/mcdft_testability.dir/testability/metrics.cpp.o.d"
+  "/root/repo/src/testability/reference_band.cpp" "src/CMakeFiles/mcdft_testability.dir/testability/reference_band.cpp.o" "gcc" "src/CMakeFiles/mcdft_testability.dir/testability/reference_band.cpp.o.d"
+  "/root/repo/src/testability/sensitivity.cpp" "src/CMakeFiles/mcdft_testability.dir/testability/sensitivity.cpp.o" "gcc" "src/CMakeFiles/mcdft_testability.dir/testability/sensitivity.cpp.o.d"
+  "/root/repo/src/testability/tolerance.cpp" "src/CMakeFiles/mcdft_testability.dir/testability/tolerance.cpp.o" "gcc" "src/CMakeFiles/mcdft_testability.dir/testability/tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcdft_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

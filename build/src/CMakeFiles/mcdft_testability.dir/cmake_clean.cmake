@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdft_testability.dir/testability/detectability.cpp.o"
+  "CMakeFiles/mcdft_testability.dir/testability/detectability.cpp.o.d"
+  "CMakeFiles/mcdft_testability.dir/testability/metrics.cpp.o"
+  "CMakeFiles/mcdft_testability.dir/testability/metrics.cpp.o.d"
+  "CMakeFiles/mcdft_testability.dir/testability/reference_band.cpp.o"
+  "CMakeFiles/mcdft_testability.dir/testability/reference_band.cpp.o.d"
+  "CMakeFiles/mcdft_testability.dir/testability/sensitivity.cpp.o"
+  "CMakeFiles/mcdft_testability.dir/testability/sensitivity.cpp.o.d"
+  "CMakeFiles/mcdft_testability.dir/testability/tolerance.cpp.o"
+  "CMakeFiles/mcdft_testability.dir/testability/tolerance.cpp.o.d"
+  "libmcdft_testability.a"
+  "libmcdft_testability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdft_testability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdft_util.dir/util/cli.cpp.o"
+  "CMakeFiles/mcdft_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/mcdft_util.dir/util/strings.cpp.o"
+  "CMakeFiles/mcdft_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/mcdft_util.dir/util/table.cpp.o"
+  "CMakeFiles/mcdft_util.dir/util/table.cpp.o.d"
+  "libmcdft_util.a"
+  "libmcdft_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdft_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

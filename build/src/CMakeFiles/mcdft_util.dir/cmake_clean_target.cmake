@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcdft_util.a"
+)

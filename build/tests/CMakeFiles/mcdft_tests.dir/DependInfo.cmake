@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/boolcov_cube_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/boolcov_cube_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/boolcov_cube_test.cpp.o.d"
+  "/root/repo/tests/boolcov_petrick_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/boolcov_petrick_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/boolcov_petrick_test.cpp.o.d"
+  "/root/repo/tests/boolcov_pos_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/boolcov_pos_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/boolcov_pos_test.cpp.o.d"
+  "/root/repo/tests/boolcov_setcover_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/boolcov_setcover_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/boolcov_setcover_test.cpp.o.d"
+  "/root/repo/tests/circuits_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/circuits_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/circuits_test.cpp.o.d"
+  "/root/repo/tests/core_bist_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/core_bist_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/core_bist_test.cpp.o.d"
+  "/root/repo/tests/core_block_from_deck_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/core_block_from_deck_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/core_block_from_deck_test.cpp.o.d"
+  "/root/repo/tests/core_campaign_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/core_campaign_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/core_campaign_test.cpp.o.d"
+  "/root/repo/tests/core_configuration_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/core_configuration_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/core_configuration_test.cpp.o.d"
+  "/root/repo/tests/core_cost_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/core_cost_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/core_cost_test.cpp.o.d"
+  "/root/repo/tests/core_dft_transform_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/core_dft_transform_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/core_dft_transform_test.cpp.o.d"
+  "/root/repo/tests/core_diagnosis_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/core_diagnosis_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/core_diagnosis_test.cpp.o.d"
+  "/root/repo/tests/core_optimizer_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/core_optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/core_optimizer_test.cpp.o.d"
+  "/root/repo/tests/core_preselection_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/core_preselection_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/core_preselection_test.cpp.o.d"
+  "/root/repo/tests/core_report_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/core_report_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/core_report_test.cpp.o.d"
+  "/root/repo/tests/core_test_plan_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/core_test_plan_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/core_test_plan_test.cpp.o.d"
+  "/root/repo/tests/core_test_quality_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/core_test_quality_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/core_test_quality_test.cpp.o.d"
+  "/root/repo/tests/faults_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/faults_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/faults_test.cpp.o.d"
+  "/root/repo/tests/integration_paper_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/integration_paper_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/integration_paper_test.cpp.o.d"
+  "/root/repo/tests/linalg_dense_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/linalg_dense_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/linalg_dense_test.cpp.o.d"
+  "/root/repo/tests/linalg_lu_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/linalg_lu_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/linalg_lu_test.cpp.o.d"
+  "/root/repo/tests/linalg_sparse_lu_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/linalg_sparse_lu_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/linalg_sparse_lu_test.cpp.o.d"
+  "/root/repo/tests/linalg_sparse_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/linalg_sparse_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/linalg_sparse_test.cpp.o.d"
+  "/root/repo/tests/sensitivity_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/spice_ac_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/spice_ac_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/spice_ac_test.cpp.o.d"
+  "/root/repo/tests/spice_dc_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/spice_dc_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/spice_dc_test.cpp.o.d"
+  "/root/repo/tests/spice_mna_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/spice_mna_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/spice_mna_test.cpp.o.d"
+  "/root/repo/tests/spice_netlist_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/spice_netlist_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/spice_netlist_test.cpp.o.d"
+  "/root/repo/tests/spice_parser_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/spice_parser_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/spice_parser_test.cpp.o.d"
+  "/root/repo/tests/spice_roundtrip_fuzz_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/spice_roundtrip_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/spice_roundtrip_fuzz_test.cpp.o.d"
+  "/root/repo/tests/spice_subckt_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/spice_subckt_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/spice_subckt_test.cpp.o.d"
+  "/root/repo/tests/testability_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/testability_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/testability_test.cpp.o.d"
+  "/root/repo/tests/tolerance_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/tolerance_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/tolerance_test.cpp.o.d"
+  "/root/repo/tests/util_cli_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/util_cli_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/util_cli_test.cpp.o.d"
+  "/root/repo/tests/util_strings_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/util_strings_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/util_strings_test.cpp.o.d"
+  "/root/repo/tests/util_table_test.cpp" "tests/CMakeFiles/mcdft_tests.dir/util_table_test.cpp.o" "gcc" "tests/CMakeFiles/mcdft_tests.dir/util_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcdft_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_boolcov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_testability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcdft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdft_cli.dir/mcdft_cli.cpp.o"
+  "CMakeFiles/mcdft_cli.dir/mcdft_cli.cpp.o.d"
+  "mcdft"
+  "mcdft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdft_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
