@@ -1,0 +1,169 @@
+// Campaign throughput bench: wall time, MNA solves/sec and configs/sec for
+// full fault campaigns on the biquad (paper operating point) and the
+// 6-opamp cascade (X1 operating point: 25 points/decade, 24 Monte-Carlo
+// samples, <= 2 followers), across thread counts and with the
+// factorization cache on/off.  Writes BENCH_campaign.json next to the
+// console table so EXPERIMENTS.md can cite machine-readable numbers.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "circuits/zoo.hpp"
+#include "common.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace mcdft;
+
+struct RunSpec {
+  std::string label;
+  std::size_t threads;
+  bool cache;
+};
+
+struct RunResult {
+  RunSpec spec;
+  double wall_s = 0.0;
+  double solves_per_s = 0.0;
+  double configs_per_s = 0.0;
+  double speedup = 1.0;  // vs the serial no-cache baseline of the circuit
+};
+
+struct CircuitReport {
+  std::string name;
+  std::size_t configs = 0;
+  std::size_t faults = 0;
+  std::size_t points = 0;
+  std::size_t samples = 0;
+  std::vector<RunResult> runs;
+};
+
+CircuitReport BenchCircuit(const char* name, std::size_t points_per_decade,
+                           std::size_t samples,
+                           const std::vector<RunSpec>& specs) {
+  const auto& entry = circuits::FindInZoo(name);
+  auto block = entry.build();
+  core::DftCircuit circuit = core::DftCircuit::Transform(block);
+  auto fault_list = faults::MakeDeviationFaults(circuit.Circuit());
+
+  auto space = circuit.Space();
+  const std::vector<core::ConfigVector> configs =
+      space.OpampCount() > 5 ? space.UpToKFollowers(2)
+                             : space.AllNonTransparent();
+
+  CircuitReport report;
+  report.name = name;
+  report.configs = configs.size();
+  report.faults = fault_list.size();
+  report.samples = samples;
+
+  for (const RunSpec& spec : specs) {
+    auto options = core::MakePaperCampaignOptions();
+    options.points_per_decade = points_per_decade;
+    options.tolerance->samples = samples;
+    options.threads = spec.threads;
+    options.mna.cache_factorization = spec.cache;
+
+    const auto t0 = Clock::now();
+    auto campaign = core::RunCampaign(circuit, fault_list, configs, options);
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    report.points = campaign.Band().MakeSweep().PointCount();
+    // One sweep per (config, fault), per config nominal, and per config
+    // Monte-Carlo sample; each sweep is one MNA solve per grid point.
+    const double sweeps = static_cast<double>(report.configs) *
+                          static_cast<double>(report.faults + 1 + samples);
+    const double solves = sweeps * static_cast<double>(report.points);
+
+    RunResult r;
+    r.spec = spec;
+    r.wall_s = wall_s;
+    r.solves_per_s = solves / wall_s;
+    r.configs_per_s = static_cast<double>(report.configs) / wall_s;
+    r.speedup = report.runs.empty()
+                    ? 1.0
+                    : report.runs.front().wall_s / wall_s;
+    report.runs.push_back(r);
+  }
+  return report;
+}
+
+void WriteJson(const std::vector<CircuitReport>& reports,
+               const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"bench\": \"campaign_throughput\",\n";
+  out << "  \"hardware_threads\": " << util::HardwareThreadCount() << ",\n";
+  out << "  \"circuits\": [\n";
+  for (std::size_t c = 0; c < reports.size(); ++c) {
+    const auto& rep = reports[c];
+    out << "    {\n";
+    out << "      \"name\": \"" << rep.name << "\",\n";
+    out << "      \"configs\": " << rep.configs << ",\n";
+    out << "      \"faults\": " << rep.faults << ",\n";
+    out << "      \"sweep_points\": " << rep.points << ",\n";
+    out << "      \"mc_samples\": " << rep.samples << ",\n";
+    out << "      \"runs\": [\n";
+    for (std::size_t i = 0; i < rep.runs.size(); ++i) {
+      const auto& r = rep.runs[i];
+      out << "        {\"label\": \"" << r.spec.label
+          << "\", \"threads\": " << r.spec.threads
+          << ", \"cache_factorization\": "
+          << (r.spec.cache ? "true" : "false") << ", \"wall_s\": " << r.wall_s
+          << ", \"solves_per_s\": " << r.solves_per_s
+          << ", \"configs_per_s\": " << r.configs_per_s
+          << ", \"speedup_vs_baseline\": " << r.speedup << "}"
+          << (i + 1 < rep.runs.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n";
+    out << "    }" << (c + 1 < reports.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Campaign throughput: parallelism + factorization reuse",
+                     "performance engineering (no paper artifact)");
+
+  const std::size_t hw = util::HardwareThreadCount();
+  std::vector<RunSpec> specs = {
+      {"serial, no reuse", 1, false},
+      {"serial, reuse", 1, true},
+      {"2 threads, reuse", 2, true},
+      {"8 threads, reuse", 8, true},
+  };
+  if (hw != 1 && hw != 2 && hw != 8) {
+    specs.push_back({std::to_string(hw) + " threads, reuse", hw, true});
+  }
+
+  std::vector<CircuitReport> reports;
+  reports.push_back(BenchCircuit("biquad", 50, 48, specs));
+  reports.push_back(BenchCircuit("cascade6", 25, 24, specs));
+
+  util::Table t;
+  t.SetHeader({"circuit", "run", "wall [s]", "solves/s", "configs/s",
+               "speedup"});
+  for (const auto& rep : reports) {
+    for (const auto& r : rep.runs) {
+      t.AddRow({rep.name, r.spec.label, util::FormatTrimmed(r.wall_s, 3),
+                util::FormatTrimmed(r.solves_per_s, 0),
+                util::FormatTrimmed(r.configs_per_s, 1),
+                util::FormatTrimmed(r.speedup, 2) + "x"});
+    }
+  }
+  std::printf("%s\n", t.Render().c_str());
+  std::printf("hardware threads: %zu\n", hw);
+
+  WriteJson(reports, "BENCH_campaign.json");
+  std::printf("wrote BENCH_campaign.json\n");
+  return 0;
+}

@@ -1,6 +1,10 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+#include "util/parallel.hpp"
 
 namespace mcdft::core {
 
@@ -21,6 +25,10 @@ CampaignResult::CampaignResult(std::vector<faults::Fault> fault_list,
     if (cr.faults.size() != faults_.size()) {
       throw util::AnalysisError("campaign configuration rows are ragged");
     }
+  }
+  row_of_.reserve(per_config_.size());
+  for (std::size_t i = 0; i < per_config_.size(); ++i) {
+    row_of_.emplace(per_config_[i].config.Index(), i);  // first wins, as before
   }
 }
 
@@ -73,8 +81,9 @@ double CampaignResult::AverageOmegaDet(
 }
 
 std::size_t CampaignResult::RowOf(const ConfigVector& cv) const {
-  for (std::size_t i = 0; i < per_config_.size(); ++i) {
-    if (per_config_[i].config == cv) return i;
+  const auto it = row_of_.find(cv.Index());
+  if (it != row_of_.end() && per_config_[it->second].config == cv) {
+    return it->second;
   }
   throw util::OptimizationError("configuration " + cv.Name() +
                                 " was not simulated in this campaign");
@@ -139,30 +148,71 @@ CampaignResult RunCampaign(const DftCircuit& circuit,
   }
   std::vector<std::string> fault_sites;
   if (options.tolerance) {
+    std::unordered_set<std::string> seen;
     for (const auto& f : fault_list) {
-      if (std::find(fault_sites.begin(), fault_sites.end(), f.Device()) ==
-          fault_sites.end()) {
-        fault_sites.push_back(f.Device());
-      }
+      if (seen.insert(f.Device()).second) fault_sites.push_back(f.Device());
     }
   }
 
-  std::vector<ConfigResult> per_config;
-  per_config.reserve(configs.size());
+  // Phase 1 (serial over configurations): apply each configuration, compute
+  // its detection criteria (the Monte-Carlo envelope parallelizes over
+  // samples internally) and snapshot the configured circuit.
+  struct PreparedConfig {
+    spice::Netlist netlist;
+    testability::DetectionCriteria criteria;
+  };
+  std::vector<PreparedConfig> prepared;
+  prepared.reserve(configs.size());
   for (const ConfigVector& cv : configs) {
     ScopedConfiguration sc(work, cv);
     testability::DetectionCriteria criteria = options.criteria;
     if (options.tolerance) {
       criteria.envelope = testability::ComputeToleranceEnvelope(
           work.Circuit(), sweep, probe, fault_sites, *options.tolerance,
-          criteria.relative_floor, options.mna);
+          criteria.relative_floor, options.mna, options.threads);
     }
-    faults::FaultSimulator simulator(work.Circuit(), sweep, probe, options.mna);
-    ConfigResult row{cv, {}, simulator.SimulateNominal(), {}};
+    prepared.push_back(
+        PreparedConfig{work.Circuit().Clone(), std::move(criteria)});
+  }
+
+  // Phase 2 (parallel): all (configuration, sweep) tasks on one flat index.
+  // Task c*(F+1) is configuration c's nominal sweep, task c*(F+1)+1+j its
+  // j-th fault.  Each task writes only its own response slot; consecutive
+  // tasks of one configuration share a FaultSimulator (solve-cache reuse),
+  // which cannot change any numbers because every sweep re-derives its
+  // pivot ordering from its own first point.
+  const std::size_t tasks_per_config = fault_list.size() + 1;
+  const std::size_t task_count = configs.size() * tasks_per_config;
+  std::vector<spice::FrequencyResponse> responses(task_count);
+  util::ParallelForRange(
+      options.threads, task_count, [&](std::size_t begin, std::size_t end) {
+        std::optional<faults::FaultSimulator> simulator;
+        std::size_t simulator_config = configs.size();  // none yet
+        for (std::size_t t = begin; t < end; ++t) {
+          const std::size_t c = t / tasks_per_config;
+          const std::size_t j = t % tasks_per_config;
+          if (c != simulator_config) {
+            simulator.emplace(prepared[c].netlist, sweep, probe, options.mna);
+            simulator_config = c;
+          }
+          responses[t] = j == 0
+                             ? simulator->SimulateNominal()
+                             : simulator->SimulateFault(fault_list[j - 1]);
+        }
+      });
+
+  // Phase 3 (serial, ordered): assemble rows in configuration order.
+  std::vector<ConfigResult> per_config;
+  per_config.reserve(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const testability::DetectionCriteria& criteria = prepared[c].criteria;
+    ConfigResult row{configs[c], {},
+                     std::move(responses[c * tasks_per_config]), {}};
     row.faults.reserve(fault_list.size());
-    for (const auto& f : fault_list) {
+    for (std::size_t j = 0; j < fault_list.size(); ++j) {
       row.faults.push_back(testability::AnalyzeFault(
-          f, row.nominal, simulator.SimulateFault(f), criteria));
+          fault_list[j], row.nominal, responses[c * tasks_per_config + 1 + j],
+          criteria));
     }
     row.threshold.resize(sweep.PointCount());
     for (std::size_t i = 0; i < row.threshold.size(); ++i) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <optional>
+#include <unordered_map>
 
 #include "core/dft_transform.hpp"
 #include "testability/metrics.hpp"
@@ -32,6 +33,12 @@ struct CampaignOptions {
   std::optional<double> anchor_hz;
 
   spice::MnaOptions mna;
+
+  /// Worker threads for the (configuration, fault) sweeps and the
+  /// Monte-Carlo envelope samples.  0 = MCDFT_THREADS env var, else the
+  /// hardware thread count; 1 = serial.  Results are bit-identical for any
+  /// value (static partitioning + ordered reductions).
+  std::size_t threads = 0;
 };
 
 /// Per-configuration fault analysis.
@@ -89,13 +96,17 @@ class CampaignResult {
   double AverageOmegaDet(const std::vector<std::size_t>& rows = {}) const;
 
   /// Row index of a configuration in this campaign; throws
-  /// OptimizationError when the configuration was not simulated.
+  /// OptimizationError when the configuration was not simulated.  O(1):
+  /// the index->row map is built at construction.
   std::size_t RowOf(const ConfigVector& cv) const;
 
  private:
   std::vector<faults::Fault> faults_;
   std::vector<ConfigResult> per_config_;
   testability::ReferenceBand band_;
+  // ConfigVector::Index() -> row; verified with operator== on lookup so
+  // same-index vectors of a different width still miss.
+  std::unordered_map<std::size_t, std::size_t> row_of_;
 };
 
 /// The campaign settings used by every paper-reproduction experiment in

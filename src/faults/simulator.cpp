@@ -8,21 +8,20 @@ FaultSimulator::FaultSimulator(const spice::Netlist& netlist,
     : work_(netlist.Clone()),
       sweep_(std::move(sweep)),
       probe_(std::move(probe)),
-      options_(options) {
+      options_(options),
+      analyzer_(work_, options_) {
   work_.ValidateOrThrow();
 }
 
 spice::FrequencyResponse FaultSimulator::SimulateNominal() const {
-  spice::AcAnalyzer analyzer(work_, options_);
-  spice::FrequencyResponse r = analyzer.Run(sweep_, probe_);
+  spice::FrequencyResponse r = analyzer_.Run(sweep_, probe_);
   r.label = "nominal";
   return r;
 }
 
 spice::FrequencyResponse FaultSimulator::SimulateFault(const Fault& fault) const {
   ScopedFaultInjection injection(work_, fault);
-  spice::AcAnalyzer analyzer(work_, options_);
-  spice::FrequencyResponse r = analyzer.Run(sweep_, probe_);
+  spice::FrequencyResponse r = analyzer_.Run(sweep_, probe_);
   r.label = fault.Label();
   return r;
 }

@@ -3,7 +3,11 @@
 // This is the paper's "extensive fault simulation" (HSPICE in the original,
 // our MNA engine here).  The simulator owns a working copy of the circuit
 // and runs each fault through ScopedFaultInjection, so a campaign of F
-// faults costs F+1 sweeps and no netlist clones.
+// faults costs F+1 sweeps and no netlist clones.  One AcAnalyzer persists
+// across the whole campaign: fault injection is value-only, so the MNA
+// structure and solve cache carry over from sweep to sweep (the analyzer
+// re-derives its pivot ordering at each sweep's first point, so reuse does
+// not change any numbers).
 #pragma once
 
 #include "faults/fault_list.hpp"
@@ -32,6 +36,10 @@ class FaultSimulator {
   FaultSimulator(const spice::Netlist& netlist, spice::SweepSpec sweep,
                  spice::Probe probe, spice::MnaOptions options = {});
 
+  // The persistent analyzer references the internal netlist clone.
+  FaultSimulator(const FaultSimulator&) = delete;
+  FaultSimulator& operator=(const FaultSimulator&) = delete;
+
   /// Fault-free response.
   spice::FrequencyResponse SimulateNominal() const;
 
@@ -51,6 +59,9 @@ class FaultSimulator {
   spice::SweepSpec sweep_;
   spice::Probe probe_;
   spice::MnaOptions options_;
+  // Persistent analyzer over work_: the MNA structure survives value-only
+  // fault injection, so its solve cache is reused across all sweeps.
+  mutable spice::AcAnalyzer analyzer_;
 };
 
 }  // namespace mcdft::faults

@@ -78,6 +78,53 @@ Matrix CsrMatrix::ToDense() const {
   return m;
 }
 
+CsrAssembly::CsrAssembly(const TripletMatrix& t) : csr_(t) {
+  const auto& entries = t.Entries();
+  entry_rows_.reserve(entries.size());
+  entry_cols_.reserve(entries.size());
+  slot_.resize(entries.size());
+  for (const auto& e : entries) {
+    entry_rows_.push_back(e.row);
+    entry_cols_.push_back(e.col);
+  }
+  // Slot of entry i = position of (row, col) in the compressed matrix.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::size_t r = entries[i].row;
+    const std::size_t begin = csr_.row_ptr_[r];
+    const std::size_t end = csr_.row_ptr_[r + 1];
+    const auto first = csr_.col_idx_.begin() + static_cast<std::ptrdiff_t>(begin);
+    const auto last = csr_.col_idx_.begin() + static_cast<std::ptrdiff_t>(end);
+    const auto it = std::lower_bound(first, last, entries[i].col);
+    slot_[i] = static_cast<std::size_t>(it - csr_.col_idx_.begin());
+  }
+}
+
+bool CsrAssembly::Matches(const TripletMatrix& t) const {
+  const auto& entries = t.Entries();
+  if (t.Rows() != csr_.rows_ || t.Cols() != csr_.cols_ ||
+      entries.size() != slot_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].row != entry_rows_[i] || entries[i].col != entry_cols_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CsrAssembly::Update(const TripletMatrix& t) {
+  if (!Matches(t)) {
+    throw util::NumericError(
+        "CsrAssembly::Update with a structurally different assembly");
+  }
+  std::fill(csr_.values_.begin(), csr_.values_.end(), Complex(0.0, 0.0));
+  const auto& entries = t.Entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    csr_.values_[slot_[i]] += entries[i].value;
+  }
+}
+
 double CsrMatrix::NormInf() const {
   double best = 0.0;
   for (std::size_t r = 0; r < rows_; ++r) {

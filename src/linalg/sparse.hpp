@@ -37,6 +37,14 @@ class TripletMatrix {
   /// Drop all entries, keeping the shape (reuse across frequencies).
   void Clear() { entries_.clear(); }
 
+  /// Set the shape and drop all entries, keeping the allocation (reuse of
+  /// one builder across assemblies).
+  void Reset(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    entries_.clear();
+  }
+
   /// Dense copy (small systems, tests).
   Matrix ToDense() const;
 
@@ -80,11 +88,44 @@ class CsrMatrix {
   const std::vector<Complex>& Values() const { return values_; }
 
  private:
+  friend class CsrAssembly;
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<std::size_t> row_ptr_;  // size rows_+1
   std::vector<std::size_t> col_idx_;  // size nnz, sorted within each row
   std::vector<Complex> values_;       // size nnz
+};
+
+/// Caches the CSR sparsity pattern of a triplet sequence so that repeated
+/// assemblies with the *same structure* (identical (row, col) Add()
+/// sequence — e.g. an MNA restamp at a new frequency or after a parametric
+/// fault) compress in O(nnz) without re-sorting.
+///
+/// The mapping entry-index -> value-slot is built once; Update() only
+/// re-accumulates values.  Use Matches() to detect structural drift (a
+/// changed stamp sequence) and rebuild.
+class CsrAssembly {
+ public:
+  /// Build the pattern and compress `t`.
+  explicit CsrAssembly(const TripletMatrix& t);
+
+  /// True when `t` has exactly the cached (row, col) entry sequence.
+  bool Matches(const TripletMatrix& t) const;
+
+  /// Re-accumulate values from `t` into the cached pattern.  Throws
+  /// NumericError when the structure does not match (call Matches first
+  /// when the structure may legitimately change).
+  void Update(const TripletMatrix& t);
+
+  /// The compressed matrix with the most recently updated values.
+  const CsrMatrix& Matrix() const { return csr_; }
+
+ private:
+  CsrMatrix csr_;
+  std::vector<std::size_t> slot_;        // triplet entry index -> value index
+  std::vector<std::size_t> entry_rows_;  // cached entry coordinates
+  std::vector<std::size_t> entry_cols_;
 };
 
 }  // namespace mcdft::linalg

@@ -10,6 +10,43 @@ namespace {
 constexpr double kSingularAbs = 1e-300;
 }  // namespace
 
+void SparseLu::BuildRows(const CsrMatrix& a, std::vector<SparseRow>& rows) {
+  rows.resize(a.Rows());
+  for (std::size_t r = 0; r < a.Rows(); ++r) {
+    rows[r].clear();
+    for (std::size_t k = a.RowPointers()[r]; k < a.RowPointers()[r + 1]; ++k) {
+      if (a.Values()[k] != Complex(0.0, 0.0)) {
+        rows[r].push_back(Entry{a.ColumnIndices()[k], a.Values()[k]});
+      }
+    }
+  }
+}
+
+void SparseLu::EliminateRow(SparseRow& row, const SparseRow& urow,
+                            const std::vector<bool>& col_active, Complex m,
+                            SparseRow& scratch) {
+  SparseRow& merged = scratch;
+  merged.clear();
+  merged.reserve(row.size() + urow.size());
+  std::size_t i = 0, j = 0;
+  while (i < row.size() || j < urow.size()) {
+    if (j >= urow.size() || (i < row.size() && row[i].col < urow[j].col)) {
+      merged.push_back(row[i++]);
+    } else if (!col_active[urow[j].col]) {
+      ++j;  // pivot column itself (and any frozen column): no update needed
+    } else if (i >= row.size() || urow[j].col < row[i].col) {
+      merged.push_back(Entry{urow[j].col, -m * urow[j].val});
+      ++j;
+    } else {
+      Complex v = row[i].val - m * urow[j].val;
+      if (v != Complex(0.0, 0.0)) merged.push_back(Entry{row[i].col, v});
+      ++i;
+      ++j;
+    }
+  }
+  row.swap(merged);  // old buffer becomes the next merge's scratch
+}
+
 SparseLu::SparseLu(const CsrMatrix& a, SparseLuOptions options) {
   if (a.Rows() != a.Cols()) {
     throw util::NumericError("sparse LU requires a square matrix");
@@ -22,14 +59,9 @@ SparseLu::SparseLu(const CsrMatrix& a, SparseLuOptions options) {
   col_pos_.assign(n_, 0);
 
   // Working copy: active rows as sorted (col, val) vectors.
-  std::vector<SparseRow> rows(n_);
-  for (std::size_t r = 0; r < n_; ++r) {
-    for (std::size_t k = a.RowPointers()[r]; k < a.RowPointers()[r + 1]; ++k) {
-      if (a.Values()[k] != Complex(0.0, 0.0)) {
-        rows[r].push_back(Entry{a.ColumnIndices()[k], a.Values()[k]});
-      }
-    }
-  }
+  std::vector<SparseRow> rows;
+  BuildRows(a, rows);
+  SparseRow merge_scratch;
   std::vector<bool> row_active(n_, true);
   std::vector<bool> col_active(n_, true);
   // Multipliers produced at each elimination step: (original row, m).
@@ -111,27 +143,7 @@ SparseLu::SparseLu(const CsrMatrix& a, SparseLuOptions options) {
       row.erase(it);
       if (m == Complex(0.0, 0.0)) continue;
       step_mult[step].emplace_back(r, m);
-      // row -= m * (pivot row restricted to still-active columns): sorted merge.
-      SparseRow merged;
-      merged.reserve(row.size() + upper_[step].size());
-      std::size_t i = 0, j = 0;
-      const SparseRow& u = upper_[step];
-      while (i < row.size() || j < u.size()) {
-        if (j >= u.size() || (i < row.size() && row[i].col < u[j].col)) {
-          merged.push_back(row[i++]);
-        } else if (!col_active[u[j].col]) {
-          ++j;  // pivot column itself (and any frozen column): no update needed
-        } else if (i >= row.size() || u[j].col < row[i].col) {
-          merged.push_back(Entry{u[j].col, -m * u[j].val});
-          ++j;
-        } else {
-          Complex v = row[i].val - m * u[j].val;
-          if (v != Complex(0.0, 0.0)) merged.push_back(Entry{row[i].col, v});
-          ++i;
-          ++j;
-        }
-      }
-      row = std::move(merged);
+      EliminateRow(row, upper_[step], col_active, m, merge_scratch);
     }
   }
 
@@ -144,13 +156,69 @@ SparseLu::SparseLu(const CsrMatrix& a, SparseLuOptions options) {
   }
 }
 
-Vector SparseLu::Solve(const Vector& b) const {
+bool SparseLu::Refactor(const CsrMatrix& a) {
+  if (a.Rows() != n_ || a.Cols() != n_) {
+    throw util::NumericError("sparse LU refactor dimension mismatch");
+  }
+  // All workspace lives in the object: the sparsity pattern (and hence the
+  // structure of every intermediate row) repeats across an AC sweep, so
+  // after the first call every buffer already has its final capacity and
+  // this pass is allocation-free.
+  BuildRows(a, work_rows_);
+  work_row_active_.assign(n_, true);
+  work_col_active_.assign(n_, true);
+
+  for (std::size_t step = 0; step < n_; ++step) {
+    const std::size_t prow_idx = row_perm_[step];
+    const std::size_t pcol = col_perm_[step];
+    work_row_active_[prow_idx] = false;
+    work_col_active_[pcol] = false;
+
+    // Freeze the pivot row into U using the fixed pivot column.
+    SparseRow& prow = work_rows_[prow_idx];
+    Complex piv(0.0, 0.0);
+    bool have_pivot = false;
+    SparseRow& urow = upper_[step];
+    urow.clear();
+    for (const Entry& e : prow) {
+      if (e.col == pcol) {
+        piv = e.val;
+        have_pivot = true;
+      }
+      if (e.col == pcol || work_col_active_[e.col]) urow.push_back(e);
+    }
+    if (!have_pivot || std::abs(piv) <= kSingularAbs) return false;
+
+    // Eliminate the fixed pivot column from every remaining active row,
+    // recording the multipliers directly under the producing step.
+    lower_[step].clear();
+    for (std::size_t r = 0; r < n_; ++r) {
+      if (!work_row_active_[r]) continue;
+      SparseRow& row = work_rows_[r];
+      auto it = std::lower_bound(
+          row.begin(), row.end(), pcol,
+          [](const Entry& e, std::size_t c) { return e.col < c; });
+      if (it == row.end() || it->col != pcol) continue;
+      Complex m = it->val / piv;
+      row.erase(it);
+      if (m == Complex(0.0, 0.0)) continue;
+      if (std::abs(m) > kRefactorGrowthLimit) return false;
+      lower_[step].push_back(Entry{r, m});
+      EliminateRow(row, urow, work_col_active_, m, work_merge_);
+    }
+  }
+  return true;
+}
+
+Vector SparseLu::Solve(const Vector& b) {
   if (b.size() != n_) {
     throw util::NumericError("sparse LU solve dimension mismatch");
   }
-  // Forward elimination replayed on a copy of b.
-  Vector work = b;
-  Vector y(n_);
+  // Forward elimination replayed on a scratch copy of b.
+  Vector& work = work_b_;
+  work.data().assign(b.data().begin(), b.data().end());
+  Vector& y = work_y_;
+  y.Resize(n_);
   for (std::size_t step = 0; step < n_; ++step) {
     Complex yk = work[row_perm_[step]];
     y[step] = yk;

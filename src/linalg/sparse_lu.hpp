@@ -25,8 +25,30 @@ class SparseLu {
   /// Factorize.  Throws NumericError on non-square or singular input.
   explicit SparseLu(const CsrMatrix& a, SparseLuOptions options = {});
 
-  /// Solve A x = b.
-  Vector Solve(const Vector& b) const;
+  /// Numeric-only refactorization: redo the elimination of `a` (same
+  /// dimension, values may differ) reusing the pivot ordering chosen at
+  /// construction, skipping the Markowitz analysis.  This is the classic
+  /// circuit-simulator fast path: across an AC sweep (and across
+  /// parametric faults) the sparsity pattern is invariant and the ordering
+  /// stays numerically adequate.
+  ///
+  /// Returns false when the fixed ordering is no longer safe for these
+  /// values (a vanished pivot or an elimination multiplier above
+  /// `kRefactorGrowthLimit`); the factor is then invalid and the caller
+  /// must construct a fresh SparseLu (full pivot search).
+  bool Refactor(const CsrMatrix& a);
+
+  /// Multiplier-magnitude bound beyond which Refactor() refuses the cached
+  /// ordering.  A fresh threshold-Markowitz factorization bounds
+  /// multipliers by 1/pivot_threshold (= 10 at the default); allowing a
+  /// generous excursion keeps the fast path sticky across a 4-decade sweep
+  /// while still catching genuine pivot collapse.
+  static constexpr double kRefactorGrowthLimit = 1e6;
+
+  /// Solve A x = b.  Non-const: the triangular passes run through member
+  /// scratch buffers so repeated solves (one per sweep point) do not
+  /// allocate beyond the returned vector.
+  Vector Solve(const Vector& b);
 
   /// Matrix dimension.
   std::size_t Size() const noexcept { return n_; }
@@ -42,6 +64,16 @@ class SparseLu {
   };
   using SparseRow = std::vector<Entry>;  // sorted by col
 
+  /// row -= m * (urow restricted to still-active columns); sorted merge
+  /// through `scratch` (buffer swapped into `row`, capacities recirculate).
+  static void EliminateRow(SparseRow& row, const SparseRow& urow,
+                           const std::vector<bool>& col_active, Complex m,
+                           SparseRow& scratch);
+
+  /// Rebuild the working rows of `a` into `rows` for an elimination pass,
+  /// keeping each row's capacity from the previous pass.
+  static void BuildRows(const CsrMatrix& a, std::vector<SparseRow>& rows);
+
   std::size_t n_ = 0;
   // Rows of the combined LU factor, in elimination order.
   std::vector<SparseRow> lower_;        // multipliers, cols < pivot col order
@@ -49,6 +81,19 @@ class SparseLu {
   std::vector<std::size_t> row_perm_;   // elimination step k used original row row_perm_[k]
   std::vector<std::size_t> col_perm_;   // step k eliminated original column col_perm_[k]
   std::vector<std::size_t> col_pos_;    // inverse of col_perm_
+
+  // Refactor() workspace, retained across calls: after the first refactor
+  // every buffer has its steady-state capacity and the numeric-only pass
+  // performs no heap allocation (the pattern — and hence every intermediate
+  // row structure — is invariant across an AC sweep).
+  std::vector<SparseRow> work_rows_;
+  std::vector<bool> work_row_active_;
+  std::vector<bool> work_col_active_;
+  SparseRow work_merge_;
+
+  // Solve() workspace (forward-elimination copy of b and intermediate y).
+  Vector work_b_;
+  Vector work_y_;
 };
 
 /// One-shot sparse solve.

@@ -48,6 +48,14 @@ struct Probe {
 /// Runs an AC sweep of a netlist, producing the complex frequency response
 /// at a probe.  The excitation is whatever AC sources the netlist contains
 /// (for a transfer function, drive with a single AC 1V source).
+///
+/// The analyzer keeps an MnaSolveCache: the MNA sparsity pattern is
+/// invariant across frequencies (and across value-only fault injection on
+/// the underlying netlist), so after the sweep's first full factorization
+/// every remaining point is a numeric-only refactorization.  The cached
+/// pivot ordering is dropped at each sweep boundary, which makes a sweep's
+/// results depend only on (netlist values, sweep) — reusing one analyzer
+/// across many faults yields bit-identical results to fresh analyzers.
 class AcAnalyzer {
  public:
   explicit AcAnalyzer(const Netlist& netlist, MnaOptions options = {});
@@ -60,8 +68,14 @@ class AcAnalyzer {
   std::vector<FrequencyResponse> RunMulti(const SweepSpec& sweep,
                                           const std::vector<Probe>& probes) const;
 
+  /// Solve-cache diagnostics (tests/benches): numeric-only refactors vs
+  /// full factorizations performed so far.
+  std::size_t RefactorCount() const { return cache_.RefactorCount(); }
+  std::size_t FullFactorCount() const { return cache_.FullFactorCount(); }
+
  private:
   MnaSystem system_;
+  mutable MnaSolveCache cache_;
 };
 
 }  // namespace mcdft::spice

@@ -139,7 +139,7 @@ void MnaSystem::Assemble(AnalysisKind kind, double omega,
                          linalg::TripletMatrix& a, linalg::Vector& rhs) const {
   const Complex s = kind == AnalysisKind::kDc ? Complex(0.0, 0.0)
                                               : Complex(0.0, omega);
-  a = linalg::TripletMatrix(unknown_count_, unknown_count_);
+  a.Reset(unknown_count_, unknown_count_);
   rhs.Resize(unknown_count_);
   rhs.SetZero();
   MnaStampContext ctx(*this, netlist_, kind, s, a, rhs);
@@ -181,6 +181,42 @@ std::size_t MnaSystem::ElementIndexOf(const std::string& name) const {
     if (netlist_.Elements()[i]->Name() == key) return i;
   }
   throw util::AnalysisError("element '" + name + "' not found in MNA system");
+}
+
+MnaSolution MnaSolveCache::Solve(const MnaSystem& sys, AnalysisKind kind,
+                                 double omega) {
+  sys.Assemble(kind, omega, a_, rhs_);
+  const MnaOptions& options = sys.Options();
+
+  if (options.backend == SolverBackend::kDense ||
+      (options.backend == SolverBackend::kAuto && !options.cache_factorization &&
+       sys.UnknownCount() <= options.dense_threshold)) {
+    return sys.WrapSolution(linalg::SolveDense(a_.ToDense(), rhs_));
+  }
+  if (!options.cache_factorization) {
+    return sys.WrapSolution(linalg::SolveSparse(linalg::CsrMatrix(a_), rhs_));
+  }
+
+  // Cached sparse path: O(nnz) value refresh into the stored pattern, then
+  // numeric-only refactorization under the stored pivot ordering.
+  if (pattern_ && pattern_->Matches(a_)) {
+    pattern_->Update(a_);
+  } else {
+    pattern_.emplace(a_);  // structure changed (or first solve)
+    lu_.reset();
+  }
+  const linalg::CsrMatrix& m = pattern_->Matrix();
+  if (lu_ && lu_->Refactor(m)) {
+    ++refactor_count_;
+  } else {
+    lu_.emplace(m);
+    ++full_factor_count_;
+  }
+  return sys.WrapSolution(lu_->Solve(rhs_));
+}
+
+MnaSolution MnaSolveCache::SolveAcHz(const MnaSystem& sys, double hz) {
+  return Solve(sys, AnalysisKind::kAc, 2.0 * std::numbers::pi * hz);
 }
 
 std::size_t MnaSystem::BranchUnknown(std::size_t element_idx,

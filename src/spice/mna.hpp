@@ -6,6 +6,7 @@
 // LU backend below a size threshold and the sparse Markowitz LU above it.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "linalg/lu.hpp"
@@ -25,6 +26,11 @@ enum class SolverBackend {
 struct MnaOptions {
   SolverBackend backend = SolverBackend::kAuto;
   std::size_t dense_threshold = 64;  ///< kAuto switch-over point
+  /// When true, repeated solves through an MnaSolveCache keep the CSR
+  /// sparsity pattern and the sparse-LU pivot ordering across frequencies
+  /// and parametric (value-only) faults, doing numeric-only refactorization
+  /// per point.  kDense is unaffected (dense LU has no reusable analysis).
+  bool cache_factorization = true;
 };
 
 /// Solution of one MNA solve: node voltages + branch currents with
@@ -95,12 +101,66 @@ class MnaSystem {
 
   const Netlist& Circuit() const { return netlist_; }
 
+  const MnaOptions& Options() const { return options_; }
+
+  /// Wrap a raw unknown vector produced by an external solve of this
+  /// system's equations (used by MnaSolveCache).
+  MnaSolution WrapSolution(linalg::Vector x) const {
+    return MnaSolution(std::move(x), &branch_base_, node_unknowns_);
+  }
+
  private:
   const Netlist& netlist_;
   MnaOptions options_;
   std::size_t node_unknowns_ = 0;
   std::size_t unknown_count_ = 0;
   std::vector<std::size_t> branch_base_;  // per element: first branch unknown
+};
+
+/// Reusable solve state for repeated MNA solves with an invariant sparsity
+/// pattern — the workhorse of AC sweeps and parametric fault campaigns.
+///
+/// Holds the assembly scratch (triplets + RHS), the cached CSR pattern of
+/// the stamp sequence, and the sparse-LU factor whose pivot ordering is
+/// reused for numeric-only refactorization at each subsequent point.  The
+/// cache owns all of its state (no references into any MnaSystem), so one
+/// cache may serve many systems; the pattern check simply rebuilds when the
+/// stamp sequence changes.
+///
+/// Determinism: results for a given (netlist values, kind, omega) depend on
+/// the ordering chosen at the first full factorization after
+/// ResetOrdering().  Callers that must produce identical results regardless
+/// of how work is batched (e.g. a fault campaign split across threads) call
+/// ResetOrdering() at each sweep boundary so the ordering is always derived
+/// from the sweep's own first point.
+class MnaSolveCache {
+ public:
+  /// Assemble and solve `sys` at (kind, omega), reusing cached structure
+  /// when `sys.Options().cache_factorization` allows.  Falls back to a full
+  /// factorization whenever the cached pivot ordering is rejected.
+  MnaSolution Solve(const MnaSystem& sys, AnalysisKind kind, double omega);
+
+  /// AC solve at frequency `hz`.
+  MnaSolution SolveAcHz(const MnaSystem& sys, double hz);
+
+  /// Forget the cached pivot ordering (the sparsity pattern is kept; it is
+  /// a deterministic function of the stamp sequence and carries no value
+  /// information).  Call at sweep boundaries for batching-independent
+  /// results.
+  void ResetOrdering() { lu_.reset(); }
+
+  /// Diagnostics: how many solves went through the numeric-only refactor
+  /// fast path vs. a full factorization (exposed for tests and benches).
+  std::size_t RefactorCount() const { return refactor_count_; }
+  std::size_t FullFactorCount() const { return full_factor_count_; }
+
+ private:
+  linalg::TripletMatrix a_;
+  linalg::Vector rhs_;
+  std::optional<linalg::CsrAssembly> pattern_;
+  std::optional<linalg::SparseLu> lu_;
+  std::size_t refactor_count_ = 0;
+  std::size_t full_factor_count_ = 0;
 };
 
 }  // namespace mcdft::spice

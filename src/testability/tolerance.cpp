@@ -4,6 +4,7 @@
 #include <random>
 
 #include "spice/elements.hpp"
+#include "util/parallel.hpp"
 
 namespace mcdft::testability {
 
@@ -11,7 +12,7 @@ std::vector<double> ComputeToleranceEnvelope(
     const spice::Netlist& netlist, const spice::SweepSpec& sweep,
     const spice::Probe& probe, const std::vector<std::string>& component_names,
     const ToleranceModel& model, double relative_floor,
-    spice::MnaOptions mna_options) {
+    spice::MnaOptions mna_options, std::size_t threads) {
   if (!(model.component_tolerance > 0.0) || model.component_tolerance >= 1.0) {
     throw util::AnalysisError("component tolerance must be in (0, 1)");
   }
@@ -22,38 +23,47 @@ std::vector<double> ComputeToleranceEnvelope(
     throw util::AnalysisError("tolerance envelope needs >= 1 component");
   }
 
-  spice::Netlist work = netlist.Clone();
   std::vector<double> nominal_values;
   nominal_values.reserve(component_names.size());
-  for (const auto& name : component_names) {
-    nominal_values.push_back(work.GetElement(name).Value());
+  {
+    const spice::Netlist probe_clone = netlist.Clone();
+    for (const auto& name : component_names) {
+      nominal_values.push_back(probe_clone.GetElement(name).Value());
+    }
   }
 
-  spice::AcAnalyzer nominal_analyzer(work, mna_options);
+  const spice::Netlist nominal_work = netlist.Clone();
+  spice::AcAnalyzer nominal_analyzer(nominal_work, mna_options);
   const spice::FrequencyResponse nominal = nominal_analyzer.Run(sweep, probe);
 
-  std::mt19937_64 rng(model.seed);
-  std::uniform_real_distribution<double> uniform(-model.component_tolerance,
-                                                 model.component_tolerance);
+  // Per-sample deviation vectors, filled by index: sample k is a
+  // self-contained stream (its own generator at seed ^ k), so any static
+  // partition over k produces the same per-sample results.
+  std::vector<std::vector<double>> deviations(model.samples);
+  util::ParallelForRange(
+      threads, model.samples, [&](std::size_t begin, std::size_t end) {
+        spice::Netlist work = netlist.Clone();
+        spice::AcAnalyzer analyzer(work, mna_options);
+        for (std::size_t k = begin; k < end; ++k) {
+          std::mt19937_64 rng(model.seed ^ static_cast<std::uint64_t>(k));
+          std::uniform_real_distribution<double> uniform(
+              -model.component_tolerance, model.component_tolerance);
+          for (std::size_t i = 0; i < component_names.size(); ++i) {
+            work.GetElement(component_names[i])
+                .SetValue(nominal_values[i] * (1.0 + uniform(rng)));
+          }
+          const spice::FrequencyResponse sample = analyzer.Run(sweep, probe);
+          deviations[k] =
+              spice::RelativeDeviation(sample, nominal, relative_floor);
+        }
+      });
 
+  // Ordered reduction: max over samples in index order.
   std::vector<double> envelope(sweep.PointCount(), 0.0);
   for (std::size_t k = 0; k < model.samples; ++k) {
-    for (std::size_t i = 0; i < component_names.size(); ++i) {
-      work.GetElement(component_names[i])
-          .SetValue(nominal_values[i] * (1.0 + uniform(rng)));
-    }
-    spice::AcAnalyzer analyzer(work, mna_options);
-    const spice::FrequencyResponse sample = analyzer.Run(sweep, probe);
-    const std::vector<double> dev =
-        spice::RelativeDeviation(sample, nominal, relative_floor);
     for (std::size_t i = 0; i < envelope.size(); ++i) {
-      envelope[i] = std::max(envelope[i], dev[i]);
+      envelope[i] = std::max(envelope[i], deviations[k][i]);
     }
-  }
-  // Restore nominal values (the clone dies anyway, but keep the invariant
-  // obvious if `work` is ever hoisted out).
-  for (std::size_t i = 0; i < component_names.size(); ++i) {
-    work.GetElement(component_names[i]).SetValue(nominal_values[i]);
   }
   return envelope;
 }

@@ -1,0 +1,171 @@
+#include "util/parallel.hpp"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mcdft::util {
+
+namespace {
+
+thread_local bool g_inside_worker = false;
+
+/// Lazily grown pool of detachable workers sharing one task queue.  The
+/// process keeps a single instance alive for its whole lifetime (workers
+/// are joined at static destruction).
+class ThreadPool {
+ public:
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  /// Make sure at least `n` workers exist (bounded; workers are cheap but
+  /// unbounded growth from repeated oversubscribed requests is not).
+  void EnsureWorkers(std::size_t n) {
+    constexpr std::size_t kMaxWorkers = 256;
+    std::lock_guard<std::mutex> lock(m_);
+    while (workers_.size() < n && workers_.size() < kMaxWorkers) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void WorkerLoop() {
+    g_inside_worker = true;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+ThreadPool& GlobalPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+/// Join-state of one ParallelForRange call.
+struct ForJoin {
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t pending = 0;
+};
+
+}  // namespace
+
+std::size_t HardwareThreadCount() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+std::size_t DefaultThreadCount() {
+  static const std::size_t resolved = [] {
+    if (const char* env = std::getenv("MCDFT_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) {
+        return static_cast<std::size_t>(v);
+      }
+    }
+    return HardwareThreadCount();
+  }();
+  return resolved;
+}
+
+std::size_t ResolveThreadCount(std::size_t requested) {
+  return requested == 0 ? DefaultThreadCount() : requested;
+}
+
+bool InsideParallelWorker() { return g_inside_worker; }
+
+void ParallelForRange(
+    std::size_t threads, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  std::size_t ways = ResolveThreadCount(threads);
+  if (ways > count) ways = count;
+  // Serial fast path; also taken from inside a pool worker so nested
+  // parallel sections never wait on the queue they are blocking.
+  if (ways <= 1 || g_inside_worker) {
+    fn(0, count);
+    return;
+  }
+
+  GlobalPool().EnsureWorkers(ways - 1);
+  std::vector<std::exception_ptr> errors(ways);
+  ForJoin join;
+  join.pending = ways - 1;
+
+  const auto range_begin = [count, ways](std::size_t w) {
+    return w * count / ways;
+  };
+  for (std::size_t w = 1; w < ways; ++w) {
+    GlobalPool().Submit([&, w] {
+      try {
+        fn(range_begin(w), range_begin(w + 1));
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+      {
+        // Notify while still holding the lock: the moment the waiter can
+        // observe pending == 0 it may return and destroy `join`, so the
+        // cv must not be touched after the mutex is released.
+        std::lock_guard<std::mutex> lock(join.m);
+        --join.pending;
+        join.cv.notify_one();
+      }
+    });
+  }
+  try {
+    fn(range_begin(0), range_begin(1));
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(join.m);
+    join.cv.wait(lock, [&join] { return join.pending == 0; });
+  }
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void ParallelFor(std::size_t threads, std::size_t count,
+                 const std::function<void(std::size_t)>& fn) {
+  ParallelForRange(threads, count, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace mcdft::util

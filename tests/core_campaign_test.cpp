@@ -134,6 +134,51 @@ TEST(Campaign, PaperOptionsAreDeterministic) {
   EXPECT_EQ(c1.OmegaTable(), c2.OmegaTable());
 }
 
+TEST(Campaign, BitIdenticalAcrossThreadCounts) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  auto faults = faults::MakeDeviationFaults(circuit.Circuit());
+  auto o = MakePaperCampaignOptions();
+  o.points_per_decade = 10;  // keep the test fast
+  o.tolerance->samples = 8;
+  o.threads = 1;
+  auto serial = RunCampaign(circuit, faults,
+                            circuit.Space().AllNonTransparent(), o);
+  o.threads = 4;
+  auto parallel = RunCampaign(circuit, faults,
+                              circuit.Space().AllNonTransparent(), o);
+  // The whole result is bit-identical, not merely close: responses,
+  // thresholds (which embed the Monte-Carlo envelope), and verdicts.
+  ASSERT_EQ(serial.ConfigCount(), parallel.ConfigCount());
+  EXPECT_EQ(serial.OmegaTable(), parallel.OmegaTable());
+  EXPECT_EQ(serial.DetectabilityMatrix(), parallel.DetectabilityMatrix());
+  for (std::size_t i = 0; i < serial.ConfigCount(); ++i) {
+    const auto& s = serial.PerConfig()[i];
+    const auto& p = parallel.PerConfig()[i];
+    EXPECT_EQ(s.threshold, p.threshold);
+    ASSERT_EQ(s.nominal.values.size(), p.nominal.values.size());
+    for (std::size_t k = 0; k < s.nominal.values.size(); ++k) {
+      EXPECT_EQ(s.nominal.values[k], p.nominal.values[k]);
+    }
+  }
+}
+
+TEST(Campaign, RowOfFindsEveryConfigAndRejectsOthers) {
+  DftCircuit circuit = circuits::BuildDftBiquad();
+  auto faults = faults::MakeDeviationFaults(circuit.Circuit());
+  auto campaign = RunCampaign(circuit, faults,
+                              circuit.Space().AllNonTransparent(),
+                              FastOptions());
+  for (std::size_t i = 0; i < campaign.ConfigCount(); ++i) {
+    EXPECT_EQ(campaign.RowOf(campaign.PerConfig()[i].config), i);
+  }
+  // The transparent configuration C7 was not simulated.
+  EXPECT_THROW(campaign.RowOf(ConfigVector::FromIndex(7, 3)),
+               util::OptimizationError);
+  // Same index, different width: still a miss, not a false hit.
+  EXPECT_THROW(campaign.RowOf(ConfigVector::FromIndex(2, 4)),
+               util::OptimizationError);
+}
+
 TEST(Campaign, BestCaseSubsetRows) {
   auto campaign = testdata::PaperCampaign();
   auto best = campaign.BestCase({2, 5});

@@ -4,8 +4,31 @@
 
 #include <numbers>
 
+#include "circuits/biquad.hpp"
+#include "faults/injector.hpp"
+
 namespace mcdft::spice {
 namespace {
+
+/// Max |cached - scratch| over a sweep, scaled by the scratch magnitude.
+void ExpectSweepMatchesScratch(const Netlist& nl, const SweepSpec& sweep,
+                               const Probe& probe) {
+  AcAnalyzer cached(nl);  // cache_factorization defaults on
+  const FrequencyResponse r = cached.Run(sweep, probe);
+  MnaOptions scratch_options;
+  scratch_options.cache_factorization = false;
+  const MnaSystem scratch(nl, scratch_options);
+  for (std::size_t i = 0; i < sweep.PointCount(); ++i) {
+    const Complex ref = scratch.SolveAcHz(sweep.Frequencies()[i])
+                            .VoltageBetween(probe.plus, probe.minus);
+    EXPECT_NEAR(std::abs(r.values[i] - ref), 0.0,
+                1e-12 * (1.0 + std::abs(ref)))
+        << "point " << i << " at " << sweep.Frequencies()[i] << " Hz";
+  }
+  // Whole-sweep reuse: one full factorization, the rest numeric refactors.
+  EXPECT_EQ(cached.FullFactorCount(), 1u);
+  EXPECT_EQ(cached.RefactorCount(), sweep.PointCount() - 1);
+}
 
 Netlist RcLowPass() {
   Netlist nl;
@@ -91,6 +114,75 @@ TEST(AcAnalyzer, NoProbesThrows) {
   AcAnalyzer analyzer(nl);
   EXPECT_THROW(analyzer.RunMulti(SweepSpec::Decade(10, 100, 5), {}),
                util::AnalysisError);
+}
+
+TEST(SolverReuse, CachedSweepMatchesScratchOnBiquad) {
+  const auto block = circuits::BuildBiquad();
+  const Netlist& nl = block.netlist;
+  Probe probe{nl.FindNode(block.output_node), kGround, "v(out)"};
+  ExpectSweepMatchesScratch(nl, SweepSpec::Decade(10.0, 1e5, 12), probe);
+}
+
+TEST(SolverReuse, CachedSweepMatchesScratchWithBranchUnknowns) {
+  // VCVS and opamp add branch-current unknowns, exercising the cached
+  // pattern on the bordered (node + branch) MNA structure.
+  Netlist nl("amp");
+  nl.AddVoltageSource("V1", "in", "0", 0.0, 1.0);
+  nl.AddResistor("R1", "in", "a", 1e3);
+  nl.AddCapacitor("C1", "a", "0", 1e-7);
+  nl.AddVcvs("E1", "b", "0", "a", "0", 10.0);
+  nl.AddResistor("R2", "b", "c", 2e3);
+  nl.AddOpamp("OP1", "0", "c", "out");
+  nl.AddResistor("RF", "c", "out", 5e3);
+  Probe probe{nl.FindNode("out"), kGround, "v(out)"};
+  ExpectSweepMatchesScratch(nl, SweepSpec::Decade(10.0, 1e5, 12), probe);
+}
+
+TEST(SolverReuse, SurvivesFaultInjectionValueMutation) {
+  // One analyzer across nominal -> faulted -> restored sweeps must match a
+  // fresh analyzer run on each netlist state: the cache keys nothing on
+  // element values, and each sweep re-derives its pivot ordering.
+  const auto block = circuits::BuildBiquad();
+  Netlist nl = block.netlist.Clone();
+  const auto sweep = SweepSpec::Decade(10.0, 1e5, 10);
+  Probe probe{nl.FindNode(block.output_node), kGround, "v(out)"};
+
+  AcAnalyzer reused(nl);
+  const FrequencyResponse nominal_first = reused.Run(sweep, probe);
+  FrequencyResponse faulted_reused;
+  {
+    faults::ScopedFaultInjection injection(
+        nl, faults::Fault("R1", faults::FaultKind::kDeviationUp, 0.2));
+    faulted_reused = reused.Run(sweep, probe);
+    // Fresh analyzer on the currently-faulted netlist: bit-identical.
+    AcAnalyzer fresh(nl);
+    const FrequencyResponse faulted_fresh = fresh.Run(sweep, probe);
+    for (std::size_t i = 0; i < sweep.PointCount(); ++i) {
+      EXPECT_EQ(faulted_reused.values[i], faulted_fresh.values[i]);
+    }
+    // And matches the non-cached scratch solver to 1e-12.
+    MnaOptions scratch_options;
+    scratch_options.cache_factorization = false;
+    const MnaSystem scratch(nl, scratch_options);
+    for (std::size_t i = 0; i < sweep.PointCount(); ++i) {
+      const Complex ref = scratch.SolveAcHz(sweep.Frequencies()[i])
+                              .VoltageBetween(probe.plus, probe.minus);
+      EXPECT_NEAR(std::abs(faulted_reused.values[i] - ref), 0.0,
+                  1e-12 * (1.0 + std::abs(ref)));
+    }
+  }
+  // The fault actually moved the response.
+  bool moved = false;
+  for (std::size_t i = 0; i < sweep.PointCount(); ++i) {
+    if (faulted_reused.values[i] != nominal_first.values[i]) moved = true;
+  }
+  EXPECT_TRUE(moved);
+  // After restoration the reused analyzer reproduces the first sweep bit
+  // for bit.
+  const FrequencyResponse nominal_again = reused.Run(sweep, probe);
+  for (std::size_t i = 0; i < sweep.PointCount(); ++i) {
+    EXPECT_EQ(nominal_again.values[i], nominal_first.values[i]);
+  }
 }
 
 TEST(FrequencyResponse, PeakIndexFindsResonance) {

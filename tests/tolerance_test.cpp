@@ -75,6 +75,46 @@ TEST(ToleranceEnvelope, MoreSamplesNeverShrinkIt) {
   for (std::size_t i = 0; i < ef.size(); ++i) EXPECT_GE(em[i], ef[i] - 1e-15);
 }
 
+TEST(ToleranceEnvelope, BitIdenticalAcrossThreadCounts) {
+  auto nl = RcCircuit();
+  auto sweep = spice::SweepSpec::Decade(10.0, 1e4, 10);
+  ToleranceModel model;
+  model.samples = 16;
+  auto serial = ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R1", "C1"},
+                                         model, 0.25, {}, 1);
+  auto parallel = ComputeToleranceEnvelope(nl, sweep, OutProbe(nl),
+                                           {"R1", "C1"}, model, 0.25, {}, 4);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ToleranceEnvelope, PerSampleSeedDerivationIsPinned) {
+  // Sample k draws from a generator seeded with seed ^ k, so the N-sample
+  // envelope equals the pointwise max of N single-sample envelopes run at
+  // seeds seed ^ k.  This is the contract that makes samples independent
+  // streams (and the envelope thread-count invariant); a change to the
+  // derivation breaks this test.
+  auto nl = RcCircuit();
+  auto sweep = spice::SweepSpec::Decade(10.0, 1e4, 8);
+  ToleranceModel model;
+  model.samples = 6;
+  model.seed = 0x5eed042;
+  auto whole = ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R1", "C1"},
+                                        model, 0.25);
+  std::vector<double> rebuilt(sweep.PointCount(), 0.0);
+  for (std::uint64_t k = 0; k < model.samples; ++k) {
+    ToleranceModel one;
+    one.component_tolerance = model.component_tolerance;
+    one.samples = 1;
+    one.seed = model.seed ^ k;
+    auto e = ComputeToleranceEnvelope(nl, sweep, OutProbe(nl), {"R1", "C1"},
+                                      one, 0.25);
+    for (std::size_t i = 0; i < rebuilt.size(); ++i) {
+      rebuilt[i] = std::max(rebuilt[i], e[i]);
+    }
+  }
+  EXPECT_EQ(whole, rebuilt);
+}
+
 TEST(ToleranceEnvelope, BoundedByWorstCaseSensitivity) {
   // For the RC divider, a +/-5% change of R and C cannot move |T| by more
   // than ~10-12% anywhere; the envelope must respect that.

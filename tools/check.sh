@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the parallel
+# campaign paths.  Run from the repository root:
+#
+#   tools/check.sh           # full: tier-1 build+ctest, then TSan subset
+#   tools/check.sh --tier1   # tier-1 only
+#   tools/check.sh --tsan    # TSan subset only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tier1=1
+run_tsan=1
+case "${1:-}" in
+  --tier1) run_tsan=0 ;;
+  --tsan) run_tier1=0 ;;
+  "") ;;
+  *) echo "usage: tools/check.sh [--tier1|--tsan]" >&2; exit 2 ;;
+esac
+
+if [[ "$run_tier1" == 1 ]]; then
+  echo "=== tier-1: configure + build + ctest ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j
+  (cd build && ctest --output-on-failure -j "$(nproc)")
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "=== TSan: parallel campaign / envelope / pool tests ==="
+  cmake -B build-tsan -S . -DMCDFT_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target mcdft_tests
+  # TSAN_OPTIONS makes any report fail the run even where a test would pass.
+  TSAN_OPTIONS="halt_on_error=1" MCDFT_THREADS=4 \
+    ./build-tsan/tests/mcdft_tests \
+    --gtest_filter='Campaign.*:ToleranceEnvelope.*:Parallel.*:SolverReuse.*'
+fi
+
+echo "check.sh: OK"
