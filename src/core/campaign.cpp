@@ -4,9 +4,13 @@
 #include <optional>
 #include <unordered_set>
 
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace mcdft::core {
+
+namespace metrics = util::metrics;
 
 double ConfigResult::AverageOmegaDet() const {
   return testability::AverageOmegaDetectability(faults);
@@ -136,8 +140,19 @@ CampaignResult RunCampaign(const DftCircuit& circuit,
   if (fault_list.empty()) {
     throw util::AnalysisError("campaign needs a non-empty fault list");
   }
+  metrics::GetCounter("core.campaign.runs").Add();
+  metrics::GetCounter("core.campaign.configs").Add(configs.size());
+  metrics::GetCounter("core.campaign.faults")
+      .Add(configs.size() * fault_list.size());
+  metrics::GetGauge("core.campaign.threads")
+      .Set(static_cast<std::int64_t>(util::ResolveThreadCount(options.threads)));
+  util::trace::Span run_span("campaign");
+
   DftCircuit work = circuit.Clone();
-  const testability::ReferenceBand band = ResolveBand(work, options);
+  testability::ReferenceBand band = [&] {
+    util::trace::Span span("campaign.resolve_band");
+    return ResolveBand(work, options);
+  }();
   const spice::SweepSpec sweep = band.MakeSweep();
   const spice::Probe probe{work.Circuit().FindNode(work.OutputNode()),
                            spice::kGround, "v(" + work.OutputNode() + ")"};
@@ -163,16 +178,19 @@ CampaignResult RunCampaign(const DftCircuit& circuit,
   };
   std::vector<PreparedConfig> prepared;
   prepared.reserve(configs.size());
-  for (const ConfigVector& cv : configs) {
-    ScopedConfiguration sc(work, cv);
-    testability::DetectionCriteria criteria = options.criteria;
-    if (options.tolerance) {
-      criteria.envelope = testability::ComputeToleranceEnvelope(
-          work.Circuit(), sweep, probe, fault_sites, *options.tolerance,
-          criteria.relative_floor, options.mna, options.threads);
+  {
+    util::trace::Span span("campaign.prepare");
+    for (const ConfigVector& cv : configs) {
+      ScopedConfiguration sc(work, cv);
+      testability::DetectionCriteria criteria = options.criteria;
+      if (options.tolerance) {
+        criteria.envelope = testability::ComputeToleranceEnvelope(
+            work.Circuit(), sweep, probe, fault_sites, *options.tolerance,
+            criteria.relative_floor, options.mna, options.threads);
+      }
+      prepared.push_back(
+          PreparedConfig{work.Circuit().Clone(), std::move(criteria)});
     }
-    prepared.push_back(
-        PreparedConfig{work.Circuit().Clone(), std::move(criteria)});
   }
 
   // Phase 2 (parallel): all (configuration, sweep) tasks on one flat index.
@@ -184,24 +202,28 @@ CampaignResult RunCampaign(const DftCircuit& circuit,
   const std::size_t tasks_per_config = fault_list.size() + 1;
   const std::size_t task_count = configs.size() * tasks_per_config;
   std::vector<spice::FrequencyResponse> responses(task_count);
-  util::ParallelForRange(
-      options.threads, task_count, [&](std::size_t begin, std::size_t end) {
-        std::optional<faults::FaultSimulator> simulator;
-        std::size_t simulator_config = configs.size();  // none yet
-        for (std::size_t t = begin; t < end; ++t) {
-          const std::size_t c = t / tasks_per_config;
-          const std::size_t j = t % tasks_per_config;
-          if (c != simulator_config) {
-            simulator.emplace(prepared[c].netlist, sweep, probe, options.mna);
-            simulator_config = c;
+  {
+    util::trace::Span span("campaign.simulate");
+    util::ParallelForRange(
+        options.threads, task_count, [&](std::size_t begin, std::size_t end) {
+          std::optional<faults::FaultSimulator> simulator;
+          std::size_t simulator_config = configs.size();  // none yet
+          for (std::size_t t = begin; t < end; ++t) {
+            const std::size_t c = t / tasks_per_config;
+            const std::size_t j = t % tasks_per_config;
+            if (c != simulator_config) {
+              simulator.emplace(prepared[c].netlist, sweep, probe, options.mna);
+              simulator_config = c;
+            }
+            responses[t] = j == 0
+                               ? simulator->SimulateNominal()
+                               : simulator->SimulateFault(fault_list[j - 1]);
           }
-          responses[t] = j == 0
-                             ? simulator->SimulateNominal()
-                             : simulator->SimulateFault(fault_list[j - 1]);
-        }
-      });
+        });
+  }
 
   // Phase 3 (serial, ordered): assemble rows in configuration order.
+  util::trace::Span assemble_span("campaign.assemble");
   std::vector<ConfigResult> per_config;
   per_config.reserve(configs.size());
   for (std::size_t c = 0; c < configs.size(); ++c) {

@@ -1,6 +1,11 @@
 #include "faults/simulator.hpp"
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace mcdft::faults {
+
+namespace metrics = util::metrics;
 
 FaultSimulator::FaultSimulator(const spice::Netlist& netlist,
                                spice::SweepSpec sweep, spice::Probe probe,
@@ -14,12 +19,20 @@ FaultSimulator::FaultSimulator(const spice::Netlist& netlist,
 }
 
 spice::FrequencyResponse FaultSimulator::SimulateNominal() const {
+  static metrics::Counter& nominal_sweeps =
+      metrics::GetCounter("faults.sim.nominal_sweeps");
+  nominal_sweeps.Add();
+  util::trace::Span span("faults.sim.sweep");
   spice::FrequencyResponse r = analyzer_.Run(sweep_, probe_);
   r.label = "nominal";
   return r;
 }
 
 spice::FrequencyResponse FaultSimulator::SimulateFault(const Fault& fault) const {
+  static metrics::Counter& fault_sweeps =
+      metrics::GetCounter("faults.sim.fault_sweeps");
+  fault_sweeps.Add();
+  util::trace::Span span("faults.sim.sweep");
   ScopedFaultInjection injection(work_, fault);
   spice::FrequencyResponse r = analyzer_.Run(sweep_, probe_);
   r.label = fault.Label();

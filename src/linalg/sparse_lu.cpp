@@ -4,10 +4,14 @@
 #include <cmath>
 #include <limits>
 
+#include "util/metrics.hpp"
+
 namespace mcdft::linalg {
 
 namespace {
 constexpr double kSingularAbs = 1e-300;
+
+namespace metrics = util::metrics;
 }  // namespace
 
 void SparseLu::BuildRows(const CsrMatrix& a, std::vector<SparseRow>& rows) {
@@ -154,12 +158,23 @@ SparseLu::SparseLu(const CsrMatrix& a, SparseLuOptions options) {
       lower_[step].push_back(Entry{r, m});
     }
   }
+
+  static metrics::Counter& factor_count =
+      metrics::GetCounter("linalg.sparse_lu.full_factor");
+  static metrics::Histogram& fill_hist =
+      metrics::GetHistogram("linalg.sparse_lu.fill_nnz");
+  factor_count.Add();
+  if (metrics::Enabled()) fill_hist.Observe(FactorNonZeroCount());
 }
 
 bool SparseLu::Refactor(const CsrMatrix& a) {
   if (a.Rows() != n_ || a.Cols() != n_) {
     throw util::NumericError("sparse LU refactor dimension mismatch");
   }
+  static metrics::Counter& refactor_count =
+      metrics::GetCounter("linalg.sparse_lu.refactor");
+  static metrics::Counter& fallback_count =
+      metrics::GetCounter("linalg.sparse_lu.refactor_fallback");
   // All workspace lives in the object: the sparsity pattern (and hence the
   // structure of every intermediate row) repeats across an AC sweep, so
   // after the first call every buffer already has its final capacity and
@@ -187,7 +202,10 @@ bool SparseLu::Refactor(const CsrMatrix& a) {
       }
       if (e.col == pcol || work_col_active_[e.col]) urow.push_back(e);
     }
-    if (!have_pivot || std::abs(piv) <= kSingularAbs) return false;
+    if (!have_pivot || std::abs(piv) <= kSingularAbs) {
+      fallback_count.Add();
+      return false;
+    }
 
     // Eliminate the fixed pivot column from every remaining active row,
     // recording the multipliers directly under the producing step.
@@ -202,11 +220,15 @@ bool SparseLu::Refactor(const CsrMatrix& a) {
       Complex m = it->val / piv;
       row.erase(it);
       if (m == Complex(0.0, 0.0)) continue;
-      if (std::abs(m) > kRefactorGrowthLimit) return false;
+      if (std::abs(m) > kRefactorGrowthLimit) {
+        fallback_count.Add();
+        return false;
+      }
       lower_[step].push_back(Entry{r, m});
       EliminateRow(row, urow, work_col_active_, m, work_merge_);
     }
   }
+  refactor_count.Add();
   return true;
 }
 

@@ -1,11 +1,14 @@
 #include "spice/mna.hpp"
 
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 
 #include <cmath>
 #include <numbers>
 
 namespace mcdft::spice {
+
+namespace metrics = util::metrics;
 
 MnaSolution::MnaSolution(linalg::Vector x,
                          const std::vector<std::size_t>* branch_base,
@@ -150,6 +153,8 @@ void MnaSystem::Assemble(AnalysisKind kind, double omega,
 }
 
 MnaSolution MnaSystem::Solve(AnalysisKind kind, double omega) const {
+  static metrics::Counter& solve_count = metrics::GetCounter("spice.mna.solve");
+  solve_count.Add();
   linalg::TripletMatrix a;
   linalg::Vector rhs;
   Assemble(kind, omega, a, rhs);
@@ -185,31 +190,52 @@ std::size_t MnaSystem::ElementIndexOf(const std::string& name) const {
 
 MnaSolution MnaSolveCache::Solve(const MnaSystem& sys, AnalysisKind kind,
                                  double omega) {
+  static metrics::Counter& solve_count = metrics::GetCounter("spice.mna.solve");
+  static metrics::Counter& dense_count =
+      metrics::GetCounter("spice.mna.dense_solve");
+  static metrics::Counter& uncached_count =
+      metrics::GetCounter("spice.mna.uncached_sparse_solve");
+  static metrics::Counter& pattern_hit =
+      metrics::GetCounter("spice.mna.pattern_hit");
+  static metrics::Counter& pattern_rebuild =
+      metrics::GetCounter("spice.mna.pattern_rebuild");
+  static metrics::Counter& refactor_hit =
+      metrics::GetCounter("spice.mna.refactor_hit");
+  static metrics::Counter& full_factor =
+      metrics::GetCounter("spice.mna.full_factor");
+
+  solve_count.Add();
   sys.Assemble(kind, omega, a_, rhs_);
   const MnaOptions& options = sys.Options();
 
   if (options.backend == SolverBackend::kDense ||
       (options.backend == SolverBackend::kAuto && !options.cache_factorization &&
        sys.UnknownCount() <= options.dense_threshold)) {
+    dense_count.Add();
     return sys.WrapSolution(linalg::SolveDense(a_.ToDense(), rhs_));
   }
   if (!options.cache_factorization) {
+    uncached_count.Add();
     return sys.WrapSolution(linalg::SolveSparse(linalg::CsrMatrix(a_), rhs_));
   }
 
   // Cached sparse path: O(nnz) value refresh into the stored pattern, then
   // numeric-only refactorization under the stored pivot ordering.
   if (pattern_ && pattern_->Matches(a_)) {
+    pattern_hit.Add();
     pattern_->Update(a_);
   } else {
+    pattern_rebuild.Add();
     pattern_.emplace(a_);  // structure changed (or first solve)
     lu_.reset();
   }
   const linalg::CsrMatrix& m = pattern_->Matrix();
   if (lu_ && lu_->Refactor(m)) {
+    refactor_hit.Add();
     ++refactor_count_;
   } else {
     lu_.emplace(m);
+    full_factor.Add();
     ++full_factor_count_;
   }
   return sys.WrapSolution(lu_->Solve(rhs_));

@@ -4,7 +4,9 @@
 #include <random>
 
 #include "spice/elements.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace mcdft::testability {
 
@@ -22,6 +24,8 @@ std::vector<double> ComputeToleranceEnvelope(
   if (component_names.empty()) {
     throw util::AnalysisError("tolerance envelope needs >= 1 component");
   }
+  util::metrics::GetCounter("testability.envelope.samples").Add(model.samples);
+  util::trace::Span span("testability.envelope");
 
   std::vector<double> nominal_values;
   nominal_values.reserve(component_names.size());

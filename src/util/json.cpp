@@ -1,0 +1,427 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mcdft::util::json {
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Number(double d) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+Value Value::Str(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::Array() {
+  Value v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+Value Value::Object() {
+  Value v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+namespace {
+
+[[noreturn]] void TypeMismatch(const char* wanted) {
+  throw JsonError(std::string("value is not ") + wanted);
+}
+
+}  // namespace
+
+bool Value::AsBool() const {
+  if (!IsBool()) TypeMismatch("a bool");
+  return bool_;
+}
+
+double Value::AsDouble() const {
+  if (!IsNumber()) TypeMismatch("a number");
+  return num_;
+}
+
+const std::string& Value::AsString() const {
+  if (!IsString()) TypeMismatch("a string");
+  return str_;
+}
+
+std::size_t Value::Size() const {
+  if (IsArray()) return items_.size();
+  if (IsObject()) return members_.size();
+  TypeMismatch("an array or object");
+}
+
+Value& Value::PushBack(Value v) {
+  if (!IsArray()) TypeMismatch("an array");
+  items_.push_back(std::move(v));
+  return items_.back();
+}
+
+const Value& Value::At(std::size_t i) const {
+  if (!IsArray()) TypeMismatch("an array");
+  if (i >= items_.size()) {
+    throw JsonError("array index " + std::to_string(i) + " out of range");
+  }
+  return items_[i];
+}
+
+const std::vector<Value>& Value::Items() const {
+  if (!IsArray()) TypeMismatch("an array");
+  return items_;
+}
+
+Value& Value::Set(std::string key, Value v) {
+  if (!IsObject()) TypeMismatch("an object");
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+  return members_.back().second;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (!IsObject()) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value& Value::Get(std::string_view key) const {
+  const Value* v = Find(key);
+  if (v == nullptr) throw JsonError("missing member '" + std::string(key) + "'");
+  return *v;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::Members() const {
+  if (!IsObject()) TypeMismatch("an object");
+  return members_;
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no Inf/NaN; null is the least-surprising stand-in
+    return;
+  }
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(shorter, "%lf", &back);
+    if (back == v) {
+      out += shorter;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void SerializeTo(const Value& v, std::string& out, int indent, int depth) {
+  const bool pretty = indent > 0;
+  const std::string pad = pretty ? std::string(indent * (depth + 1), ' ') : "";
+  const std::string close_pad = pretty ? std::string(indent * depth, ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  switch (v.GetType()) {
+    case Value::Type::kNull: out += "null"; break;
+    case Value::Type::kBool: out += v.AsBool() ? "true" : "false"; break;
+    case Value::Type::kNumber: AppendNumber(out, v.AsDouble()); break;
+    case Value::Type::kString: AppendEscaped(out, v.AsString()); break;
+    case Value::Type::kArray: {
+      if (v.Items().empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < v.Items().size(); ++i) {
+        out += pad;
+        SerializeTo(v.Items()[i], out, indent, depth + 1);
+        if (i + 1 < v.Items().size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      if (v.Members().empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < v.Members().size(); ++i) {
+        out += pad;
+        AppendEscaped(out, v.Members()[i].first);
+        out += pretty ? ": " : ":";
+        SerializeTo(v.Members()[i].second, out, indent, depth + 1);
+        if (i + 1 < v.Members().size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+/// Recursive-descent parser over a string_view with offset diagnostics.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value ParseDocument() {
+    Value v = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) Fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) {
+    throw JsonError(what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool Consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value ParseValue() {
+    SkipWhitespace();
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return Value::Str(ParseString());
+      case 't':
+        if (Consume("true")) return Value::Bool(true);
+        Fail("invalid literal");
+      case 'f':
+        if (Consume("false")) return Value::Bool(false);
+        Fail("invalid literal");
+      case 'n':
+        if (Consume("null")) return Value::Null();
+        Fail("invalid literal");
+      default: return ParseNumber();
+    }
+  }
+
+  Value ParseObject() {
+    Expect('{');
+    Value obj = Value::Object();
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      SkipWhitespace();
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      obj.Set(std::move(key), ParseValue());
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return obj;
+    }
+  }
+
+  Value ParseArray() {
+    Expect('[');
+    Value arr = Value::Array();
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.PushBack(ParseValue());
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return arr;
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else Fail("invalid \\u escape");
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are passed
+          // through as two separate 3-byte sequences; good enough for the
+          // ASCII-dominated documents this library handles).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: Fail("invalid escape character");
+      }
+    }
+  }
+
+  Value ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a value");
+    double v = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v);
+    if (ec != std::errc() || end != text_.data() + pos_) {
+      Fail("malformed number");
+    }
+    return Value::Number(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Value::Serialize(int indent) const {
+  std::string out;
+  SerializeTo(*this, out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+Value Parse(std::string_view text) { return Parser(text).ParseDocument(); }
+
+Value ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw JsonError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+}  // namespace mcdft::util::json

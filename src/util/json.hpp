@@ -1,0 +1,85 @@
+// Minimal JSON document model: enough to write run reports and to read
+// them (and the bench baselines) back.  No external dependencies.
+//
+// Numbers are stored as double; integral values within the exactly-
+// representable range serialize without a decimal point.  Object members
+// keep insertion order, which keeps reports diff-friendly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcdft::util::json {
+
+/// Malformed JSON input.
+class JsonError : public Error {
+ public:
+  explicit JsonError(const std::string& what) : Error("json: " + what) {}
+};
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double v);
+  static Value Number(std::uint64_t v) { return Number(static_cast<double>(v)); }
+  static Value Number(std::int64_t v) { return Number(static_cast<double>(v)); }
+  static Value Str(std::string s);
+  static Value Array();
+  static Value Object();
+
+  Type GetType() const { return type_; }
+  bool IsNull() const { return type_ == Type::kNull; }
+  bool IsBool() const { return type_ == Type::kBool; }
+  bool IsNumber() const { return type_ == Type::kNumber; }
+  bool IsString() const { return type_ == Type::kString; }
+  bool IsArray() const { return type_ == Type::kArray; }
+  bool IsObject() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw JsonError on a type mismatch.
+  bool AsBool() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  // --- Arrays ---------------------------------------------------------
+  std::size_t Size() const;  ///< element / member count (arrays, objects)
+  Value& PushBack(Value v);  ///< append; returns the stored element
+  const Value& At(std::size_t i) const;
+  const std::vector<Value>& Items() const;
+
+  // --- Objects --------------------------------------------------------
+  Value& Set(std::string key, Value v);  ///< insert or overwrite
+  /// Member lookup; nullptr when absent (or not an object).
+  const Value* Find(std::string_view key) const;
+  /// Member lookup; throws JsonError when absent.
+  const Value& Get(std::string_view key) const;
+  const std::vector<std::pair<std::string, Value>>& Members() const;
+
+  /// Render with 2-space indentation (indent <= 0: compact single line).
+  std::string Serialize(int indent = 2) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> items_;                            // arrays
+  std::vector<std::pair<std::string, Value>> members_;  // objects
+};
+
+/// Parse a complete JSON document (rejects trailing garbage).  Throws
+/// JsonError with a character offset on malformed input.
+Value Parse(std::string_view text);
+
+/// Parse the JSON document in a file.  Throws JsonError when unreadable.
+Value ParseFile(const std::string& path);
+
+}  // namespace mcdft::util::json

@@ -1,0 +1,222 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace mcdft::util::metrics {
+
+namespace {
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled = [] {
+    const char* env = std::getenv("MCDFT_METRICS");
+    return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+  }();
+  return enabled;
+}
+
+/// The registry.  Metrics are never erased, so returned references are
+/// stable; the mutex only guards creation and enumeration.
+struct Registry {
+  std::mutex m;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* r = new Registry;  // leaked: usable during static dtors
+  return *r;
+}
+
+template <typename Map>
+auto& GetOrCreate(Map& map, std::mutex& m, std::string_view name) {
+  std::lock_guard<std::mutex> lock(m);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+/// Lock-free monotone max update.
+template <typename T>
+void UpdateMax(std::atomic<T>& slot, T v) {
+  T cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+template <typename T>
+void UpdateMin(std::atomic<T>& slot, T v) {
+  T cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) {
+  EnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+std::size_t ThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace internal
+
+std::uint64_t Counter::Value() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::Set(std::int64_t v) {
+  if (!Enabled()) return;
+  value_.store(v, std::memory_order_relaxed);
+  UpdateMax(max_, v);
+}
+
+void Gauge::Reset() {
+  value_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(std::uint64_t v) {
+  if (!Enabled()) return;
+  const std::size_t shard = internal::ThreadShard();
+  count_[shard].value.fetch_add(1, std::memory_order_relaxed);
+  sum_[shard].value.fetch_add(v, std::memory_order_relaxed);
+  UpdateMin(min_, v);
+  UpdateMax(max_, v);
+  const std::size_t bucket = v <= 1 ? 0 : std::bit_width(v) - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::Count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : count_) total += s.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::Sum() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sum_) total += s.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::Min() const {
+  return Count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::Max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::Buckets() const {
+  std::vector<std::uint64_t> out(kBuckets);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& s : count_) s.value.store(0, std::memory_order_relaxed);
+  for (auto& s : sum_) s.value.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Counter& GetCounter(std::string_view name) {
+  Registry& r = GlobalRegistry();
+  return GetOrCreate(r.counters, r.m, name);
+}
+
+Gauge& GetGauge(std::string_view name) {
+  Registry& r = GlobalRegistry();
+  return GetOrCreate(r.gauges, r.m, name);
+}
+
+Histogram& GetHistogram(std::string_view name) {
+  Registry& r = GlobalRegistry();
+  return GetOrCreate(r.histograms, r.m, name);
+}
+
+std::uint64_t Snapshot::CounterValue(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+HistogramSample Snapshot::HistogramOf(std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return h;
+  }
+  return HistogramSample{std::string(name), 0, 0, 0, 0};
+}
+
+Snapshot Capture() {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.m);
+  Snapshot snap;
+  snap.counters.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) {
+    snap.counters.push_back(CounterSample{name, c->Value()});
+  }
+  for (const auto& [name, g] : r.gauges) {
+    snap.gauges.push_back(GaugeSample{name, g->Value(), g->Max()});
+  }
+  for (const auto& [name, h] : r.histograms) {
+    snap.histograms.push_back(
+        HistogramSample{name, h->Count(), h->Sum(), h->Min(), h->Max()});
+  }
+  return snap;  // maps iterate in name order, so samples are sorted
+}
+
+Snapshot Delta(const Snapshot& before, const Snapshot& after) {
+  Snapshot out;
+  for (const auto& c : after.counters) {
+    out.counters.push_back(
+        CounterSample{c.name, c.value - before.CounterValue(c.name)});
+  }
+  out.gauges = after.gauges;
+  for (const auto& h : after.histograms) {
+    const HistogramSample prev = before.HistogramOf(h.name);
+    out.histograms.push_back(HistogramSample{h.name, h.count - prev.count,
+                                             h.sum - prev.sum, h.min, h.max});
+  }
+  return out;
+}
+
+void ResetAll() {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.m);
+  for (auto& [name, c] : r.counters) c->Reset();
+  for (auto& [name, g] : r.gauges) g->Reset();
+  for (auto& [name, h] : r.histograms) h->Reset();
+}
+
+}  // namespace mcdft::util::metrics

@@ -1,0 +1,169 @@
+// Lightweight process-wide metrics: counters, gauges and histograms for the
+// hot solver/campaign layers.
+//
+// Design goals, in order:
+//   1. Near-zero overhead when disabled (the default): every update is one
+//      relaxed atomic<bool> load and a predictable branch.  No clock reads,
+//      no locks, no allocation on the update path.
+//   2. Thread-safe and contention-free when enabled: counters are striped
+//      across cache-line-padded shards indexed by a per-thread slot, so the
+//      pool workers of a parallel campaign never bounce a cache line.
+//   3. Stable handles: GetCounter/GetGauge/GetHistogram intern the name and
+//      return a reference that stays valid for the process lifetime, so hot
+//      call sites can cache it in a function-local static.
+//
+// Naming convention (see DESIGN.md "Observability"): dotted lower-case
+// paths, subsystem first — "spice.mna.refactor_hit",
+// "linalg.sparse_lu.full_factor", "util.parallel.tasks".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcdft::util::metrics {
+
+/// Global switch.  Starts enabled iff the MCDFT_METRICS environment
+/// variable is set to a non-empty value other than "0".
+bool Enabled();
+void SetEnabled(bool on);
+
+/// RAII enable/disable for report scopes and tests.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on = true) : prev_(Enabled()) { SetEnabled(on); }
+  ~ScopedEnable() { SetEnabled(prev_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool prev_;
+};
+
+namespace internal {
+
+/// Number of independent shards per metric.  Each shard owns a cache line;
+/// threads hash onto shards via a per-thread slot assigned on first use.
+inline constexpr std::size_t kShards = 16;
+
+struct alignas(64) Shard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Index of the calling thread's shard (stable for the thread's lifetime).
+std::size_t ThreadShard();
+
+}  // namespace internal
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    if (Enabled()) {
+      shards_[internal::ThreadShard()].value.fetch_add(
+          n, std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t Value() const;
+  void Reset();
+
+ private:
+  internal::Shard shards_[internal::kShards];
+};
+
+/// Last-written value plus a running maximum (e.g. thread counts, queue
+/// depths).  Set() races are benign: some thread's value wins, the max is
+/// monotone over all Set() calls.
+class Gauge {
+ public:
+  void Set(std::int64_t v);
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Power-of-two-bucket histogram of non-negative integer samples (fill-in
+/// counts, span durations in ns, ...).  Bucket b counts samples in
+/// [2^(b-1), 2^b), bucket 0 counts zeros and ones.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void Observe(std::uint64_t v);
+
+  std::uint64_t Count() const;
+  std::uint64_t Sum() const;
+  /// Minimum/maximum observed sample (0 when empty).
+  std::uint64_t Min() const;
+  std::uint64_t Max() const;
+  /// Per-bucket counts (size kBuckets).
+  std::vector<std::uint64_t> Buckets() const;
+  void Reset();
+
+ private:
+  internal::Shard count_[internal::kShards];
+  internal::Shard sum_[internal::kShards];
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Look up (creating on first use) the metric with this name.  References
+/// remain valid for the process lifetime; ResetAll() zeroes values but
+/// never invalidates handles.
+Counter& GetCounter(std::string_view name);
+Gauge& GetGauge(std::string_view name);
+Histogram& GetHistogram(std::string_view name);
+
+// --- Snapshots ---------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+  std::int64_t max = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+};
+
+/// A consistent-enough point-in-time copy of every registered metric
+/// (individual metrics are read atomically; the set is not fenced, which is
+/// fine for reporting).  Samples are sorted by name.
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Counter value by name; 0 when absent.
+  std::uint64_t CounterValue(std::string_view name) const;
+  /// Histogram sample by name; empty sample when absent.
+  HistogramSample HistogramOf(std::string_view name) const;
+};
+
+Snapshot Capture();
+
+/// Per-interval view: counters and histogram counts/sums subtract
+/// (before-values missing from `before` count as zero); gauges keep the
+/// `after` reading.
+Snapshot Delta(const Snapshot& before, const Snapshot& after);
+
+/// Zero every registered metric (handles stay valid).
+void ResetAll();
+
+}  // namespace mcdft::util::metrics

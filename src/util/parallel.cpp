@@ -9,6 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace mcdft::util {
 
 namespace {
@@ -36,7 +39,10 @@ class ThreadPool {
     std::lock_guard<std::mutex> lock(m_);
     while (workers_.size() < n && workers_.size() < kMaxWorkers) {
       workers_.emplace_back([this] { WorkerLoop(); });
+      metrics::GetCounter("util.parallel.workers_spawned").Add();
     }
+    metrics::GetGauge("util.parallel.workers").Set(
+        static_cast<std::int64_t>(workers_.size()));
   }
 
   void Submit(std::function<void()> task) {
@@ -49,16 +55,26 @@ class ThreadPool {
 
  private:
   void WorkerLoop() {
+    static metrics::Counter& idle_ns =
+        metrics::GetCounter("util.parallel.worker_idle_ns");
+    static metrics::Counter& tasks_run =
+        metrics::GetCounter("util.parallel.tasks_run");
     g_inside_worker = true;
     for (;;) {
       std::function<void()> task;
       {
+        // Idle time = waiting on the queue cv.  Clock reads only when the
+        // metrics layer is on, so the disabled path stays untouched.
+        const std::uint64_t t0 =
+            metrics::Enabled() ? trace::internal::NowWallNs() : 0;
         std::unique_lock<std::mutex> lock(m_);
         cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (t0 != 0) idle_ns.Add(trace::internal::NowWallNs() - t0);
         if (queue_.empty()) return;  // stopping_ and drained
         task = std::move(queue_.front());
         queue_.pop_front();
       }
+      tasks_run.Add();
       task();
     }
   }
@@ -118,9 +134,21 @@ void ParallelForRange(
   // Serial fast path; also taken from inside a pool worker so nested
   // parallel sections never wait on the queue they are blocking.
   if (ways <= 1 || g_inside_worker) {
+    static metrics::Counter& serial_sections =
+        metrics::GetCounter("util.parallel.serial_sections");
+    serial_sections.Add();
     fn(0, count);
     return;
   }
+
+  static metrics::Counter& parallel_sections =
+      metrics::GetCounter("util.parallel.sections");
+  static metrics::Counter& tasks_submitted =
+      metrics::GetCounter("util.parallel.tasks_submitted");
+  static metrics::Counter& join_wait_ns =
+      metrics::GetCounter("util.parallel.join_wait_ns");
+  parallel_sections.Add();
+  tasks_submitted.Add(ways - 1);
 
   GlobalPool().EnsureWorkers(ways - 1);
   std::vector<std::exception_ptr> errors(ways);
@@ -153,8 +181,13 @@ void ParallelForRange(
     errors[0] = std::current_exception();
   }
   {
+    // Caller-side load-imbalance signal: time spent waiting for the slowest
+    // worker range after the caller finished its own.
+    const std::uint64_t t0 =
+        metrics::Enabled() ? trace::internal::NowWallNs() : 0;
     std::unique_lock<std::mutex> lock(join.m);
     join.cv.wait(lock, [&join] { return join.pending == 0; });
+    if (t0 != 0) join_wait_ns.Add(trace::internal::NowWallNs() - t0);
   }
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);

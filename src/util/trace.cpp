@@ -1,0 +1,146 @@
+#include "util/trace.hpp"
+
+#include <chrono>
+#include <ctime>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace mcdft::util::trace {
+
+namespace internal {
+
+struct Accumulator {
+  metrics::internal::Shard count[metrics::internal::kShards];
+  metrics::internal::Shard wall_ns[metrics::internal::kShards];
+  metrics::internal::Shard cpu_ns[metrics::internal::kShards];
+  std::atomic<std::uint64_t> max_wall_ns{0};
+
+  std::uint64_t Sum(const metrics::internal::Shard* shards) const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < metrics::internal::kShards; ++i) {
+      total += shards[i].value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (auto& s : count) s.value.store(0, std::memory_order_relaxed);
+    for (auto& s : wall_ns) s.value.store(0, std::memory_order_relaxed);
+    for (auto& s : cpu_ns) s.value.store(0, std::memory_order_relaxed);
+    max_wall_ns.store(0, std::memory_order_relaxed);
+  }
+};
+
+namespace {
+
+struct Registry {
+  std::mutex m;
+  std::map<std::string, std::unique_ptr<Accumulator>, std::less<>> spans;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* r = new Registry;  // leaked: usable during static dtors
+  return *r;
+}
+
+}  // namespace
+
+Accumulator& GetAccumulator(std::string_view name) {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.m);
+  auto it = r.spans.find(name);
+  if (it == r.spans.end()) {
+    it = r.spans.emplace(std::string(name), std::make_unique<Accumulator>())
+             .first;
+  }
+  return *it->second;
+}
+
+void Record(Accumulator& acc, std::uint64_t wall_ns, std::uint64_t cpu_ns) {
+  const std::size_t shard = metrics::internal::ThreadShard();
+  acc.count[shard].value.fetch_add(1, std::memory_order_relaxed);
+  acc.wall_ns[shard].value.fetch_add(wall_ns, std::memory_order_relaxed);
+  acc.cpu_ns[shard].value.fetch_add(cpu_ns, std::memory_order_relaxed);
+  std::uint64_t cur = acc.max_wall_ns.load(std::memory_order_relaxed);
+  while (wall_ns > cur && !acc.max_wall_ns.compare_exchange_weak(
+                              cur, wall_ns, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t NowWallNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t NowCpuNs() {
+  // Process CPU time: for a parallel phase this sums all workers, which is
+  // exactly the "how much compute did this phase burn" question the run
+  // report answers.  clock() wraps on some platforms but only after ~hours
+  // of CPU; campaign runs are seconds.
+  return static_cast<std::uint64_t>(
+      static_cast<double>(std::clock()) * (1e9 / CLOCKS_PER_SEC));
+}
+
+}  // namespace internal
+
+void Span::Begin(std::string_view name) {
+  acc_ = &internal::GetAccumulator(name);
+  wall_start_ = internal::NowWallNs();
+  cpu_start_ = internal::NowCpuNs();
+}
+
+void Span::End() {
+  if (acc_ == nullptr) return;
+  const std::uint64_t wall = internal::NowWallNs() - wall_start_;
+  const std::uint64_t cpu_now = internal::NowCpuNs();
+  const std::uint64_t cpu = cpu_now > cpu_start_ ? cpu_now - cpu_start_ : 0;
+  internal::Record(*acc_, wall, cpu);
+  acc_ = nullptr;
+}
+
+std::vector<SpanStats> Capture() {
+  auto& r = internal::GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.m);
+  std::vector<SpanStats> out;
+  out.reserve(r.spans.size());
+  for (const auto& [name, acc] : r.spans) {
+    out.push_back(SpanStats{
+        name, acc->Sum(acc->count), acc->Sum(acc->wall_ns),
+        acc->max_wall_ns.load(std::memory_order_relaxed),
+        acc->Sum(acc->cpu_ns)});
+  }
+  return out;  // map order = sorted by name
+}
+
+std::vector<SpanStats> Delta(const std::vector<SpanStats>& before,
+                             const std::vector<SpanStats>& after) {
+  auto find = [&before](const std::string& name) -> const SpanStats* {
+    for (const auto& s : before) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  std::vector<SpanStats> out;
+  out.reserve(after.size());
+  for (const auto& a : after) {
+    SpanStats d = a;
+    if (const SpanStats* b = find(a.name)) {
+      d.count -= b->count;
+      d.total_wall_ns -= b->total_wall_ns;
+      d.total_cpu_ns -= b->total_cpu_ns;
+    }
+    if (d.count > 0) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void ResetAll() {
+  auto& r = internal::GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.m);
+  for (auto& [name, acc] : r.spans) acc->Reset();
+}
+
+}  // namespace mcdft::util::trace

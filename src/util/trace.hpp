@@ -1,0 +1,74 @@
+// RAII timing spans aggregated by name: the per-phase wall/CPU breakdown of
+// a campaign run ("campaign.simulate", "campaign.prepare", ...).
+//
+// A Span measures wall time (steady_clock) and process CPU time (clock())
+// between construction and destruction/End() and folds both into a named
+// accumulator.  Aggregation, not event logging: each name keeps a call
+// count, total/max wall ns and total CPU ns, cheap enough to wrap around
+// every sweep of a fault campaign.  Spans share the metrics on/off switch
+// (util::metrics::Enabled()); a disabled Span does no clock reads.
+//
+// Span names nest lexically with '.'-separated components; the run report
+// renders them as a flat table sorted by name, which reads as a hierarchy
+// ("campaign.prepare", "campaign.prepare.envelope", ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace mcdft::util::trace {
+
+struct SpanStats {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_wall_ns = 0;
+  std::uint64_t max_wall_ns = 0;
+  std::uint64_t total_cpu_ns = 0;
+};
+
+namespace internal {
+struct Accumulator;
+Accumulator& GetAccumulator(std::string_view name);
+void Record(Accumulator& acc, std::uint64_t wall_ns, std::uint64_t cpu_ns);
+std::uint64_t NowWallNs();
+std::uint64_t NowCpuNs();
+}  // namespace internal
+
+/// RAII span.  Cheap to construct when metrics are disabled (one relaxed
+/// load).  Not copyable/movable: bind to a scope.
+class Span {
+ public:
+  explicit Span(std::string_view name) {
+    if (metrics::Enabled()) Begin(name);
+  }
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Stop the span early (idempotent; the destructor becomes a no-op).
+  void End();
+
+ private:
+  void Begin(std::string_view name);
+
+  internal::Accumulator* acc_ = nullptr;  // null = inactive
+  std::uint64_t wall_start_ = 0;
+  std::uint64_t cpu_start_ = 0;
+};
+
+/// Aggregated stats of every span name seen so far, sorted by name.
+std::vector<SpanStats> Capture();
+
+/// Per-interval view (counts and totals subtract; max keeps `after`).
+std::vector<SpanStats> Delta(const std::vector<SpanStats>& before,
+                             const std::vector<SpanStats>& after);
+
+/// Zero all span accumulators.
+void ResetAll();
+
+}  // namespace mcdft::util::trace

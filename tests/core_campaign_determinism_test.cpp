@@ -1,0 +1,112 @@
+// Determinism regression: a campaign's detectability matrix, omega table,
+// thresholds and nominal responses must be BIT-identical for any thread
+// count (static partitioning + ordered reductions, see DESIGN.md).  Runs
+// the biquad and the 6-opamp cascade at thread counts 1, 2 and 8, plus a
+// single-configuration pass over the rest of the circuit zoo.
+//
+// Thread counts are varied through CampaignOptions::threads — the
+// MCDFT_THREADS environment variable is latched at first use and cannot be
+// changed within a process.
+#include <gtest/gtest.h>
+
+#include "circuits/zoo.hpp"
+#include "core/campaign.hpp"
+#include "faults/fault_list.hpp"
+
+namespace mcdft::core {
+namespace {
+
+CampaignOptions FastOptions(std::size_t threads) {
+  CampaignOptions options = MakePaperCampaignOptions();
+  options.points_per_decade = 5;   // keep the test quick; grid shape is
+  options.tolerance->samples = 6;  // irrelevant to the determinism claim
+  options.threads = threads;
+  return options;
+}
+
+std::vector<ConfigVector> SmallConfigSet(const DftCircuit& circuit) {
+  auto space = circuit.Space();
+  std::vector<ConfigVector> configs = space.OpampCount() > 5
+                                          ? space.UpToKFollowers(1)
+                                          : space.UpToKFollowers(2);
+  std::erase_if(configs,
+                [](const ConfigVector& cv) { return cv.IsTransparent(); });
+  return configs;
+}
+
+/// Bitwise comparison of two campaign runs of the same circuit.
+void ExpectBitIdentical(const CampaignResult& a, const CampaignResult& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.ConfigCount(), b.ConfigCount()) << what;
+  ASSERT_EQ(a.FaultCount(), b.FaultCount()) << what;
+  EXPECT_EQ(a.DetectabilityMatrix(), b.DetectabilityMatrix()) << what;
+
+  const auto omega_a = a.OmegaTable();
+  const auto omega_b = b.OmegaTable();
+  for (std::size_t i = 0; i < omega_a.size(); ++i) {
+    for (std::size_t j = 0; j < omega_a[i].size(); ++j) {
+      // EXPECT_EQ on doubles: bit-identical, not merely close.
+      EXPECT_EQ(omega_a[i][j], omega_b[i][j])
+          << what << " omega[" << i << "][" << j << "]";
+    }
+  }
+  for (std::size_t i = 0; i < a.ConfigCount(); ++i) {
+    const ConfigResult& ra = a.PerConfig()[i];
+    const ConfigResult& rb = b.PerConfig()[i];
+    EXPECT_EQ(ra.config, rb.config) << what;
+    EXPECT_EQ(ra.threshold, rb.threshold) << what << " threshold row " << i;
+    ASSERT_EQ(ra.nominal.PointCount(), rb.nominal.PointCount()) << what;
+    for (std::size_t p = 0; p < ra.nominal.PointCount(); ++p) {
+      EXPECT_EQ(ra.nominal.values[p], rb.nominal.values[p])
+          << what << " nominal row " << i << " point " << p;
+    }
+  }
+}
+
+void CheckCircuitAcrossThreadCounts(const char* name) {
+  const auto& entry = circuits::FindInZoo(name);
+  auto block = entry.build();
+  const DftCircuit circuit = DftCircuit::Transform(block);
+  const auto fault_list = faults::MakeDeviationFaults(circuit.Circuit());
+  const auto configs = SmallConfigSet(circuit);
+
+  const CampaignResult serial =
+      RunCampaign(circuit, fault_list, configs, FastOptions(1));
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const CampaignResult parallel =
+        RunCampaign(circuit, fault_list, configs, FastOptions(threads));
+    ExpectBitIdentical(serial, parallel,
+                       std::string(name) + " @" + std::to_string(threads) +
+                           " threads");
+  }
+}
+
+TEST(CampaignDeterminism, BiquadBitIdenticalAcrossThreadCounts) {
+  CheckCircuitAcrossThreadCounts("biquad");
+}
+
+TEST(CampaignDeterminism, Cascade6BitIdenticalAcrossThreadCounts) {
+  CheckCircuitAcrossThreadCounts("cascade6");
+}
+
+TEST(CampaignDeterminism, ZooSingleConfigBitIdentical) {
+  // Broad but shallow: every other zoo circuit, functional configuration
+  // only, serial vs 8 threads (the envelope still parallelizes inside).
+  for (const auto& entry : circuits::Zoo()) {
+    const std::string& name = entry.name;
+    if (name == "biquad" || name == "cascade6") continue;  // covered above
+    auto block = entry.build();
+    const DftCircuit circuit = DftCircuit::Transform(block);
+    const auto fault_list = faults::MakeDeviationFaults(circuit.Circuit());
+    const std::vector<ConfigVector> configs{
+        ConfigVector(circuit.ConfigurableOpamps().size())};
+    const CampaignResult serial =
+        RunCampaign(circuit, fault_list, configs, FastOptions(1));
+    const CampaignResult parallel =
+        RunCampaign(circuit, fault_list, configs, FastOptions(8));
+    ExpectBitIdentical(serial, parallel, name);
+  }
+}
+
+}  // namespace
+}  // namespace mcdft::core

@@ -1,0 +1,129 @@
+#include "core/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "circuits/biquad.hpp"
+#include "faults/fault_list.hpp"
+
+namespace mcdft::core {
+namespace {
+
+/// Small but real biquad campaign (reduced grid/samples for test speed).
+CampaignResult RunSmallCampaign(std::size_t threads = 2) {
+  const DftCircuit circuit = circuits::BuildDftBiquad();
+  const auto fault_list = faults::MakeDeviationFaults(circuit.Circuit());
+  CampaignOptions options = MakePaperCampaignOptions();
+  options.points_per_decade = 4;
+  options.tolerance->samples = 4;
+  options.threads = threads;
+  std::vector<ConfigVector> configs;
+  for (std::size_t i = 0; i < 3; ++i) {
+    configs.push_back(ConfigVector::FromIndex(
+        i, circuit.ConfigurableOpamps().size()));
+  }
+  return RunCampaign(circuit, fault_list, configs, options);
+}
+
+TEST(RunReport, CapturesSolverCountersPhasesAndCoverage) {
+  CampaignRunRecorder recorder;
+  const CampaignResult campaign = RunSmallCampaign();
+  RunReportOptions options;
+  options.circuit = "biquad";
+  options.threads = 2;
+  const util::json::Value report = recorder.Finish(campaign, options);
+
+  EXPECT_EQ(report.Get("schema").AsString(), "mcdft.run_report/1");
+  EXPECT_EQ(report.Get("circuit").AsString(), "biquad");
+  EXPECT_GT(report.Get("timing").Get("wall_s").AsDouble(), 0.0);
+  EXPECT_EQ(report.Get("threads").Get("resolved").AsDouble(), 2.0);
+
+  // Solver statistics: the campaign must have gone through the MNA cache
+  // and the sparse/dense LU paths.
+  const util::json::Value& mna = report.Get("solver").Get("mna");
+  EXPECT_GT(mna.Get("solve").AsDouble(), 0.0);
+
+  // Phase breakdown contains the three campaign phases with wall time.
+  bool saw_prepare = false, saw_simulate = false, saw_assemble = false;
+  for (const auto& row : report.Get("phases").Items()) {
+    const std::string& name = row.Get("name").AsString();
+    if (name == "campaign.prepare") saw_prepare = true;
+    if (name == "campaign.simulate") {
+      saw_simulate = true;
+      EXPECT_GT(row.Get("wall_s").AsDouble(), 0.0);
+      EXPECT_GE(row.Get("count").AsDouble(), 1.0);
+    }
+    if (name == "campaign.assemble") saw_assemble = true;
+  }
+  EXPECT_TRUE(saw_prepare);
+  EXPECT_TRUE(saw_simulate);
+  EXPECT_TRUE(saw_assemble);
+
+  // Fault-sweep counters: configs * faults fault sweeps + one nominal each.
+  const util::json::Value& faults = report.Get("faults");
+  EXPECT_DOUBLE_EQ(faults.Get("nominal_sweeps").AsDouble(),
+                   static_cast<double>(campaign.ConfigCount()));
+  EXPECT_DOUBLE_EQ(
+      faults.Get("fault_sweeps").AsDouble(),
+      static_cast<double>(campaign.ConfigCount() * campaign.FaultCount()));
+
+  // Per-configuration coverage summary mirrors the campaign result.
+  const util::json::Value& section = report.Get("campaign");
+  EXPECT_DOUBLE_EQ(section.Get("config_count").AsDouble(),
+                   static_cast<double>(campaign.ConfigCount()));
+  EXPECT_DOUBLE_EQ(section.Get("coverage").AsDouble(), campaign.Coverage());
+  const util::json::Value& per_config = section.Get("per_config");
+  ASSERT_EQ(per_config.Size(), campaign.ConfigCount());
+  for (std::size_t i = 0; i < per_config.Size(); ++i) {
+    const util::json::Value& row = per_config.At(i);
+    EXPECT_EQ(row.Get("config").AsString(),
+              campaign.PerConfig()[i].config.Name());
+    EXPECT_DOUBLE_EQ(row.Get("average_omega_det").AsDouble(),
+                     campaign.PerConfig()[i].AverageOmegaDet());
+    const double cov = row.Get("fault_coverage").AsDouble();
+    EXPECT_GE(cov, 0.0);
+    EXPECT_LE(cov, 1.0);
+  }
+
+  EXPECT_GT(report.Get("environment").Get("hardware_threads").AsDouble(), 0.0);
+}
+
+TEST(RunReport, ReportSerializesAndParsesBack) {
+  CampaignRunRecorder recorder;
+  const CampaignResult campaign = RunSmallCampaign(1);
+  const util::json::Value report = recorder.Finish(campaign);
+
+  const std::string path = ::testing::TempDir() + "/mcdft_run_report.json";
+  WriteRunReport(report, path);
+  const util::json::Value back = util::json::ParseFile(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(back.Get("schema").AsString(), "mcdft.run_report/1");
+  EXPECT_DOUBLE_EQ(back.Get("campaign").Get("coverage").AsDouble(),
+                   campaign.Coverage());
+}
+
+TEST(RunReport, RecorderRestoresDisabledState) {
+  util::metrics::ScopedEnable off(false);
+  {
+    CampaignRunRecorder recorder;
+    EXPECT_TRUE(util::metrics::Enabled());  // recorder switches metrics on
+  }
+  EXPECT_FALSE(util::metrics::Enabled());  // destructor restored it
+}
+
+TEST(RunReport, DeltaExcludesEarlierRuns) {
+  // Counters accumulated before the recorder exists must not leak into the
+  // report: run one instrumented campaign, then record a second one.
+  util::metrics::ScopedEnable on;
+  const CampaignResult first = RunSmallCampaign(1);
+  (void)first;
+  CampaignRunRecorder recorder;
+  const CampaignResult second = RunSmallCampaign(1);
+  const util::json::Value report = recorder.Finish(second);
+  EXPECT_DOUBLE_EQ(report.Get("faults").Get("nominal_sweeps").AsDouble(),
+                   static_cast<double>(second.ConfigCount()));
+}
+
+}  // namespace
+}  // namespace mcdft::core

@@ -1,0 +1,114 @@
+// Golden-file regression tests for the paper-facing report renderers:
+// Table 1 (configurations), Table 2 (omega-detectability), Table 4
+// (partial-DFT omega table) and Fig. 5 (detectability matrix), rendered
+// from the synthetic paper campaign so the expected text is deterministic.
+//
+// Comparison is token-wise with an explicit numeric tolerance: numbers may
+// drift within kNumericTolerance (layout/rounding churn), every other
+// token must match exactly ('*' best-entry markers are compared too — they
+// are part of the paper's semantics).
+//
+// Regenerate after an intentional renderer change with:
+//   MCDFT_REGOLD=1 ctest -R Golden
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "core/report.hpp"
+#include "paper_fixture.hpp"
+
+#ifndef MCDFT_GOLDEN_DIR
+#error "MCDFT_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace mcdft::core {
+namespace {
+
+constexpr double kNumericTolerance = 0.05;  // omega values print in percent
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(MCDFT_GOLDEN_DIR) + "/" + name;
+}
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream in(text);
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+bool ParseNumber(const std::string& tok, double& out) {
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto r = std::from_chars(first, last, out);
+  return r.ec == std::errc{} && r.ptr == last;
+}
+
+void CompareAgainstGolden(const std::string& actual, const std::string& file) {
+  const std::string path = GoldenPath(file);
+  if (std::getenv("MCDFT_REGOLD") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write golden " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (regenerate with MCDFT_REGOLD=1)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+
+  const std::vector<std::string> want = Tokenize(expected);
+  const std::vector<std::string> got = Tokenize(actual);
+  ASSERT_EQ(want.size(), got.size())
+      << file << ": token count changed\n--- expected ---\n"
+      << expected << "\n--- actual ---\n"
+      << actual;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    double w = 0.0, g = 0.0;
+    if (ParseNumber(want[i], w) && ParseNumber(got[i], g)) {
+      EXPECT_NEAR(g, w, kNumericTolerance)
+          << file << ": numeric token " << i << " ('" << want[i] << "' vs '"
+          << got[i] << "')";
+    } else {
+      EXPECT_EQ(got[i], want[i]) << file << ": token " << i;
+    }
+  }
+}
+
+TEST(GoldenPaper, Table1Configurations) {
+  const DftCircuit circuit = testdata::PaperCircuit();
+  CompareAgainstGolden(RenderConfigurationTable(circuit.Space()),
+                       "table1_configurations.txt");
+}
+
+TEST(GoldenPaper, Fig5DetectabilityMatrix) {
+  CompareAgainstGolden(RenderDetectabilityMatrix(testdata::PaperCampaign()),
+                       "fig5_detectability_matrix.txt");
+}
+
+TEST(GoldenPaper, Table2OmegaTable) {
+  CompareAgainstGolden(RenderOmegaTable(testdata::PaperCampaign()),
+                       "table2_omega_table.txt");
+}
+
+TEST(GoldenPaper, Table4PartialDft) {
+  const DftCircuit circuit = testdata::PaperCircuit();
+  const CampaignResult campaign = testdata::PaperCampaign();
+  const DftOptimizer optimizer(circuit, campaign);
+  const PartialDftResult part = optimizer.OptimizePartialDft();
+  CompareAgainstGolden(RenderPartialDft(part, campaign, circuit),
+                       "table4_partial_dft.txt");
+}
+
+}  // namespace
+}  // namespace mcdft::core

@@ -1,0 +1,172 @@
+// Property/differential tests of the sparse solver stack on randomized
+// RC/RLC ladder netlists: the sparse Markowitz LU must agree with the dense
+// LU to roundoff on the same assembled MNA system, and the cached
+// numeric-only Refactor() path must agree with a cold factorization across
+// parametric (value-only) perturbations — the exact reuse pattern of the
+// fault-simulation campaigns.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "linalg/lu.hpp"
+#include "linalg/sparse_lu.hpp"
+#include "spice/mna.hpp"
+#include "spice/netlist.hpp"
+
+namespace mcdft {
+namespace {
+
+using linalg::Complex;
+using linalg::CsrMatrix;
+using linalg::SparseLu;
+using linalg::TripletMatrix;
+using linalg::Vector;
+
+struct RandomCircuit {
+  spice::Netlist netlist;
+  std::vector<std::string> tweakable;  // R/C/L names for perturbation
+};
+
+/// Random RC/RLC ladder: a source-driven spine of series resistors with a
+/// shunt R/C/L element from every spine node to ground, plus a few random
+/// bridging elements.  Every node reaches ground, so Validate() passes and
+/// the MNA system is well-posed.
+RandomCircuit BuildRandomLadder(std::mt19937_64& rng, bool with_inductors) {
+  std::uniform_int_distribution<std::size_t> stage_count(3, 12);
+  std::uniform_real_distribution<double> log_r(2.0, 5.0);    // 100 Ω .. 100 kΩ
+  std::uniform_real_distribution<double> log_c(-10.0, -7.0);  // 0.1 nF .. 100 nF
+  std::uniform_real_distribution<double> log_l(-4.0, -2.0);  // 0.1 mH .. 10 mH
+  std::uniform_int_distribution<int> kind(0, with_inductors ? 2 : 1);
+
+  RandomCircuit out;
+  const std::size_t stages = stage_count(rng);
+  std::size_t n_res = 0, n_cap = 0, n_ind = 0;
+  const auto node = [](std::size_t i) { return "n" + std::to_string(i); };
+
+  out.netlist.AddVoltageSource("Vin", node(0), "0", 0.0, 1.0);  // 1 V AC
+  for (std::size_t i = 0; i < stages; ++i) {
+    const std::string r = "R" + std::to_string(++n_res);
+    out.netlist.AddResistor(r, node(i), node(i + 1),
+                            std::pow(10.0, log_r(rng)));
+    out.tweakable.push_back(r);
+    // Shunt element to ground keeps every node DC- or AC-connected.
+    switch (kind(rng)) {
+      case 0: {
+        const std::string name = "R" + std::to_string(++n_res);
+        out.netlist.AddResistor(name, node(i + 1), "0",
+                                std::pow(10.0, log_r(rng)));
+        out.tweakable.push_back(name);
+        break;
+      }
+      case 1: {
+        const std::string name = "C" + std::to_string(++n_cap);
+        out.netlist.AddCapacitor(name, node(i + 1), "0",
+                                 std::pow(10.0, log_c(rng)));
+        out.tweakable.push_back(name);
+        break;
+      }
+      default: {
+        const std::string name = "L" + std::to_string(++n_ind);
+        out.netlist.AddInductor(name, node(i + 1), "0",
+                                std::pow(10.0, log_l(rng)));
+        out.tweakable.push_back(name);
+        break;
+      }
+    }
+  }
+  // A couple of random bridges for off-ladder structure.
+  std::uniform_int_distribution<std::size_t> pick(1, stages);
+  for (int b = 0; b < 2; ++b) {
+    const std::size_t a = pick(rng), c = pick(rng);
+    if (a == c) continue;
+    out.netlist.AddCapacitor("C" + std::to_string(++n_cap), node(a), node(c),
+                             std::pow(10.0, log_c(rng)));
+  }
+  out.netlist.ValidateOrThrow();
+  return out;
+}
+
+double MaxRelativeError(const Vector& x, const Vector& y) {
+  double max_mag = x.NormInf();
+  if (max_mag == 0.0) max_mag = 1.0;
+  double err = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    err = std::max(err, std::abs(x[i] - y[i]) / max_mag);
+  }
+  return err;
+}
+
+TEST(RandomLu, SparseMatchesDenseOnRandomNetlists) {
+  constexpr std::size_t kCases = 100;
+  for (std::size_t seed = 0; seed < kCases; ++seed) {
+    std::mt19937_64 rng(0xC0FFEE ^ seed);
+    const RandomCircuit rc = BuildRandomLadder(rng, seed % 2 == 1);
+    const spice::MnaSystem mna(rc.netlist);
+    std::uniform_real_distribution<double> log_f(1.0, 6.0);
+    const double omega = 2.0 * 3.141592653589793 * std::pow(10.0, log_f(rng));
+
+    TripletMatrix a;
+    Vector b;
+    mna.Assemble(spice::AnalysisKind::kAc, omega, a, b);
+    const CsrMatrix csr(a);
+    const Vector sparse = linalg::SolveSparse(csr, b);
+    const Vector dense = linalg::SolveDense(a.ToDense(), b);
+    EXPECT_LT(MaxRelativeError(sparse, dense), 1e-8)
+        << "seed " << seed << " (" << mna.UnknownCount() << " unknowns)";
+  }
+}
+
+TEST(RandomLu, RefactorMatchesColdFactorizationUnderPerturbation) {
+  constexpr std::size_t kCases = 100;
+  constexpr std::size_t kPerturbations = 4;
+  std::size_t refactor_ok = 0, refactor_total = 0;
+  for (std::size_t seed = 0; seed < kCases; ++seed) {
+    std::mt19937_64 rng(0xBEEF00 ^ seed);
+    RandomCircuit rc = BuildRandomLadder(rng, seed % 2 == 0);
+    const spice::MnaSystem mna(rc.netlist);
+    const double omega = 2.0 * 3.141592653589793 * 1e4;
+
+    TripletMatrix a;
+    Vector b;
+    mna.Assemble(spice::AnalysisKind::kAc, omega, a, b);
+    SparseLu cached{CsrMatrix(a)};
+
+    std::uniform_real_distribution<double> factor(0.7, 1.3);
+    for (std::size_t p = 0; p < kPerturbations; ++p) {
+      // Value-only perturbation of every tweakable element (the sparsity
+      // pattern is invariant, as with parametric deviation faults).
+      for (const std::string& name : rc.tweakable) {
+        spice::Element& e = rc.netlist.GetElement(name);
+        e.SetValue(e.Value() * factor(rng));
+      }
+      mna.Assemble(spice::AnalysisKind::kAc, omega, a, b);
+      const CsrMatrix csr(a);
+      ++refactor_total;
+      if (!cached.Refactor(csr)) {
+        // Legal outcome: the cached ordering went numerically stale; the
+        // caller's contract is a fresh factorization.
+        cached = SparseLu{csr};
+      } else {
+        ++refactor_ok;
+      }
+      Vector via_cache = cached.Solve(b);
+      SparseLu cold{csr};
+      Vector via_cold = cold.Solve(b);
+      EXPECT_LT(MaxRelativeError(via_cache, via_cold), 1e-9)
+          << "seed " << seed << " perturbation " << p;
+      // Both must actually solve the system: differential check against
+      // the dense backend.
+      const Vector dense = linalg::SolveDense(a.ToDense(), b);
+      EXPECT_LT(MaxRelativeError(via_cache, dense), 1e-8)
+          << "seed " << seed << " perturbation " << p;
+    }
+  }
+  // ±30 % perturbations should overwhelmingly keep the cached ordering
+  // valid; a collapse here means the refactor fast path is broken.
+  EXPECT_GT(refactor_ok * 10, refactor_total * 9)
+      << refactor_ok << "/" << refactor_total << " refactors took the fast path";
+}
+
+}  // namespace
+}  // namespace mcdft

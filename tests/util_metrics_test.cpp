@@ -1,0 +1,163 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mcdft::util::metrics {
+namespace {
+
+TEST(Metrics, CounterAccumulatesWhenEnabled) {
+  ScopedEnable on;
+  Counter& c = GetCounter("test.metrics.counter_basic");
+  c.Reset();
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(Metrics, DisabledUpdatesAreDropped) {
+  ScopedEnable off(false);
+  Counter& c = GetCounter("test.metrics.counter_disabled");
+  c.Reset();
+  c.Add(1000);
+  EXPECT_EQ(c.Value(), 0u);
+
+  Gauge& g = GetGauge("test.metrics.gauge_disabled");
+  g.Reset();
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 0);
+
+  Histogram& h = GetHistogram("test.metrics.hist_disabled");
+  h.Reset();
+  h.Observe(123);
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(Metrics, ScopedEnableRestoresPreviousState) {
+  const bool before = Enabled();
+  {
+    ScopedEnable on(true);
+    EXPECT_TRUE(Enabled());
+    {
+      ScopedEnable off(false);
+      EXPECT_FALSE(Enabled());
+    }
+    EXPECT_TRUE(Enabled());
+  }
+  EXPECT_EQ(Enabled(), before);
+}
+
+TEST(Metrics, HandlesAreStableAcrossLookups) {
+  Counter& a = GetCounter("test.metrics.stable");
+  Counter& b = GetCounter("test.metrics.stable");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Metrics, GaugeTracksValueAndMax) {
+  ScopedEnable on;
+  Gauge& g = GetGauge("test.metrics.gauge");
+  g.Reset();
+  g.Set(5);
+  g.Set(9);
+  g.Set(3);
+  EXPECT_EQ(g.Value(), 3);
+  EXPECT_EQ(g.Max(), 9);
+}
+
+TEST(Metrics, HistogramBucketsMinMaxSum) {
+  ScopedEnable on;
+  Histogram& h = GetHistogram("test.metrics.hist");
+  h.Reset();
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(2);     // bucket 1: [2, 4)
+  h.Observe(1023);  // bucket 9: [512, 1024)
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 1026u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 1023u);
+  const auto buckets = h.Buckets();
+  ASSERT_EQ(buckets.size(), Histogram::kBuckets);
+  EXPECT_EQ(buckets[0], 2u);  // 0 and 1
+  EXPECT_EQ(buckets[1], 1u);  // 2
+  EXPECT_EQ(buckets[9], 1u);  // 1023
+}
+
+TEST(Metrics, CounterIsExactUnderContention) {
+  ScopedEnable on;
+  Counter& c = GetCounter("test.metrics.contended");
+  c.Reset();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(Metrics, SnapshotDeltaSubtractsCounters) {
+  ScopedEnable on;
+  Counter& c = GetCounter("test.metrics.delta");
+  c.Reset();
+  c.Add(10);
+  const Snapshot before = Capture();
+  c.Add(32);
+  const Snapshot after = Capture();
+  const Snapshot delta = Delta(before, after);
+  EXPECT_EQ(delta.CounterValue("test.metrics.delta"), 32u);
+  EXPECT_EQ(before.CounterValue("test.metrics.delta"), 10u);
+  // Absent names read as zero.
+  EXPECT_EQ(delta.CounterValue("test.metrics.no_such_counter"), 0u);
+}
+
+TEST(Metrics, SnapshotDeltaKeepsGaugeAfterValue) {
+  ScopedEnable on;
+  Gauge& g = GetGauge("test.metrics.delta_gauge");
+  g.Reset();
+  g.Set(4);
+  const Snapshot before = Capture();
+  g.Set(11);
+  const Snapshot delta = Delta(before, Capture());
+  bool found = false;
+  for (const auto& s : delta.gauges) {
+    if (s.name == "test.metrics.delta_gauge") {
+      found = true;
+      EXPECT_EQ(s.value, 11);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Metrics, SnapshotDeltaSubtractsHistogramCounts) {
+  ScopedEnable on;
+  Histogram& h = GetHistogram("test.metrics.delta_hist");
+  h.Reset();
+  h.Observe(100);
+  const Snapshot before = Capture();
+  h.Observe(200);
+  h.Observe(300);
+  const auto sample = Delta(before, Capture()).HistogramOf("test.metrics.delta_hist");
+  EXPECT_EQ(sample.count, 2u);
+  EXPECT_EQ(sample.sum, 500u);
+}
+
+TEST(Metrics, ResetAllZeroesButKeepsHandles) {
+  ScopedEnable on;
+  Counter& c = GetCounter("test.metrics.resetall");
+  c.Add(5);
+  ResetAll();
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add(2);  // handle still valid
+  EXPECT_EQ(c.Value(), 2u);
+}
+
+}  // namespace
+}  // namespace mcdft::util::metrics

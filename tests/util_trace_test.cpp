@@ -1,0 +1,82 @@
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace mcdft::util::trace {
+namespace {
+
+std::uint64_t CountOf(const std::vector<SpanStats>& spans,
+                      const std::string& name) {
+  for (const auto& s : spans) {
+    if (s.name == name) return s.count;
+  }
+  return 0;
+}
+
+TEST(Trace, SpanAggregatesByName) {
+  metrics::ScopedEnable on;
+  const auto before = Capture();
+  for (int i = 0; i < 3; ++i) {
+    Span span("test.trace.loop");
+  }
+  const auto delta = Delta(before, Capture());
+  EXPECT_EQ(CountOf(delta, "test.trace.loop"), 3u);
+}
+
+TEST(Trace, SpanMeasuresWallTime) {
+  metrics::ScopedEnable on;
+  const auto before = Capture();
+  {
+    Span span("test.trace.sleep");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto delta = Delta(before, Capture());
+  for (const auto& s : delta) {
+    if (s.name == "test.trace.sleep") {
+      EXPECT_GE(s.total_wall_ns, 4'000'000u);  // >= 4 ms of the 5 slept
+      EXPECT_GE(s.max_wall_ns, s.total_wall_ns / s.count);
+      return;
+    }
+  }
+  FAIL() << "span test.trace.sleep not recorded";
+}
+
+TEST(Trace, DisabledSpanRecordsNothing) {
+  metrics::ScopedEnable off(false);
+  const auto before = Capture();
+  {
+    Span span("test.trace.disabled");
+  }
+  EXPECT_EQ(CountOf(Delta(before, Capture()), "test.trace.disabled"), 0u);
+}
+
+TEST(Trace, EndIsIdempotent) {
+  metrics::ScopedEnable on;
+  const auto before = Capture();
+  {
+    Span span("test.trace.end");
+    span.End();
+    span.End();  // destructor adds nothing more either
+  }
+  EXPECT_EQ(CountOf(Delta(before, Capture()), "test.trace.end"), 1u);
+}
+
+TEST(Trace, DeltaDropsUntouchedSpans) {
+  metrics::ScopedEnable on;
+  {
+    Span span("test.trace.old");
+  }
+  const auto before = Capture();
+  {
+    Span span("test.trace.fresh");
+  }
+  const auto delta = Delta(before, Capture());
+  EXPECT_EQ(CountOf(delta, "test.trace.old"), 0u);
+  EXPECT_EQ(CountOf(delta, "test.trace.fresh"), 1u);
+}
+
+}  // namespace
+}  // namespace mcdft::util::trace

@@ -1,0 +1,127 @@
+// bench_gate — compare a fresh bench_campaign_throughput report against the
+// committed baseline and fail on a throughput regression.
+//
+//   bench_gate --baseline BENCH_campaign.json --fresh fresh.json
+//              [--min-ratio X] [--report-only]
+//
+// Runs are matched by (circuit, threads, cache_factorization) — labels
+// embed the hardware thread count and are not stable across machines.  A
+// run regresses when fresh solves_per_s falls below min-ratio times the
+// baseline value; the default 0.6 tolerates the noise of shared CI boxes
+// while still catching a real 2x slowdown.  Baseline runs with no fresh
+// counterpart are reported but do not fail the gate (thread counts vary
+// with the machine).
+//
+// Exit codes: 0 = pass, 1 = regression detected, 2 = bad input/usage.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using mcdft::util::json::Value;
+
+struct RunKey {
+  std::string circuit;
+  std::size_t threads = 0;
+  bool cache = false;
+};
+
+const Value* FindRun(const Value& doc, const RunKey& key) {
+  for (const Value& circuit : doc.Get("circuits").Items()) {
+    if (circuit.Get("name").AsString() != key.circuit) continue;
+    for (const Value& run : circuit.Get("runs").Items()) {
+      if (static_cast<std::size_t>(run.Get("threads").AsDouble()) ==
+              key.threads &&
+          run.Get("cache_factorization").AsBool() == key.cache) {
+        return &run;
+      }
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mcdft::util::CliArgs args(argc, argv);
+  const std::string baseline_path =
+      args.GetString("baseline", "BENCH_campaign.json");
+  const std::string fresh_path = args.GetString("fresh", "");
+  const double min_ratio = args.GetDouble("min-ratio", 0.6);
+  const bool report_only = args.Has("report-only");
+  if (fresh_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_gate --fresh FILE [--baseline FILE]\n"
+                 "                  [--min-ratio X] [--report-only]\n");
+    return 2;
+  }
+
+  Value baseline, fresh;
+  try {
+    baseline = mcdft::util::json::ParseFile(baseline_path);
+    fresh = mcdft::util::json::ParseFile(fresh_path);
+  } catch (const mcdft::util::Error& e) {
+    std::fprintf(stderr, "bench_gate: %s\n", e.what());
+    return 2;
+  }
+
+  std::size_t compared = 0, regressed = 0, missing = 0;
+  try {
+    if (baseline.Get("bench").AsString() != fresh.Get("bench").AsString()) {
+      std::fprintf(stderr, "bench_gate: bench kind mismatch (%s vs %s)\n",
+                   baseline.Get("bench").AsString().c_str(),
+                   fresh.Get("bench").AsString().c_str());
+      return 2;
+    }
+    std::printf("bench_gate: %s vs baseline %s (min ratio %.2f)\n",
+                fresh_path.c_str(), baseline_path.c_str(), min_ratio);
+    for (const Value& circuit : baseline.Get("circuits").Items()) {
+      const std::string& name = circuit.Get("name").AsString();
+      for (const Value& run : circuit.Get("runs").Items()) {
+        RunKey key{name,
+                   static_cast<std::size_t>(run.Get("threads").AsDouble()),
+                   run.Get("cache_factorization").AsBool()};
+        const Value* match = FindRun(fresh, key);
+        if (match == nullptr) {
+          ++missing;
+          std::printf("  MISSING %-10s threads=%zu cache=%d (no fresh run)\n",
+                      name.c_str(), key.threads, key.cache ? 1 : 0);
+          continue;
+        }
+        const double base_rate = run.Get("solves_per_s").AsDouble();
+        const double fresh_rate = match->Get("solves_per_s").AsDouble();
+        const double ratio = base_rate > 0.0 ? fresh_rate / base_rate : 1.0;
+        const bool ok = ratio >= min_ratio;
+        ++compared;
+        if (!ok) ++regressed;
+        std::printf(
+            "  %-4s %-10s threads=%zu cache=%d  %10.0f -> %10.0f "
+            "solves/s (x%.2f)\n",
+            ok ? "ok" : "FAIL", name.c_str(), key.threads, key.cache ? 1 : 0,
+            base_rate, fresh_rate, ratio);
+      }
+    }
+  } catch (const mcdft::util::Error& e) {
+    std::fprintf(stderr, "bench_gate: malformed report: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("bench_gate: %zu compared, %zu regressed, %zu missing\n",
+              compared, regressed, missing);
+  if (compared == 0) {
+    std::fprintf(stderr, "bench_gate: nothing to compare\n");
+    return 2;
+  }
+  if (regressed > 0) {
+    if (report_only) {
+      std::printf("bench_gate: regressions ignored (--report-only)\n");
+      return 0;
+    }
+    return 1;
+  }
+  return 0;
+}

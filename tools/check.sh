@@ -1,22 +1,30 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the parallel
-# campaign paths.  Run from the repository root:
+# Tier-1 verification plus sanitizer passes over the parallel campaign and
+# observability paths.  Run from the repository root:
 #
-#   tools/check.sh           # full: tier-1 build+ctest, then TSan subset
+#   tools/check.sh           # full: tier-1 build+ctest, TSan, then ASan+UBSan
 #   tools/check.sh --tier1   # tier-1 only
 #   tools/check.sh --tsan    # TSan subset only
+#   tools/check.sh --asan    # ASan+UBSan subset only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tier1=1
 run_tsan=1
+run_asan=1
 case "${1:-}" in
-  --tier1) run_tsan=0 ;;
-  --tsan) run_tier1=0 ;;
+  --tier1) run_tsan=0; run_asan=0 ;;
+  --tsan) run_tier1=0; run_asan=0 ;;
+  --asan) run_tier1=0; run_tsan=0 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--tier1|--tsan]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--tier1|--tsan|--asan]" >&2; exit 2 ;;
 esac
+
+# Concurrency-sensitive subset: parallel campaigns, the Monte-Carlo
+# envelope, the pool, solver reuse, and the metrics/trace/run-report layer
+# (striped counters are updated from every pool worker).
+PARALLEL_FILTER='Campaign*:ToleranceEnvelope*:Parallel*:SolverReuse*:Metrics*:Trace*:RunReport*'
 
 if [[ "$run_tier1" == 1 ]]; then
   echo "=== tier-1: configure + build + ctest ==="
@@ -26,13 +34,23 @@ if [[ "$run_tier1" == 1 ]]; then
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
-  echo "=== TSan: parallel campaign / envelope / pool tests ==="
+  echo "=== TSan: parallel campaign / envelope / pool / metrics tests ==="
   cmake -B build-tsan -S . -DMCDFT_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target mcdft_tests
   # TSAN_OPTIONS makes any report fail the run even where a test would pass.
-  TSAN_OPTIONS="halt_on_error=1" MCDFT_THREADS=4 \
+  # MCDFT_METRICS=1 turns the striped counters on so TSan sees their writes.
+  TSAN_OPTIONS="halt_on_error=1" MCDFT_THREADS=4 MCDFT_METRICS=1 \
     ./build-tsan/tests/mcdft_tests \
-    --gtest_filter='Campaign.*:ToleranceEnvelope.*:Parallel.*:SolverReuse.*'
+    --gtest_filter="$PARALLEL_FILTER"
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "=== ASan+UBSan: full test suite with metrics enabled ==="
+  cmake -B build-asan -S . -DMCDFT_SANITIZE=address >/dev/null
+  cmake --build build-asan -j --target mcdft_tests
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    MCDFT_THREADS=4 MCDFT_METRICS=1 \
+    ./build-asan/tests/mcdft_tests
 fi
 
 echo "check.sh: OK"

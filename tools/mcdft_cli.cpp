@@ -21,6 +21,8 @@
 //   --ppd N                    sweep points per decade (default 50)
 //   --max-followers K          structural config pre-selection
 //   --preselect                run the sensitivity screen first
+//   --report FILE              write a JSON run report (timings, solver
+//                              statistics, per-config coverage)
 //
 // Examples:
 //   mcdft analyze --circuit leapfrog --max-followers 2
@@ -35,6 +37,7 @@
 #include "core/optimizer.hpp"
 #include "core/preselection.hpp"
 #include "core/report.hpp"
+#include "core/run_report.hpp"
 #include "core/test_plan.hpp"
 #include "spice/parser.hpp"
 #include "util/cli.hpp"
@@ -50,9 +53,22 @@ struct Session {
   std::vector<faults::Fault> fault_list;
   std::vector<core::ConfigVector> configs;
   core::CampaignOptions options;
+  std::string circuit_name;
+  std::string report_path;  // --report FILE; empty = no run report
 
   core::CampaignResult RunCampaignNow() const {
-    return core::RunCampaign(circuit, fault_list, configs, options);
+    if (report_path.empty()) {
+      return core::RunCampaign(circuit, fault_list, configs, options);
+    }
+    core::CampaignRunRecorder recorder;
+    auto campaign = core::RunCampaign(circuit, fault_list, configs, options);
+    core::RunReportOptions report_options;
+    report_options.circuit = circuit_name;
+    report_options.threads = options.threads;
+    core::WriteRunReport(recorder.Finish(campaign, report_options),
+                         report_path);
+    std::fprintf(stderr, "run report written to %s\n", report_path.c_str());
+    return campaign;
   }
 };
 
@@ -100,8 +116,12 @@ Session MakeSession(const util::CliArgs& args) {
     configs = pre.selected;
   }
 
-  return Session{std::move(circuit), std::move(fault_list), std::move(configs),
-                 std::move(options)};
+  std::string circuit_name = args.Has("deck") ? args.GetString("deck", "")
+                                              : args.GetString("circuit",
+                                                               "biquad");
+  return Session{std::move(circuit),      std::move(fault_list),
+                 std::move(configs),      std::move(options),
+                 std::move(circuit_name), args.GetString("report", "")};
 }
 
 int CmdList() {
@@ -225,6 +245,7 @@ void PrintUsage() {
       "usage: mcdft <list|bode|analyze|optimize|plan|diagnose|opamp-test>\n"
       "             [--circuit NAME | --deck FILE] [--eps X] [--tol X]\n"
       "             [--samples N] [--ppd N] [--max-followers K] [--preselect]\n"
+      "             [--report FILE]\n"
       "             [plan: --sopt --magnitude-only --exact]\n"
       "             [diagnose: --levels N]\n"
       "Run 'mcdft list' for the bundled circuits.\n");
