@@ -1,6 +1,7 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <optional>
 #include <unordered_set>
 
@@ -119,6 +120,73 @@ testability::ReferenceBand ResolveBand(DftCircuit& work,
 
 }  // namespace
 
+CampaignFrame BuildCampaignFrame(DftCircuit& work,
+                                 const std::vector<faults::Fault>& fault_list,
+                                 const CampaignOptions& options) {
+  if (fault_list.empty()) {
+    throw util::AnalysisError("campaign needs a non-empty fault list");
+  }
+  if (options.tolerance && !options.criteria.envelope.empty()) {
+    throw util::AnalysisError(
+        "criteria.envelope must be empty when a tolerance model is set");
+  }
+  testability::ReferenceBand band = [&] {
+    util::trace::Span span("campaign.resolve_band");
+    return ResolveBand(work, options);
+  }();
+  spice::SweepSpec sweep = band.MakeSweep();
+  spice::Probe probe{work.Circuit().FindNode(work.OutputNode()),
+                     spice::kGround, "v(" + work.OutputNode() + ")"};
+  std::vector<std::string> sites;
+  if (options.tolerance) {
+    std::unordered_set<std::string> seen;
+    for (const auto& f : fault_list) {
+      if (seen.insert(f.Device()).second) sites.push_back(f.Device());
+    }
+  }
+  return CampaignFrame{band, std::move(sweep), std::move(probe),
+                       std::move(sites)};
+}
+
+PreparedConfig PrepareCampaignConfig(DftCircuit& work,
+                                     const CampaignFrame& frame,
+                                     const ConfigVector& cv,
+                                     const CampaignOptions& options) {
+  ScopedConfiguration sc(work, cv);
+  testability::DetectionCriteria criteria = options.criteria;
+  if (options.tolerance) {
+    criteria.envelope = testability::ComputeToleranceEnvelope(
+        work.Circuit(), frame.sweep, frame.probe, frame.tolerance_sites,
+        *options.tolerance, criteria.relative_floor, options.mna,
+        options.threads);
+  }
+  return PreparedConfig{work.Circuit().Clone(), std::move(criteria)};
+}
+
+ConfigResult AssembleConfigRow(const ConfigVector& cv,
+                               const testability::DetectionCriteria& criteria,
+                               std::vector<spice::FrequencyResponse> responses,
+                               const std::vector<faults::Fault>& fault_list,
+                               std::size_t fault_begin,
+                               std::size_t fault_end) {
+  if (fault_end > fault_list.size() || fault_begin > fault_end ||
+      responses.size() != 1 + (fault_end - fault_begin)) {
+    throw util::AnalysisError("config row assembly out of range");
+  }
+  ConfigResult row{cv, {}, std::move(responses[0]), {}};
+  row.faults.reserve(fault_end - fault_begin);
+  for (std::size_t j = fault_begin; j < fault_end; ++j) {
+    row.faults.push_back(testability::AnalyzeFault(
+        fault_list[j], row.nominal, responses[1 + j - fault_begin], criteria));
+  }
+  row.threshold.resize(row.nominal.PointCount());
+  for (std::size_t i = 0; i < row.threshold.size(); ++i) {
+    row.threshold[i] = criteria.ThresholdAt(i);
+  }
+  row.relative_floor = criteria.relative_floor;
+  return row;
+}
+
 CampaignOptions MakePaperCampaignOptions() {
   CampaignOptions options;
   options.criteria.epsilon = 0.08;
@@ -149,47 +217,17 @@ CampaignResult RunCampaign(const DftCircuit& circuit,
   util::trace::Span run_span("campaign");
 
   DftCircuit work = circuit.Clone();
-  testability::ReferenceBand band = [&] {
-    util::trace::Span span("campaign.resolve_band");
-    return ResolveBand(work, options);
-  }();
-  const spice::SweepSpec sweep = band.MakeSweep();
-  const spice::Probe probe{work.Circuit().FindNode(work.OutputNode()),
-                           spice::kGround, "v(" + work.OutputNode() + ")"};
-
-  if (options.tolerance && !options.criteria.envelope.empty()) {
-    throw util::AnalysisError(
-        "criteria.envelope must be empty when a tolerance model is set");
-  }
-  std::vector<std::string> fault_sites;
-  if (options.tolerance) {
-    std::unordered_set<std::string> seen;
-    for (const auto& f : fault_list) {
-      if (seen.insert(f.Device()).second) fault_sites.push_back(f.Device());
-    }
-  }
+  const CampaignFrame frame = BuildCampaignFrame(work, fault_list, options);
 
   // Phase 1 (serial over configurations): apply each configuration, compute
   // its detection criteria (the Monte-Carlo envelope parallelizes over
   // samples internally) and snapshot the configured circuit.
-  struct PreparedConfig {
-    spice::Netlist netlist;
-    testability::DetectionCriteria criteria;
-  };
   std::vector<PreparedConfig> prepared;
   prepared.reserve(configs.size());
   {
     util::trace::Span span("campaign.prepare");
     for (const ConfigVector& cv : configs) {
-      ScopedConfiguration sc(work, cv);
-      testability::DetectionCriteria criteria = options.criteria;
-      if (options.tolerance) {
-        criteria.envelope = testability::ComputeToleranceEnvelope(
-            work.Circuit(), sweep, probe, fault_sites, *options.tolerance,
-            criteria.relative_floor, options.mna, options.threads);
-      }
-      prepared.push_back(
-          PreparedConfig{work.Circuit().Clone(), std::move(criteria)});
+      prepared.push_back(PrepareCampaignConfig(work, frame, cv, options));
     }
   }
 
@@ -212,7 +250,8 @@ CampaignResult RunCampaign(const DftCircuit& circuit,
             const std::size_t c = t / tasks_per_config;
             const std::size_t j = t % tasks_per_config;
             if (c != simulator_config) {
-              simulator.emplace(prepared[c].netlist, sweep, probe, options.mna);
+              simulator.emplace(prepared[c].netlist, frame.sweep, frame.probe,
+                                options.mna);
               simulator_config = c;
             }
             responses[t] = j == 0
@@ -227,23 +266,17 @@ CampaignResult RunCampaign(const DftCircuit& circuit,
   std::vector<ConfigResult> per_config;
   per_config.reserve(configs.size());
   for (std::size_t c = 0; c < configs.size(); ++c) {
-    const testability::DetectionCriteria& criteria = prepared[c].criteria;
-    ConfigResult row{configs[c], {},
-                     std::move(responses[c * tasks_per_config]), {}};
-    row.faults.reserve(fault_list.size());
-    for (std::size_t j = 0; j < fault_list.size(); ++j) {
-      row.faults.push_back(testability::AnalyzeFault(
-          fault_list[j], row.nominal, responses[c * tasks_per_config + 1 + j],
-          criteria));
-    }
-    row.threshold.resize(sweep.PointCount());
-    for (std::size_t i = 0; i < row.threshold.size(); ++i) {
-      row.threshold[i] = criteria.ThresholdAt(i);
-    }
-    row.relative_floor = criteria.relative_floor;
-    per_config.push_back(std::move(row));
+    auto first = responses.begin() +
+                 static_cast<std::ptrdiff_t>(c * tasks_per_config);
+    std::vector<spice::FrequencyResponse> row_responses(
+        std::make_move_iterator(first),
+        std::make_move_iterator(first +
+                                static_cast<std::ptrdiff_t>(tasks_per_config)));
+    per_config.push_back(AssembleConfigRow(configs[c], prepared[c].criteria,
+                                           std::move(row_responses), fault_list,
+                                           0, fault_list.size()));
   }
-  return CampaignResult(fault_list, std::move(per_config), band);
+  return CampaignResult(fault_list, std::move(per_config), frame.band);
 }
 
 CampaignResult AnalyzeFunctionalOnly(const DftCircuit& circuit,

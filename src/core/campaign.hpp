@@ -125,6 +125,55 @@ CampaignResult RunCampaign(const DftCircuit& circuit,
                            const std::vector<ConfigVector>& configs,
                            const CampaignOptions& options = {});
 
+// --- Campaign building blocks (shared with core/shard) -----------------
+//
+// The sharded executor must reproduce the monolithic campaign bit for bit,
+// so both paths are built from the same pieces: resolve the frame once,
+// prepare each configuration independently, analyze each (config, fault)
+// cell independently.  Every piece is a deterministic function of its
+// arguments (Monte-Carlo envelopes use fixed per-sample seed streams), so
+// any partition of the work matrix reassembles to identical numbers.
+
+/// The campaign-wide frame: reference band, sweep grid, output probe and
+/// the component sites the tolerance envelope perturbs (fault-list order).
+struct CampaignFrame {
+  testability::ReferenceBand band;
+  spice::SweepSpec sweep;
+  spice::Probe probe;
+  std::vector<std::string> tolerance_sites;
+};
+
+/// Resolve the frame on a working clone of the circuit (the clone is
+/// switched to the functional configuration for the anchor estimate).
+/// Validates the options; throws AnalysisError on conflicts.
+CampaignFrame BuildCampaignFrame(DftCircuit& work,
+                                 const std::vector<faults::Fault>& fault_list,
+                                 const CampaignOptions& options);
+
+/// One configuration, ready to simulate: the configured netlist snapshot
+/// and its detection criteria (epsilon + Monte-Carlo envelope).
+struct PreparedConfig {
+  spice::Netlist netlist;
+  testability::DetectionCriteria criteria;
+};
+
+/// Apply `cv` to the working circuit, compute its criteria and snapshot
+/// the configured netlist.  Independent per configuration: preparing any
+/// subset yields the same bytes as preparing all of them.
+PreparedConfig PrepareCampaignConfig(DftCircuit& work,
+                                     const CampaignFrame& frame,
+                                     const ConfigVector& cv,
+                                     const CampaignOptions& options);
+
+/// Assemble a (possibly partial) ConfigResult row covering fault indices
+/// [fault_begin, fault_end) of `fault_list`.  `responses` holds the
+/// nominal response followed by the faulty responses in fault order.
+ConfigResult AssembleConfigRow(const ConfigVector& cv,
+                               const testability::DetectionCriteria& criteria,
+                               std::vector<spice::FrequencyResponse> responses,
+                               const std::vector<faults::Fault>& fault_list,
+                               std::size_t fault_begin, std::size_t fault_end);
+
 /// Testability of the *unmodified* block (paper Sec. 2): analyze the fault
 /// list on the functional circuit only.  Returns the single-configuration
 /// campaign so the same accessors/metrics apply.

@@ -1,0 +1,354 @@
+#include "core/checkpoint.hpp"
+
+#include <cmath>
+
+namespace mcdft::core {
+
+namespace json = util::json;
+
+namespace {
+
+faults::FaultKind KindFromName(const std::string& name) {
+  for (const faults::FaultKind kind :
+       {faults::FaultKind::kDeviationUp, faults::FaultKind::kDeviationDown,
+        faults::FaultKind::kOpen, faults::FaultKind::kShort,
+        faults::FaultKind::kGainDegradation,
+        faults::FaultKind::kBandwidthDegradation}) {
+    if (faults::FaultKindName(kind) == name) return kind;
+  }
+  throw CheckpointError("unknown fault kind '" + name + "'");
+}
+
+json::Value MaskToJson(const std::vector<bool>& mask) {
+  std::string s(mask.size(), '0');
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) s[i] = '1';
+  }
+  return json::Value::Str(std::move(s));
+}
+
+std::vector<bool> MaskFromJson(const json::Value& v, std::size_t expect,
+                               const char* what) {
+  const std::string& s = v.AsString();
+  if (s.size() != expect) {
+    throw CheckpointError(std::string(what) + " mask has " +
+                          std::to_string(s.size()) + " bits, want " +
+                          std::to_string(expect));
+  }
+  std::vector<bool> mask(s.size(), false);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '0' && s[i] != '1') {
+      throw CheckpointError(std::string(what) + " mask has non-binary digit");
+    }
+    mask[i] = s[i] == '1';
+  }
+  return mask;
+}
+
+template <typename T>
+json::Value NumbersToJson(const std::vector<T>& values) {
+  json::Value a = json::Value::Array();
+  for (const T v : values) a.PushBack(json::Value::Number(static_cast<double>(v)));
+  return a;
+}
+
+template <typename T>
+std::vector<T> NumbersFromJson(const json::Value& v, std::size_t expect,
+                               const char* what) {
+  if (!v.IsArray() || v.Size() != expect) {
+    throw CheckpointError(std::string(what) + " has " +
+                          std::to_string(v.IsArray() ? v.Size() : 0) +
+                          " entries, want " + std::to_string(expect));
+  }
+  std::vector<T> out;
+  out.reserve(v.Size());
+  for (const json::Value& x : v.Items()) {
+    out.push_back(static_cast<T>(x.AsDouble()));
+  }
+  return out;
+}
+
+json::Value ComplexToJson(const std::vector<std::complex<double>>& values) {
+  json::Value a = json::Value::Array();
+  for (const auto& z : values) {
+    a.PushBack(json::Value::Number(z.real()));
+    a.PushBack(json::Value::Number(z.imag()));
+  }
+  return a;
+}
+
+std::vector<std::complex<double>> ComplexFromJson(const json::Value& v,
+                                                  std::size_t expect,
+                                                  const char* what) {
+  if (!v.IsArray() || v.Size() != 2 * expect) {
+    throw CheckpointError(std::string(what) + " has " +
+                          std::to_string(v.IsArray() ? v.Size() : 0) +
+                          " scalars, want " + std::to_string(2 * expect));
+  }
+  std::vector<std::complex<double>> out;
+  out.reserve(expect);
+  for (std::size_t i = 0; i < expect; ++i) {
+    out.emplace_back(v.At(2 * i).AsDouble(), v.At(2 * i + 1).AsDouble());
+  }
+  return out;
+}
+
+json::Value FaultToJson(const faults::Fault& f) {
+  json::Value o = json::Value::Object();
+  o.Set("device", json::Value::Str(f.Device()));
+  o.Set("kind", json::Value::Str(std::string(faults::FaultKindName(f.Kind()))));
+  o.Set("magnitude", json::Value::Number(f.Magnitude()));
+  return o;
+}
+
+faults::Fault FaultFromJson(const json::Value& v) {
+  return faults::Fault(v.Get("device").AsString(),
+                       KindFromName(v.Get("kind").AsString()),
+                       v.Get("magnitude").AsDouble());
+}
+
+json::Value DetectabilityToJson(const testability::FaultDetectability& fd) {
+  json::Value o = json::Value::Object();
+  o.Set("detectable", json::Value::Bool(fd.detectable));
+  o.Set("omega_detectability", json::Value::Number(fd.omega_detectability));
+  o.Set("peak_deviation", json::Value::Number(fd.peak_deviation));
+  o.Set("peak_frequency_hz", json::Value::Number(fd.peak_frequency_hz));
+  json::Value region = json::Value::Object();
+  region.Set("mask", MaskToJson(fd.region.mask));
+  region.Set("magnitude_mask", MaskToJson(fd.region.magnitude_mask));
+  region.Set("deviation", NumbersToJson(fd.region.deviation));
+  region.Set("magnitude_deviation",
+             NumbersToJson(fd.region.magnitude_deviation));
+  json::Value intervals = json::Value::Array();
+  for (const auto& [lo, hi] : fd.region.intervals) {
+    intervals.PushBack(json::Value::Number(lo));
+    intervals.PushBack(json::Value::Number(hi));
+  }
+  region.Set("intervals", std::move(intervals));
+  region.Set("measure", json::Value::Number(fd.region.measure));
+  o.Set("region", std::move(region));
+  return o;
+}
+
+testability::FaultDetectability DetectabilityFromJson(
+    const json::Value& v, const faults::Fault& fault, std::size_t points) {
+  testability::FaultDetectability fd(fault);
+  fd.detectable = v.Get("detectable").AsBool();
+  fd.omega_detectability = v.Get("omega_detectability").AsDouble();
+  fd.peak_deviation = v.Get("peak_deviation").AsDouble();
+  fd.peak_frequency_hz = v.Get("peak_frequency_hz").AsDouble();
+  const json::Value& region = v.Get("region");
+  fd.region.mask = MaskFromJson(region.Get("mask"), points, "region");
+  fd.region.magnitude_mask =
+      MaskFromJson(region.Get("magnitude_mask"), points, "region magnitude");
+  fd.region.deviation =
+      NumbersFromJson<float>(region.Get("deviation"), points, "deviation");
+  fd.region.magnitude_deviation = NumbersFromJson<float>(
+      region.Get("magnitude_deviation"), points, "magnitude deviation");
+  const json::Value& intervals = region.Get("intervals");
+  if (!intervals.IsArray() || intervals.Size() % 2 != 0) {
+    throw CheckpointError("region intervals must hold [lo, hi] pairs");
+  }
+  for (std::size_t i = 0; i < intervals.Size(); i += 2) {
+    fd.region.intervals.emplace_back(intervals.At(i).AsDouble(),
+                                     intervals.At(i + 1).AsDouble());
+  }
+  fd.region.measure = region.Get("measure").AsDouble();
+  return fd;
+}
+
+json::Value ManifestToJson(const ShardManifest& m) {
+  json::Value o = json::Value::Object();
+  json::Value shard = json::Value::Object();
+  shard.Set("index", json::Value::Number(
+                         static_cast<std::uint64_t>(m.shard.index)));
+  shard.Set("count", json::Value::Number(
+                         static_cast<std::uint64_t>(m.shard.count)));
+  o.Set("shard", std::move(shard));
+  o.Set("circuit", json::Value::Str(m.circuit));
+  o.Set("content_hash", json::Value::Str(m.content_hash));
+  json::Value configs = json::Value::Array();
+  for (const auto& bits : m.config_bits) configs.PushBack(json::Value::Str(bits));
+  o.Set("configs", std::move(configs));
+  json::Value flist = json::Value::Array();
+  for (const auto& f : m.fault_list) flist.PushBack(FaultToJson(f));
+  o.Set("faults", std::move(flist));
+  json::Value band = json::Value::Object();
+  band.Set("f_lo_hz", json::Value::Number(m.band_f_lo));
+  band.Set("f_hi_hz", json::Value::Number(m.band_f_hi));
+  band.Set("points_per_decade",
+           json::Value::Number(
+               static_cast<std::uint64_t>(m.band_points_per_decade)));
+  o.Set("band", std::move(band));
+  o.Set("probe_label", json::Value::Str(m.probe_label));
+  return o;
+}
+
+ShardManifest ManifestFromJson(const json::Value& v) {
+  ShardManifest m;
+  const json::Value& shard = v.Get("shard");
+  m.shard.index = static_cast<std::size_t>(shard.Get("index").AsDouble());
+  m.shard.count = static_cast<std::size_t>(shard.Get("count").AsDouble());
+  m.shard.Validate();
+  m.circuit = v.Get("circuit").AsString();
+  m.content_hash = v.Get("content_hash").AsString();
+  for (const json::Value& bits : v.Get("configs").Items()) {
+    m.config_bits.push_back(bits.AsString());
+  }
+  for (const json::Value& f : v.Get("faults").Items()) {
+    m.fault_list.push_back(FaultFromJson(f));
+  }
+  const json::Value& band = v.Get("band");
+  m.band_f_lo = band.Get("f_lo_hz").AsDouble();
+  m.band_f_hi = band.Get("f_hi_hz").AsDouble();
+  m.band_points_per_decade = static_cast<std::size_t>(
+      band.Get("points_per_decade").AsDouble());
+  m.probe_label = v.Get("probe_label").AsString();
+  if (m.config_bits.empty()) {
+    throw CheckpointError("manifest has an empty configuration set");
+  }
+  if (m.fault_list.empty()) {
+    throw CheckpointError("manifest has an empty fault list");
+  }
+  return m;
+}
+
+}  // namespace
+
+testability::ReferenceBand ShardManifest::Band() const {
+  return testability::ReferenceBand(band_f_lo, band_f_hi,
+                                    band_points_per_decade);
+}
+
+bool ShardManifest::SameCampaign(const ShardManifest& other) const {
+  return content_hash == other.content_hash && circuit == other.circuit &&
+         config_bits == other.config_bits && fault_list == other.fault_list &&
+         band_f_lo == other.band_f_lo && band_f_hi == other.band_f_hi &&
+         band_points_per_decade == other.band_points_per_decade &&
+         probe_label == other.probe_label;
+}
+
+json::Value ShardToJson(const ShardDocument& doc) {
+  json::Value root = json::Value::Object();
+  root.Set("schema", json::Value::Str(kShardSchema));
+  root.Set("manifest", ManifestToJson(doc.manifest));
+  json::Value units = json::Value::Array();
+  for (const ShardUnitResult& u : doc.units) {
+    json::Value o = json::Value::Object();
+    o.Set("config", json::Value::Number(
+                        static_cast<std::uint64_t>(u.unit.config)));
+    o.Set("fault_begin", json::Value::Number(
+                             static_cast<std::uint64_t>(u.unit.fault_begin)));
+    o.Set("fault_end", json::Value::Number(
+                           static_cast<std::uint64_t>(u.unit.fault_end)));
+    json::Value nominal = json::Value::Object();
+    nominal.Set("label", json::Value::Str(u.partial.nominal.label));
+    nominal.Set("values", ComplexToJson(u.partial.nominal.values));
+    o.Set("nominal", std::move(nominal));
+    o.Set("threshold", NumbersToJson(u.partial.threshold));
+    o.Set("relative_floor", json::Value::Number(u.partial.relative_floor));
+    json::Value fl = json::Value::Array();
+    for (const auto& fd : u.partial.faults) {
+      fl.PushBack(DetectabilityToJson(fd));
+    }
+    o.Set("faults", std::move(fl));
+    units.PushBack(std::move(o));
+  }
+  root.Set("units", std::move(units));
+  return root;
+}
+
+ShardDocument ShardFromJson(const json::Value& json) {
+  const json::Value* schema = json.Find("schema");
+  if (schema == nullptr || !schema->IsString()) {
+    throw CheckpointError("missing schema marker (not a shard file?)");
+  }
+  if (schema->AsString() != kShardSchema) {
+    throw CheckpointError("schema-version mismatch: file has '" +
+                          schema->AsString() + "', this build reads '" +
+                          kShardSchema + "'");
+  }
+  ShardDocument doc{ManifestFromJson(json.Get("manifest")), {}};
+  const ShardManifest& m = doc.manifest;
+  const std::vector<double> grid = m.Band().MakeSweep().Frequencies();
+
+  for (const json::Value& o : json.Get("units").Items()) {
+    ShardUnit unit;
+    unit.config = static_cast<std::size_t>(o.Get("config").AsDouble());
+    unit.fault_begin = static_cast<std::size_t>(o.Get("fault_begin").AsDouble());
+    unit.fault_end = static_cast<std::size_t>(o.Get("fault_end").AsDouble());
+    if (unit.config >= m.config_bits.size() ||
+        unit.fault_begin >= unit.fault_end ||
+        unit.fault_end > m.fault_list.size()) {
+      throw CheckpointError(
+          "unit (config " + std::to_string(unit.config) + ", faults [" +
+          std::to_string(unit.fault_begin) + ", " +
+          std::to_string(unit.fault_end) + ")) is outside the campaign's " +
+          std::to_string(m.config_bits.size()) + "x" +
+          std::to_string(m.fault_list.size()) + " work matrix");
+    }
+    ShardUnitResult u{
+        unit,
+        ConfigResult{ConfigVector::FromBits(m.config_bits[unit.config]),
+                     {},
+                     {},
+                     {}}};
+    const json::Value& nominal = o.Get("nominal");
+    u.partial.nominal.freqs_hz = grid;
+    u.partial.nominal.label = nominal.Get("label").AsString();
+    u.partial.nominal.values =
+        ComplexFromJson(nominal.Get("values"), grid.size(), "nominal response");
+    u.partial.threshold =
+        NumbersFromJson<double>(o.Get("threshold"), grid.size(), "threshold");
+    u.partial.relative_floor = o.Get("relative_floor").AsDouble();
+    const json::Value& fl = o.Get("faults");
+    if (!fl.IsArray() ||
+        fl.Size() != u.unit.fault_end - u.unit.fault_begin) {
+      throw CheckpointError("unit fault results do not match its fault range");
+    }
+    u.partial.faults.reserve(fl.Size());
+    for (std::size_t k = 0; k < fl.Size(); ++k) {
+      u.partial.faults.push_back(DetectabilityFromJson(
+          fl.At(k), m.fault_list[u.unit.fault_begin + k], grid.size()));
+    }
+    doc.units.push_back(std::move(u));
+  }
+  return doc;
+}
+
+std::string ShardFileName(const ShardSpec& spec) {
+  return "shard-" + spec.Name() + ".json";
+}
+
+ShardDocument LoadShardFile(const std::string& path) {
+  json::Value parsed;
+  try {
+    parsed = json::ParseFile(path);
+  } catch (const util::Error& e) {
+    throw CheckpointError("cannot read shard file '" + path +
+                          "' (truncated or corrupt?): " + e.what());
+  }
+  try {
+    return ShardFromJson(parsed);
+  } catch (const CheckpointError& e) {
+    // Re-wrap so the diagnostic names the offending file (stripping the
+    // inner "checkpoint: " prefix the constructor re-adds).
+    std::string what = e.what();
+    constexpr std::string_view prefix = "checkpoint: ";
+    if (what.rfind(prefix, 0) == 0) what.erase(0, prefix.size());
+    throw CheckpointError("in shard file '" + path + "': " + what);
+  } catch (const util::Error& e) {
+    throw CheckpointError("malformed shard file '" + path + "': " + e.what());
+  }
+}
+
+void WriteShardFile(const ShardDocument& doc, const std::string& path) {
+  try {
+    json::WriteFileAtomic(ShardToJson(doc), path);
+  } catch (const util::Error& e) {
+    throw CheckpointError("cannot write shard file '" + path +
+                          "': " + e.what());
+  }
+}
+
+}  // namespace mcdft::core

@@ -1,0 +1,90 @@
+// The shard checkpoint file format (schema "mcdft.shard/1").
+//
+// One JSON document per shard: a manifest binding the file to its campaign
+// inputs (content hash, configuration set, fault list, reference band,
+// probe label, shard spec) plus the completed work units, each carrying a
+// partial ConfigResult row at full double precision (the util/json
+// serializer emits round-trip-exact numbers).  The file is rewritten with
+// an atomic rename + fsync after every completed unit, so an interrupted
+// run resumes from the last completed unit and a crash can never leave a
+// half-written checkpoint behind.
+//
+// Documented in DESIGN.md "Sharding & checkpointing".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/shard.hpp"
+#include "util/json.hpp"
+
+namespace mcdft::core {
+
+/// A checkpoint that cannot be trusted: malformed/truncated JSON, wrong
+/// schema version, manifest mismatch (stale content hash, foreign shard
+/// spec), overlapping or gapped coverage.  Resume and merge fail with this
+/// rather than mixing bad data into a campaign.
+class CheckpointError : public util::Error {
+ public:
+  explicit CheckpointError(const std::string& what)
+      : Error("checkpoint: " + what) {}
+};
+
+inline constexpr const char* kShardSchema = "mcdft.shard/1";
+
+/// Everything needed to validate a shard file against its siblings and to
+/// reconstitute the campaign frame on merge.
+struct ShardManifest {
+  ShardSpec shard;
+  std::string circuit;                    ///< circuit name (reporting only)
+  std::string content_hash;               ///< CampaignContentHash of inputs
+  std::vector<std::string> config_bits;   ///< row order, "101"-style
+  std::vector<faults::Fault> fault_list;  ///< column order
+  double band_f_lo = 0.0;                 ///< reference band, exact doubles
+  double band_f_hi = 0.0;
+  std::size_t band_points_per_decade = 0;
+  std::string probe_label;                ///< e.g. "v(out)"
+
+  testability::ReferenceBand Band() const;
+
+  /// True when two manifests describe the same campaign (everything but
+  /// the shard spec matches exactly).
+  bool SameCampaign(const ShardManifest& other) const;
+};
+
+/// One completed unit: the owned cell range and its partial row.
+/// `partial.faults` holds exactly [unit.fault_begin, unit.fault_end) in
+/// fault order; nominal/threshold/relative_floor are the full-row values
+/// (identical across shards splitting one configuration, validated on
+/// merge).
+struct ShardUnitResult {
+  ShardUnit unit;
+  ConfigResult partial;
+};
+
+/// A shard checkpoint: manifest + the units completed so far.
+struct ShardDocument {
+  ShardManifest manifest;
+  std::vector<ShardUnitResult> units;
+};
+
+/// Serialize the document (manifest + completed units).
+util::json::Value ShardToJson(const ShardDocument& doc);
+
+/// Parse and validate a shard document: schema version, structural
+/// completeness, in-range units.  Throws CheckpointError with a diagnostic
+/// that names what is wrong (the caller adds the file path).
+ShardDocument ShardFromJson(const util::json::Value& json);
+
+/// Checkpoint file name for a shard: "shard-<i>of<N>.json".
+std::string ShardFileName(const ShardSpec& spec);
+
+/// Load a shard checkpoint file.  Wraps parse/validation failures in a
+/// CheckpointError naming the path (a truncated or otherwise malformed
+/// file is reported as such, never silently ignored).
+ShardDocument LoadShardFile(const std::string& path);
+
+/// Write the document to `path` atomically (tmp + fsync + rename).
+void WriteShardFile(const ShardDocument& doc, const std::string& path);
+
+}  // namespace mcdft::core

@@ -163,6 +163,8 @@ json::Value CampaignRunRecorder::Finish(const CampaignResult& campaign,
 
   report.Set("parallel", CounterGroup(delta, "util.parallel"));
   report.Set("faults", CounterGroup(delta, "faults.sim"));
+  report.Set("shard", CounterGroup(delta, "core.shard"));
+  report.Set("checkpoint", CounterGroup(delta, "core.checkpoint"));
 
   // Full counter dump for ad-hoc analysis (the grouped views above are the
   // stable, documented surface).
@@ -178,14 +180,7 @@ json::Value CampaignRunRecorder::Finish(const CampaignResult& campaign,
 }
 
 void WriteRunReport(const json::Value& report, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw util::Error("cannot open run report file: " + path);
-  }
-  out << report.Serialize(2) << '\n';
-  if (!out) {
-    throw util::Error("failed writing run report file: " + path);
-  }
+  json::WriteFileAtomic(report, path);
 }
 
 }  // namespace mcdft::core

@@ -1,0 +1,125 @@
+// Sharded campaign execution: a deterministic static partition of the
+// (configuration x fault) work matrix into `count` contiguous cell ranges,
+// so a campaign can run as independent shard processes (CI matrix jobs,
+// separate machines) whose checkpoint files merge back into a
+// CampaignResult that is bit-identical to the monolithic run.
+//
+// Partition math mirrors util::ParallelForRange: the flat cell space
+// [0, configs*faults) with cell = config*faults + fault is cut at
+// `w * cells / count` for w in [0, count].  Cell (c, j)'s value is a pure
+// function of the campaign inputs (see the campaign building blocks in
+// core/campaign.hpp), so *any* shard count reassembles to the same bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace mcdft::core {
+
+/// Which shard of how many.  The default (0 of 1) is the whole campaign.
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  /// Throws AnalysisError unless count >= 1 and index < count.
+  void Validate() const;
+
+  /// "0of3" — used in checkpoint file names.
+  std::string Name() const;
+
+  bool operator==(const ShardSpec&) const = default;
+};
+
+/// Parse "i/N" (e.g. "1/3").  Throws AnalysisError on malformed input.
+ShardSpec ParseShardSpec(const std::string& text);
+
+/// One unit of shard work: a configuration row and the contiguous range of
+/// fault indices this shard owns on it.  A unit is the checkpoint
+/// granularity — it completes (and is persisted) atomically.
+struct ShardUnit {
+  std::size_t config = 0;       ///< campaign row index
+  std::size_t fault_begin = 0;  ///< first owned fault index
+  std::size_t fault_end = 0;    ///< one past the last owned fault index
+
+  bool operator==(const ShardUnit&) const = default;
+};
+
+/// The shard's contiguous cell range [begin, end) of the flat
+/// config-major cell space (`config_count * fault_count` cells).
+std::pair<std::size_t, std::size_t> ShardCellRange(std::size_t config_count,
+                                                   std::size_t fault_count,
+                                                   const ShardSpec& spec);
+
+/// The shard's work units: its cell range split at configuration
+/// boundaries, in campaign order.  Every configuration appears in at most
+/// one unit per shard; over all shards the units tile the work matrix
+/// disjointly with no gaps.
+std::vector<ShardUnit> ShardUnits(std::size_t config_count,
+                                  std::size_t fault_count,
+                                  const ShardSpec& spec);
+
+/// FNV-1a 64-bit hash, hex-encoded.  Stable across platforms and runs.
+std::string Fnv1a64Hex(std::string_view data);
+
+/// Content hash binding a checkpoint to its campaign inputs: the circuit
+/// (functional-configuration deck), the fault list, the configuration set
+/// and every option that influences campaign numbers (thread count
+/// excluded — results are thread-count invariant).  Checkpoints and merges
+/// refuse inputs whose hash differs.
+std::string CampaignContentHash(const DftCircuit& circuit,
+                                const std::vector<faults::Fault>& fault_list,
+                                const std::vector<ConfigVector>& configs,
+                                const CampaignOptions& options);
+
+/// Shard-run controls.
+struct ShardRunOptions {
+  ShardSpec shard;
+
+  /// Directory for the shard checkpoint file ("shard-<i>of<N>.json").
+  /// Created when missing.  Required.
+  std::string checkpoint_dir;
+
+  /// Stop after freshly computing this many units (checkpoint intact, run
+  /// reported incomplete).  Simulates a mid-campaign kill in tests.
+  std::size_t max_new_units = static_cast<std::size_t>(-1);
+};
+
+/// Outcome of one shard run.
+struct ShardRunResult {
+  std::string shard_path;          ///< checkpoint file written
+  std::size_t units_total = 0;     ///< units this shard owns
+  std::size_t units_resumed = 0;   ///< restored from the checkpoint
+  std::size_t units_run = 0;       ///< freshly computed this run
+  bool complete = false;           ///< all owned units are in the file
+};
+
+/// Run one shard of the campaign, checkpointing each completed unit with
+/// an atomic rename + fsync.  An existing checkpoint for the same inputs
+/// resumes after its last completed unit; a checkpoint whose manifest does
+/// not match (schema, content hash, shard spec) makes the run fail with a
+/// CheckpointError rather than silently mixing results.
+ShardRunResult RunCampaignShard(const DftCircuit& circuit,
+                                const std::vector<faults::Fault>& fault_list,
+                                const std::vector<ConfigVector>& configs,
+                                const CampaignOptions& options,
+                                const ShardRunOptions& shard_options);
+
+/// A merged set of shard checkpoints.
+struct MergedCampaign {
+  CampaignResult campaign;
+  std::string circuit;         ///< circuit name from the manifests
+  std::size_t shard_files = 0; ///< checkpoints merged
+};
+
+/// Merge shard checkpoint files back into the full campaign.  Validates
+/// every manifest (schema version, identical content hash/band/fault list/
+/// configuration set) and the combined coverage (every cell exactly once:
+/// no gaps, no overlap; shared nominal rows byte-identical across shards).
+/// Throws CheckpointError with a diagnostic naming the offending file on
+/// any mismatch.
+MergedCampaign MergeShards(const std::vector<std::string>& shard_paths);
+
+}  // namespace mcdft::core

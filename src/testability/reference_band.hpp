@@ -26,6 +26,7 @@ class ReferenceBand {
 
   double FLow() const { return f_lo_; }
   double FHigh() const { return f_hi_; }
+  std::size_t PointsPerDecade() const { return points_per_decade_; }
   double Decades() const;
 
   /// Log-uniform sweep across the band.

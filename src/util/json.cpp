@@ -1,5 +1,8 @@
 #include "util/json.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cctype>
 #include <charconv>
 #include <cmath>
@@ -422,6 +425,45 @@ Value ParseFile(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return Parse(buf.str());
+}
+
+void WriteFileAtomic(const Value& value, const std::string& path, int indent) {
+  const std::string tmp = path + ".tmp";
+  const std::string text = value.Serialize(indent) + "\n";
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw JsonError("cannot open '" + tmp + "' for writing");
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw JsonError("failed writing '" + tmp + "'");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw JsonError("fsync failed on '" + tmp + "'");
+  }
+  ::close(fd);
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw JsonError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+
+  // Persist the rename itself: fsync the containing directory.
+  std::string dir = path;
+  const std::size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // best effort; the data itself is already durable
+    ::close(dfd);
+  }
 }
 
 }  // namespace mcdft::util::json

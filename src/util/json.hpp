@@ -82,4 +82,12 @@ Value Parse(std::string_view text);
 /// Parse the JSON document in a file.  Throws JsonError when unreadable.
 Value ParseFile(const std::string& path);
 
+/// Serialize `value` to `path` atomically: the document is written to a
+/// sibling `path.tmp`, flushed with fsync, renamed over `path`, and the
+/// containing directory is fsynced.  Readers therefore never observe a
+/// partially written document — a crash leaves either the previous file or
+/// the complete new one.  Throws JsonError on any I/O failure.
+void WriteFileAtomic(const Value& value, const std::string& path,
+                     int indent = 2);
+
 }  // namespace mcdft::util::json

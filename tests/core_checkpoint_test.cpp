@@ -1,0 +1,192 @@
+// The shard checkpoint file format (core/checkpoint): exact JSON
+// round-trip, and the corruption cases that must make resume fail loudly —
+// a truncated file, a foreign schema version and a stale content hash each
+// produce a CheckpointError whose message says what is wrong and which
+// file/hash is involved.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "circuits/zoo.hpp"
+#include "core/checkpoint.hpp"
+#include "core/shard.hpp"
+#include "faults/fault_list.hpp"
+
+namespace mcdft::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Expect `fn` to throw a CheckpointError whose message contains every
+/// `needles` fragment; returns the message for further inspection.
+template <typename Fn>
+std::string ExpectCheckpointError(Fn&& fn,
+                                  const std::vector<std::string>& needles) {
+  try {
+    fn();
+  } catch (const CheckpointError& e) {
+    const std::string what = e.what();
+    for (const std::string& needle : needles) {
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "diagnostic missing '" << needle << "': " << what;
+    }
+    return what;
+  }
+  ADD_FAILURE() << "expected CheckpointError";
+  return {};
+}
+
+class CheckpointFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mcdft_checkpoint_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+
+    auto block = circuits::FindInZoo("biquad").build();
+    circuit_ = std::make_unique<DftCircuit>(DftCircuit::Transform(block));
+    fault_list_ = faults::MakeDeviationFaults(circuit_->Circuit());
+    const std::size_t opamps = circuit_->ConfigurableOpamps().size();
+    configs_ = {ConfigVector(opamps)};
+    auto follower = ConfigVector(opamps);
+    follower.SetSelection(0, true);
+    configs_.push_back(follower);
+
+    options_ = MakePaperCampaignOptions();
+    options_.points_per_decade = 5;
+    options_.tolerance->samples = 6;
+    options_.threads = 1;
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Run the whole campaign as one shard and return its checkpoint path.
+  std::string RunWholeShard() {
+    ShardRunOptions shard_options;
+    shard_options.checkpoint_dir = (dir_ / "ck").string();
+    const ShardRunResult run = RunCampaignShard(*circuit_, fault_list_,
+                                                configs_, options_,
+                                                shard_options);
+    EXPECT_TRUE(run.complete);
+    return run.shard_path;
+  }
+
+  fs::path dir_;
+  std::unique_ptr<DftCircuit> circuit_;
+  std::vector<faults::Fault> fault_list_;
+  std::vector<ConfigVector> configs_;
+  CampaignOptions options_;
+};
+
+TEST_F(CheckpointFiles, ShardFileNameEmbedsSpec) {
+  EXPECT_EQ(ShardFileName(ShardSpec{0, 1}), "shard-0of1.json");
+  EXPECT_EQ(ShardFileName(ShardSpec{2, 4}), "shard-2of4.json");
+}
+
+TEST_F(CheckpointFiles, JsonRoundTripIsByteExact) {
+  const std::string path = RunWholeShard();
+  const ShardDocument doc = LoadShardFile(path);
+  EXPECT_EQ(doc.manifest.shard, (ShardSpec{0, 1}));
+  EXPECT_EQ(doc.manifest.circuit, circuit_->Name());
+  EXPECT_EQ(doc.manifest.config_bits.size(), configs_.size());
+  EXPECT_EQ(doc.manifest.fault_list.size(), fault_list_.size());
+  ASSERT_EQ(doc.units.size(), configs_.size());
+
+  // serialize -> parse -> serialize must reproduce the same bytes: the
+  // whole bit-identical-merge story rests on this (util/json emits
+  // round-trip-exact doubles).
+  const std::string first = ShardToJson(doc).Serialize();
+  const ShardDocument reparsed = ShardFromJson(util::json::Parse(first));
+  EXPECT_EQ(ShardToJson(reparsed).Serialize(), first);
+
+  // And the on-disk file is exactly the serialized document.
+  std::ifstream in(path, std::ios::binary);
+  std::string on_disk((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(on_disk, first + "\n");
+}
+
+TEST_F(CheckpointFiles, TruncatedFileFailsResumeWithDiagnostic) {
+  const std::string path = RunWholeShard();
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 64u);
+  // Chop the file mid-document, as a crashed non-atomic writer would.
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << bytes.substr(0, bytes.size() / 2);
+
+  ExpectCheckpointError([&] { LoadShardFile(path); },
+                        {path, "truncated or corrupt"});
+
+  // Resuming through RunCampaignShard hits the same wall: it must refuse,
+  // not silently recompute over the bad file.
+  ShardRunOptions shard_options;
+  shard_options.checkpoint_dir = (dir_ / "ck").string();
+  ExpectCheckpointError(
+      [&] {
+        RunCampaignShard(*circuit_, fault_list_, configs_, options_,
+                         shard_options);
+      },
+      {path, "truncated or corrupt"});
+}
+
+TEST_F(CheckpointFiles, SchemaVersionMismatchFailsWithBothVersions) {
+  const std::string path = RunWholeShard();
+  util::json::Value doc = util::json::ParseFile(path);
+  doc.Set("schema", util::json::Value::Str("mcdft.shard/99"));
+  util::json::WriteFileAtomic(doc, path);
+
+  ExpectCheckpointError([&] { LoadShardFile(path); },
+                        {path, "schema-version mismatch", "mcdft.shard/99",
+                         kShardSchema});
+}
+
+TEST_F(CheckpointFiles, StaleContentHashFailsResumeWithBothHashes) {
+  const std::string path = RunWholeShard();
+  const std::string old_hash =
+      CampaignContentHash(*circuit_, fault_list_, configs_, options_);
+
+  // Same checkpoint dir, different campaign inputs: the epsilon change
+  // invalidates every stored verdict.
+  CampaignOptions changed = options_;
+  changed.criteria.epsilon *= 2.0;
+  const std::string new_hash =
+      CampaignContentHash(*circuit_, fault_list_, configs_, changed);
+  ASSERT_NE(new_hash, old_hash);
+
+  ShardRunOptions shard_options;
+  shard_options.checkpoint_dir = (dir_ / "ck").string();
+  ExpectCheckpointError(
+      [&] {
+        RunCampaignShard(*circuit_, fault_list_, configs_, changed,
+                         shard_options);
+      },
+      {path, "different campaign inputs", old_hash, new_hash,
+       "delete the checkpoint directory"});
+}
+
+TEST_F(CheckpointFiles, ForeignShardSpecInCheckpointDirFailsResume) {
+  const std::string path = RunWholeShard();
+  // Rewrite the manifest to claim the file belongs to shard 1/3 while
+  // keeping the name shard-0of1.json: a mis-copied artifact.
+  ShardDocument doc = LoadShardFile(path);
+  doc.manifest.shard = ShardSpec{1, 3};
+  WriteShardFile(doc, path);
+
+  ShardRunOptions shard_options;
+  shard_options.checkpoint_dir = (dir_ / "ck").string();
+  ExpectCheckpointError(
+      [&] {
+        RunCampaignShard(*circuit_, fault_list_, configs_, options_,
+                         shard_options);
+      },
+      {path, "shard 1of3", "shard 0of1"});
+}
+
+}  // namespace
+}  // namespace mcdft::core

@@ -1,0 +1,130 @@
+// bench_gate exit-code contract (tools/bench_gate.cpp), exercised through
+// the real binary: --report-only suppresses only *ratio* regressions; a
+// malformed or missing baseline must still exit 2 so CI cannot silently
+// green-light a gate that never compared anything.
+//
+// The binary path arrives via the MCDFT_BENCH_GATE_BIN compile definition
+// (tests/CMakeLists.txt); tools/CMakeLists.txt makes mcdft_tests depend on
+// the bench_gate target so the binary is fresh.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class BenchGate : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mcdft_bench_gate_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string WriteReport(const std::string& name, double solves_per_s) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << R"({
+  "bench": "campaign_throughput",
+  "circuits": [
+    {
+      "name": "biquad",
+      "runs": [
+        {"threads": 1, "cache_factorization": true, "solves_per_s": )"
+        << solves_per_s << R"(}
+      ]
+    }
+  ]
+})";
+    return path;
+  }
+
+  std::string WriteMalformed(const std::string& name) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream(path) << "{ \"bench\": \"campaign_throughput\", ";  // cut off
+    return path;
+  }
+
+  /// Run bench_gate with `args`, return its exit code.
+  int Run(const std::string& args) {
+    const std::string cmd = std::string(MCDFT_BENCH_GATE_BIN) + " " + args +
+                            " > /dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    EXPECT_NE(status, -1);
+    EXPECT_TRUE(WIFEXITED(status)) << cmd;
+    return WEXITSTATUS(status);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(BenchGate, PassesOnEqualReports) {
+  const std::string base = WriteReport("base.json", 1000.0);
+  const std::string fresh = WriteReport("fresh.json", 1000.0);
+  EXPECT_EQ(Run("--baseline " + base + " --fresh " + fresh), 0);
+}
+
+TEST_F(BenchGate, RegressionFailsWithoutReportOnly) {
+  const std::string base = WriteReport("base.json", 1000.0);
+  const std::string fresh = WriteReport("fresh.json", 100.0);
+  EXPECT_EQ(Run("--baseline " + base + " --fresh " + fresh), 1);
+}
+
+TEST_F(BenchGate, ReportOnlySuppressesRatioFailures) {
+  const std::string base = WriteReport("base.json", 1000.0);
+  const std::string fresh = WriteReport("fresh.json", 100.0);
+  EXPECT_EQ(Run("--baseline " + base + " --fresh " + fresh + " --report-only"),
+            0);
+}
+
+TEST_F(BenchGate, MissingBaselineExitsTwoEvenWithReportOnly) {
+  const std::string fresh = WriteReport("fresh.json", 1000.0);
+  const std::string missing = (dir_ / "nonexistent.json").string();
+  EXPECT_EQ(Run("--baseline " + missing + " --fresh " + fresh), 2);
+  EXPECT_EQ(Run("--baseline " + missing + " --fresh " + fresh +
+                " --report-only"),
+            2);
+}
+
+TEST_F(BenchGate, MalformedBaselineExitsTwoEvenWithReportOnly) {
+  const std::string fresh = WriteReport("fresh.json", 1000.0);
+  const std::string bad = WriteMalformed("bad.json");
+  EXPECT_EQ(Run("--baseline " + bad + " --fresh " + fresh), 2);
+  EXPECT_EQ(Run("--baseline " + bad + " --fresh " + fresh + " --report-only"),
+            2);
+}
+
+TEST_F(BenchGate, NothingToCompareExitsTwo) {
+  // Valid JSON on both sides but no matching (circuit, threads, cache) run:
+  // the gate compared nothing and must say so, not pass.
+  const std::string base = WriteReport("base.json", 1000.0);
+  const std::string path = (dir_ / "other.json").string();
+  std::ofstream(path) << R"({"bench": "campaign_throughput", "circuits": []})";
+  EXPECT_EQ(Run("--baseline " + path + " --fresh " + base), 2);
+}
+
+TEST_F(BenchGate, SummaryFileContainsMarkdownTableAndVerdict) {
+  const std::string base = WriteReport("base.json", 1000.0);
+  const std::string fresh = WriteReport("fresh.json", 100.0);
+  const std::string summary = (dir_ / "summary.md").string();
+  EXPECT_EQ(Run("--baseline " + base + " --fresh " + fresh +
+                " --report-only --summary " + summary),
+            0);
+  std::ifstream in(summary);
+  ASSERT_TRUE(in);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("| status | circuit | threads |"), std::string::npos);
+  EXPECT_NE(text.find(":x: FAIL | biquad | 1 |"), std::string::npos);
+  EXPECT_NE(text.find("x0.10"), std::string::npos);
+  EXPECT_NE(text.find("report-only"), std::string::npos);
+}
+
+}  // namespace

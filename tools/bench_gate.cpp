@@ -2,7 +2,7 @@
 // committed baseline and fail on a throughput regression.
 //
 //   bench_gate --baseline BENCH_campaign.json --fresh fresh.json
-//              [--min-ratio X] [--report-only]
+//              [--min-ratio X] [--report-only] [--summary FILE]
 //
 // Runs are matched by (circuit, threads, cache_factorization) — labels
 // embed the hardware thread count and are not stable across machines.  A
@@ -12,8 +12,18 @@
 // counterpart are reported but do not fail the gate (thread counts vary
 // with the machine).
 //
-// Exit codes: 0 = pass, 1 = regression detected, 2 = bad input/usage.
+// --report-only suppresses only *ratio* failures (noisy shared runners);
+// a malformed or missing report is always an error: a gate that cannot
+// read its baseline must say so loudly, not report success.
+//
+// --summary FILE additionally writes the ratio table as GitHub-flavored
+// markdown — CI appends it to $GITHUB_STEP_SUMMARY.
+//
+// Exit codes: 0 = pass, 1 = regression detected, 2 = bad input/usage
+// (including malformed/missing baseline or fresh report, even with
+// --report-only).
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -30,6 +40,15 @@ struct RunKey {
   bool cache = false;
 };
 
+struct SummaryRow {
+  RunKey key;
+  double base_rate = 0.0;
+  double fresh_rate = 0.0;
+  double ratio = 0.0;
+  bool ok = false;
+  bool missing = false;
+};
+
 const Value* FindRun(const Value& doc, const RunKey& key) {
   for (const Value& circuit : doc.Get("circuits").Items()) {
     if (circuit.Get("name").AsString() != key.circuit) continue;
@@ -44,6 +63,45 @@ const Value* FindRun(const Value& doc, const RunKey& key) {
   return nullptr;
 }
 
+bool WriteSummary(const std::string& path, const std::vector<SummaryRow>& rows,
+                  double min_ratio, std::size_t regressed, bool report_only) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_gate: cannot write summary file %s\n",
+                 path.c_str());
+    return false;
+  }
+  out << "### Campaign throughput gate (min ratio " << min_ratio << ")\n\n";
+  out << "| status | circuit | threads | cache | baseline solves/s | "
+         "fresh solves/s | ratio |\n";
+  out << "|---|---|---|---|---|---|---|\n";
+  char buf[256];
+  for (const SummaryRow& r : rows) {
+    if (r.missing) {
+      std::snprintf(buf, sizeof buf,
+                    "| :grey_question: missing | %s | %zu | %d | %.0f | — | — |\n",
+                    r.key.circuit.c_str(), r.key.threads, r.key.cache ? 1 : 0,
+                    r.base_rate);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "| %s | %s | %zu | %d | %.0f | %.0f | x%.2f |\n",
+                    r.ok ? ":white_check_mark: ok" : ":x: FAIL",
+                    r.key.circuit.c_str(), r.key.threads, r.key.cache ? 1 : 0,
+                    r.base_rate, r.fresh_rate, r.ratio);
+    }
+    out << buf;
+  }
+  out << "\n";
+  if (regressed > 0) {
+    out << (report_only
+                ? "**Regressions detected (report-only: not failing the job).**\n"
+                : "**Regressions detected.**\n");
+  } else {
+    out << "No regressions.\n";
+  }
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,15 +109,19 @@ int main(int argc, char** argv) {
   const std::string baseline_path =
       args.GetString("baseline", "BENCH_campaign.json");
   const std::string fresh_path = args.GetString("fresh", "");
+  const std::string summary_path = args.GetString("summary", "");
   const double min_ratio = args.GetDouble("min-ratio", 0.6);
   const bool report_only = args.Has("report-only");
   if (fresh_path.empty()) {
     std::fprintf(stderr,
                  "usage: bench_gate --fresh FILE [--baseline FILE]\n"
-                 "                  [--min-ratio X] [--report-only]\n");
+                 "                  [--min-ratio X] [--report-only]\n"
+                 "                  [--summary FILE]\n");
     return 2;
   }
 
+  // Input validation happens before --report-only is considered: the flag
+  // softens regression verdicts, never unreadable reports.
   Value baseline, fresh;
   try {
     baseline = mcdft::util::json::ParseFile(baseline_path);
@@ -69,6 +131,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::vector<SummaryRow> rows;
   std::size_t compared = 0, regressed = 0, missing = 0;
   try {
     if (baseline.Get("bench").AsString() != fresh.Get("bench").AsString()) {
@@ -85,19 +148,21 @@ int main(int argc, char** argv) {
         RunKey key{name,
                    static_cast<std::size_t>(run.Get("threads").AsDouble()),
                    run.Get("cache_factorization").AsBool()};
+        const double base_rate = run.Get("solves_per_s").AsDouble();
         const Value* match = FindRun(fresh, key);
         if (match == nullptr) {
           ++missing;
+          rows.push_back(SummaryRow{key, base_rate, 0.0, 0.0, false, true});
           std::printf("  MISSING %-10s threads=%zu cache=%d (no fresh run)\n",
                       name.c_str(), key.threads, key.cache ? 1 : 0);
           continue;
         }
-        const double base_rate = run.Get("solves_per_s").AsDouble();
         const double fresh_rate = match->Get("solves_per_s").AsDouble();
         const double ratio = base_rate > 0.0 ? fresh_rate / base_rate : 1.0;
         const bool ok = ratio >= min_ratio;
         ++compared;
         if (!ok) ++regressed;
+        rows.push_back(SummaryRow{key, base_rate, fresh_rate, ratio, ok, false});
         std::printf(
             "  %-4s %-10s threads=%zu cache=%d  %10.0f -> %10.0f "
             "solves/s (x%.2f)\n",
@@ -114,6 +179,10 @@ int main(int argc, char** argv) {
               compared, regressed, missing);
   if (compared == 0) {
     std::fprintf(stderr, "bench_gate: nothing to compare\n");
+    return 2;
+  }
+  if (!summary_path.empty() &&
+      !WriteSummary(summary_path, rows, min_ratio, regressed, report_only)) {
     return 2;
   }
   if (regressed > 0) {

@@ -3,6 +3,7 @@
 // Subcommands:
 //   list                       circuits bundled in the zoo
 //   analyze                    campaign: detectability matrix + w-det table
+//   merge                      merge shard checkpoints into a full campaign
 //   optimize                   Sec. 4 flow: xi, config-count opt, partial DFT
 //   plan                       compile a multi-frequency test plan
 //   diagnose                   fault diagnosis by configuration signature
@@ -24,20 +25,32 @@
 //   --report FILE              write a JSON run report (timings, solver
 //                              statistics, per-config coverage)
 //
+// Sharding & checkpointing (analyze / merge):
+//   --shard i/N                run only shard i of an N-way static split of
+//                              the (configuration x fault) work matrix
+//   --checkpoint DIR           write/resume shard-<i>of<N>.json checkpoints
+//                              in DIR (atomic rename + fsync per unit)
+//
 // Examples:
 //   mcdft analyze --circuit leapfrog --max-followers 2
+//   mcdft analyze --circuit biquad --shard 1/3 --checkpoint ckpt/
+//   mcdft merge --checkpoint ckpt/ --report merged.json
 //   mcdft optimize --circuit biquad
 //   mcdft plan --circuit biquad --sopt
 //   mcdft diagnose --deck myfilter.cir --levels 4
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 
 #include "circuits/zoo.hpp"
+#include "core/checkpoint.hpp"
 #include "core/diagnosis.hpp"
 #include "core/optimizer.hpp"
 #include "core/preselection.hpp"
 #include "core/report.hpp"
 #include "core/run_report.hpp"
+#include "core/shard.hpp"
 #include "core/test_plan.hpp"
 #include "spice/parser.hpp"
 #include "util/cli.hpp"
@@ -54,7 +67,9 @@ struct Session {
   std::vector<core::ConfigVector> configs;
   core::CampaignOptions options;
   std::string circuit_name;
-  std::string report_path;  // --report FILE; empty = no run report
+  std::string report_path;     // --report FILE; empty = no run report
+  std::string checkpoint_dir;  // --checkpoint DIR; empty = no checkpoints
+  core::ShardSpec shard;       // --shard i/N; default 0/1 (everything)
 
   core::CampaignResult RunCampaignNow() const {
     if (report_path.empty()) {
@@ -119,9 +134,18 @@ Session MakeSession(const util::CliArgs& args) {
   std::string circuit_name = args.Has("deck") ? args.GetString("deck", "")
                                               : args.GetString("circuit",
                                                                "biquad");
-  return Session{std::move(circuit),      std::move(fault_list),
-                 std::move(configs),      std::move(options),
-                 std::move(circuit_name), args.GetString("report", "")};
+  core::ShardSpec shard;  // 0 of 1
+  if (args.Has("shard")) {
+    shard = core::ParseShardSpec(args.GetString("shard", ""));
+  }
+  return Session{std::move(circuit),
+                 std::move(fault_list),
+                 std::move(configs),
+                 std::move(options),
+                 std::move(circuit_name),
+                 args.GetString("report", ""),
+                 args.GetString("checkpoint", ""),
+                 shard};
 }
 
 int CmdList() {
@@ -160,13 +184,13 @@ int CmdBode(const util::CliArgs& args) {
   return 0;
 }
 
-int CmdAnalyze(const util::CliArgs& args) {
-  Session session = MakeSession(args);
-  auto campaign = session.RunCampaignNow();
+/// The analyze output body, shared between `analyze` (monolithic or
+/// single-shard checkpointed runs) and `merge` so CI can diff the two.
+void PrintCampaignAnalysis(const core::CampaignResult& campaign) {
   std::printf("%s\n", core::RenderDetectabilityMatrix(campaign).c_str());
   std::printf("%s\n", core::RenderOmegaTable(campaign).c_str());
   const std::size_t c0 = campaign.RowOf(
-      core::ConfigVector(session.circuit.ConfigurableOpamps().size()));
+      core::ConfigVector(campaign.PerConfig().front().config.BitCount()));
   std::printf("functional configuration: coverage %s%%, <w-det> %s%%\n",
               util::FormatTrimmed(100.0 * campaign.Coverage({c0}), 1).c_str(),
               util::FormatTrimmed(100.0 * campaign.AverageOmegaDet({c0}), 1)
@@ -175,6 +199,104 @@ int CmdAnalyze(const util::CliArgs& args) {
               util::FormatTrimmed(100.0 * campaign.Coverage(), 1).c_str(),
               util::FormatTrimmed(100.0 * campaign.AverageOmegaDet(), 1)
                   .c_str());
+}
+
+int CmdAnalyze(const util::CliArgs& args) {
+  Session session = MakeSession(args);
+  if (args.Has("shard") && session.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "error: --shard requires --checkpoint DIR\n");
+    return 2;
+  }
+
+  if (session.checkpoint_dir.empty()) {
+    PrintCampaignAnalysis(session.RunCampaignNow());
+    return 0;
+  }
+
+  // Checkpointed run: execute this shard's units (resuming from any
+  // existing checkpoint), then — when this one shard is the whole
+  // campaign — merge its file and print the usual analysis.
+  core::ShardRunOptions shard_options;
+  shard_options.shard = session.shard;
+  shard_options.checkpoint_dir = session.checkpoint_dir;
+  const core::ShardRunResult run = core::RunCampaignShard(
+      session.circuit, session.fault_list, session.configs, session.options,
+      shard_options);
+  std::fprintf(stderr,
+               "shard %s: %zu units (%zu resumed, %zu run) -> %s\n",
+               session.shard.Name().c_str(), run.units_total,
+               run.units_resumed, run.units_run, run.shard_path.c_str());
+  if (session.shard.count > 1) {
+    if (!session.report_path.empty()) {
+      std::fprintf(stderr,
+                   "note: --report applies to 'mcdft merge', not to "
+                   "individual shards\n");
+    }
+    std::printf("shard %s complete; merge all %zu shards with: "
+                "mcdft merge --checkpoint %s\n",
+                session.shard.Name().c_str(), session.shard.count,
+                session.checkpoint_dir.c_str());
+    return 0;
+  }
+
+  core::CampaignRunRecorder recorder;
+  core::MergedCampaign merged = core::MergeShards({run.shard_path});
+  if (!session.report_path.empty()) {
+    core::RunReportOptions report_options;
+    report_options.circuit = session.circuit_name;
+    report_options.threads = session.options.threads;
+    core::WriteRunReport(recorder.Finish(merged.campaign, report_options),
+                         session.report_path);
+    std::fprintf(stderr, "run report written to %s\n",
+                 session.report_path.c_str());
+  }
+  PrintCampaignAnalysis(merged.campaign);
+  return 0;
+}
+
+int CmdMerge(const util::CliArgs& args) {
+  const std::string dir = args.GetString("checkpoint", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "usage: mcdft merge --checkpoint DIR "
+                         "[--report FILE]\n");
+    return 2;
+  }
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "error: cannot read checkpoint directory %s: %s\n",
+                 dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (entry.is_regular_file() && name.starts_with("shard-") &&
+        name.ends_with(".json")) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    std::fprintf(stderr, "error: no shard-*.json checkpoints in %s\n",
+                 dir.c_str());
+    return 2;
+  }
+
+  core::CampaignRunRecorder recorder;
+  core::MergedCampaign merged = core::MergeShards(paths);
+  std::fprintf(stderr, "merged %zu shard file(s) from %s (circuit %s)\n",
+               merged.shard_files, dir.c_str(), merged.circuit.c_str());
+  const std::string report_path = args.GetString("report", "");
+  if (!report_path.empty()) {
+    core::RunReportOptions report_options;
+    report_options.tool = "mcdft merge";
+    report_options.circuit = merged.circuit;
+    core::WriteRunReport(recorder.Finish(merged.campaign, report_options),
+                         report_path);
+    std::fprintf(stderr, "run report written to %s\n", report_path.c_str());
+  }
+  PrintCampaignAnalysis(merged.campaign);
   return 0;
 }
 
@@ -242,10 +364,13 @@ int CmdOpampTest(const util::CliArgs& args) {
 
 void PrintUsage() {
   std::printf(
-      "usage: mcdft <list|bode|analyze|optimize|plan|diagnose|opamp-test>\n"
+      "usage: mcdft "
+      "<list|bode|analyze|merge|optimize|plan|diagnose|opamp-test>\n"
       "             [--circuit NAME | --deck FILE] [--eps X] [--tol X]\n"
       "             [--samples N] [--ppd N] [--max-followers K] [--preselect]\n"
       "             [--report FILE]\n"
+      "             [analyze: --shard i/N --checkpoint DIR]\n"
+      "             [merge: --checkpoint DIR]\n"
       "             [plan: --sopt --magnitude-only --exact]\n"
       "             [diagnose: --levels N]\n"
       "Run 'mcdft list' for the bundled circuits.\n");
@@ -264,6 +389,7 @@ int main(int argc, char** argv) {
     if (cmd == "list") return CmdList();
     if (cmd == "bode") return CmdBode(args);
     if (cmd == "analyze") return CmdAnalyze(args);
+    if (cmd == "merge") return CmdMerge(args);
     if (cmd == "optimize") return CmdOptimize(args);
     if (cmd == "plan") return CmdPlan(args);
     if (cmd == "diagnose") return CmdDiagnose(args);
