@@ -24,6 +24,7 @@ struct RunSpec {
   std::string label;
   std::size_t threads;
   bool cache;
+  bool lowrank;  // frequency-major SMW fault solves (needs cache = true)
 };
 
 struct RunResult {
@@ -68,6 +69,7 @@ CircuitReport BenchCircuit(const char* name, std::size_t points_per_decade,
     options.tolerance->samples = samples;
     options.threads = spec.threads;
     options.mna.cache_factorization = spec.cache;
+    options.mna.lowrank_fault_updates = spec.lowrank;
 
     const auto t0 = Clock::now();
     auto campaign = core::RunCampaign(circuit, fault_list, configs, options);
@@ -115,7 +117,8 @@ void WriteJson(const std::vector<CircuitReport>& reports,
       out << "        {\"label\": \"" << r.spec.label
           << "\", \"threads\": " << r.spec.threads
           << ", \"cache_factorization\": "
-          << (r.spec.cache ? "true" : "false") << ", \"wall_s\": " << r.wall_s
+          << (r.spec.cache ? "true" : "false") << ", \"lowrank\": "
+          << (r.spec.lowrank ? "true" : "false") << ", \"wall_s\": " << r.wall_s
           << ", \"solves_per_s\": " << r.solves_per_s
           << ", \"configs_per_s\": " << r.configs_per_s
           << ", \"speedup_vs_baseline\": " << r.speedup << "}"
@@ -136,13 +139,14 @@ int main() {
 
   const std::size_t hw = util::HardwareThreadCount();
   std::vector<RunSpec> specs = {
-      {"serial, no reuse", 1, false},
-      {"serial, reuse", 1, true},
-      {"2 threads, reuse", 2, true},
-      {"8 threads, reuse", 8, true},
+      {"serial, no reuse", 1, false, false},
+      {"serial, reuse, exact", 1, true, false},
+      {"serial, reuse", 1, true, true},
+      {"2 threads, reuse", 2, true, true},
+      {"8 threads, reuse", 8, true, true},
   };
   if (hw != 1 && hw != 2 && hw != 8) {
-    specs.push_back({std::to_string(hw) + " threads, reuse", hw, true});
+    specs.push_back({std::to_string(hw) + " threads, reuse", hw, true, true});
   }
 
   std::vector<CircuitReport> reports;

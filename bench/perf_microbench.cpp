@@ -10,8 +10,12 @@
 #include "boolcov/setcover.hpp"
 #include "circuits/biquad.hpp"
 #include "circuits/cascade.hpp"
+#include "circuits/zoo.hpp"
 #include "core/campaign.hpp"
+#include "faults/injector.hpp"
 #include "faults/simulator.hpp"
+#include "faults/stamp_delta.hpp"
+#include "linalg/lowrank.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/sparse_lu.hpp"
 #include "testability/tolerance.hpp"
@@ -151,6 +155,81 @@ void BM_Cascade6AcPoint(benchmark::State& state) {
   state.SetLabel(state.range(0) == 0 ? "dense" : "sparse");
 }
 BENCHMARK(BM_Cascade6AcPoint)->Arg(0)->Arg(1);
+
+// --- Low-rank fault-solve kernel -------------------------------------
+//
+// The per-(fault, frequency) cell of a frequency-major campaign, isolated:
+// one nominal factorization amortized over all of a circuit's deviation
+// faults, each solved either by an SMW rank update (stamp delta + two
+// triangular solves + k-by-k system) or by the classic numeric
+// refactorization of the faulty matrix.  The pair quantifies the kernel
+// speedup that bench_campaign_throughput observes end to end.
+constexpr const char* kLowRankCircuits[] = {"biquad", "cascade6", "leapfrog"};
+
+void BM_FaultSolveSmwUpdate(benchmark::State& state) {
+  auto block =
+      circuits::FindInZoo(kLowRankCircuits[state.range(0)]).build();
+  auto fault_list = faults::MakeDeviationFaults(block.netlist);
+  spice::MnaSystem sys(block.netlist);
+  const double omega = 2.0 * 3.141592653589793 * 1234.5;
+  linalg::TripletMatrix a;
+  linalg::Vector b;
+  sys.Assemble(spice::AnalysisKind::kAc, omega, a, b);
+  linalg::SparseLu lu{linalg::CsrMatrix(a)};
+  linalg::LowRankUpdateSolver smw;
+  smw.Bind(lu, b);
+
+  struct Target {
+    std::size_t index;
+    spice::Element* element;
+  };
+  std::vector<Target> targets;
+  for (const auto& f : fault_list) {
+    targets.push_back(Target{sys.ElementIndexOf(f.Device()),
+                             &block.netlist.GetElement(f.Device())});
+  }
+  faults::FaultStampDelta::Scratch scratch;
+  linalg::LowRankPerturbation delta;
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < fault_list.size(); ++j) {
+      faults::FaultStampDelta::Compute(sys, *targets[j].element,
+                                       targets[j].index, fault_list[j],
+                                       spice::AnalysisKind::kAc, omega,
+                                       scratch, delta);
+      benchmark::DoNotOptimize(smw.Solve(delta));
+    }
+  }
+  state.SetLabel(kLowRankCircuits[state.range(0)]);
+  state.counters["faults"] = static_cast<double>(fault_list.size());
+}
+BENCHMARK(BM_FaultSolveSmwUpdate)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FaultSolveRefactor(benchmark::State& state) {
+  auto block =
+      circuits::FindInZoo(kLowRankCircuits[state.range(0)]).build();
+  auto fault_list = faults::MakeDeviationFaults(block.netlist);
+  spice::MnaSystem sys(block.netlist);
+  const double omega = 2.0 * 3.141592653589793 * 1234.5;
+  linalg::TripletMatrix a;
+  linalg::Vector b;
+  sys.Assemble(spice::AnalysisKind::kAc, omega, a, b);
+  linalg::CsrAssembly pattern(a);
+  linalg::SparseLu cached{pattern.Matrix()};
+  for (auto _ : state) {
+    for (const auto& f : fault_list) {
+      faults::ScopedFaultInjection injection(block.netlist, f);
+      sys.Assemble(spice::AnalysisKind::kAc, omega, a, b);
+      pattern.Update(a);
+      if (!cached.Refactor(pattern.Matrix())) {
+        cached = linalg::SparseLu{pattern.Matrix()};
+      }
+      benchmark::DoNotOptimize(cached.Solve(b));
+    }
+  }
+  state.SetLabel(kLowRankCircuits[state.range(0)]);
+  state.counters["faults"] = static_cast<double>(fault_list.size());
+}
+BENCHMARK(BM_FaultSolveRefactor)->Arg(0)->Arg(1)->Arg(2);
 
 boolcov::CoverProblem RandomCover(std::size_t vars, std::size_t clauses,
                                   double density, std::uint64_t seed) {

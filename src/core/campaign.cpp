@@ -231,34 +231,51 @@ CampaignResult RunCampaign(const DftCircuit& circuit,
     }
   }
 
-  // Phase 2 (parallel): all (configuration, sweep) tasks on one flat index.
-  // Task c*(F+1) is configuration c's nominal sweep, task c*(F+1)+1+j its
-  // j-th fault.  Each task writes only its own response slot; consecutive
-  // tasks of one configuration share a FaultSimulator (solve-cache reuse),
-  // which cannot change any numbers because every sweep re-derives its
-  // pivot ordering from its own first point.
+  // Phase 2 (parallel): simulate every (configuration, sweep) cell.
+  //
+  // Low-rank path (default): configurations run in order; inside each one
+  // the sweep is frequency-major — the nominal system is factored once per
+  // frequency and all faults apply as SMW rank-updates against it, with the
+  // frequency blocks parallelized inside SimulateRange.  Fault-major path
+  // (--no-lowrank): all (configuration, sweep) tasks on one flat index,
+  // task c*(F+1) being configuration c's nominal sweep and c*(F+1)+1+j its
+  // j-th fault.  Both paths are bit-identical across thread counts: each
+  // cell is a pure function of (configured netlist values, frequency grid).
   const std::size_t tasks_per_config = fault_list.size() + 1;
   const std::size_t task_count = configs.size() * tasks_per_config;
   std::vector<spice::FrequencyResponse> responses(task_count);
   {
     util::trace::Span span("campaign.simulate");
-    util::ParallelForRange(
-        options.threads, task_count, [&](std::size_t begin, std::size_t end) {
-          std::optional<faults::FaultSimulator> simulator;
-          std::size_t simulator_config = configs.size();  // none yet
-          for (std::size_t t = begin; t < end; ++t) {
-            const std::size_t c = t / tasks_per_config;
-            const std::size_t j = t % tasks_per_config;
-            if (c != simulator_config) {
-              simulator.emplace(prepared[c].netlist, frame.sweep, frame.probe,
-                                options.mna);
-              simulator_config = c;
+    if (spice::LowRankFaultSolvesEnabled(options.mna)) {
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        faults::FaultSimulator simulator(prepared[c].netlist, frame.sweep,
+                                         frame.probe, options.mna);
+        std::vector<spice::FrequencyResponse> row = simulator.SimulateRange(
+            fault_list, 0, fault_list.size(), options.threads);
+        std::move(row.begin(), row.end(),
+                  responses.begin() +
+                      static_cast<std::ptrdiff_t>(c * tasks_per_config));
+      }
+    } else {
+      util::ParallelForRange(
+          options.threads, task_count,
+          [&](std::size_t begin, std::size_t end) {
+            std::optional<faults::FaultSimulator> simulator;
+            std::size_t simulator_config = configs.size();  // none yet
+            for (std::size_t t = begin; t < end; ++t) {
+              const std::size_t c = t / tasks_per_config;
+              const std::size_t j = t % tasks_per_config;
+              if (c != simulator_config) {
+                simulator.emplace(prepared[c].netlist, frame.sweep,
+                                  frame.probe, options.mna);
+                simulator_config = c;
+              }
+              responses[t] = j == 0
+                                 ? simulator->SimulateNominal()
+                                 : simulator->SimulateFault(fault_list[j - 1]);
             }
-            responses[t] = j == 0
-                               ? simulator->SimulateNominal()
-                               : simulator->SimulateFault(fault_list[j - 1]);
-          }
-        });
+          });
+    }
   }
 
   // Phase 3 (serial, ordered): assemble rows in configuration order.

@@ -147,6 +147,7 @@ json::Value CampaignRunRecorder::Finish(const CampaignResult& campaign,
 
   json::Value solver = json::Value::Object();
   solver.Set("sparse_lu", CounterGroup(delta, "linalg.sparse_lu"));
+  solver.Set("smw", CounterGroup(delta, "linalg.smw"));
   solver.Set("mna", CounterGroup(delta, "spice.mna"));
   const metrics::HistogramSample fill =
       delta.HistogramOf("linalg.sparse_lu.fill_nnz");

@@ -145,6 +145,12 @@ std::string CampaignContentHash(const DftCircuit& circuit,
   }
   blob += "|backend=" + std::to_string(static_cast<int>(options.mna.backend));
   blob += "|dense=" + std::to_string(options.mna.dense_threshold);
+  // The *effective* low-rank gate, not the raw flag: SMW changes results at
+  // rounding level (~1e-12), so checkpoints from lowrank and fault-major
+  // runs must never merge — while option combinations that resolve to the
+  // same path (e.g. lowrank requested but the cache is off) hash alike.
+  blob += "|lowrank=";
+  blob += spice::LowRankFaultSolvesEnabled(options.mna) ? "1" : "0";
   return Fnv1a64Hex(blob);
 }
 
@@ -269,18 +275,30 @@ ShardRunResult RunCampaignShard(const DftCircuit& circuit,
     std::vector<spice::FrequencyResponse> responses(task_count);
     {
       util::trace::Span span("shard.simulate");
-      util::ParallelForRange(
-          options.threads, task_count,
-          [&](std::size_t begin, std::size_t end) {
-            faults::FaultSimulator simulator(prepared.netlist, frame.sweep,
-                                             frame.probe, options.mna);
-            for (std::size_t t = begin; t < end; ++t) {
-              responses[t] = t == 0
-                                 ? simulator.SimulateNominal()
-                                 : simulator.SimulateFault(
-                                       fault_list[unit.fault_begin + t - 1]);
-            }
-          });
+      if (spice::LowRankFaultSolvesEnabled(options.mna)) {
+        // Frequency-major unit: nominal factored once per frequency, the
+        // unit's faults applied as SMW rank-updates (parallel over
+        // frequency blocks inside SimulateRange).  Each cell stays a pure
+        // function of (configured netlist, frequency), so shard merges
+        // remain byte-identical to the monolithic run.
+        faults::FaultSimulator simulator(prepared.netlist, frame.sweep,
+                                         frame.probe, options.mna);
+        responses = simulator.SimulateRange(fault_list, unit.fault_begin,
+                                            unit.fault_end, options.threads);
+      } else {
+        util::ParallelForRange(
+            options.threads, task_count,
+            [&](std::size_t begin, std::size_t end) {
+              faults::FaultSimulator simulator(prepared.netlist, frame.sweep,
+                                               frame.probe, options.mna);
+              for (std::size_t t = begin; t < end; ++t) {
+                responses[t] = t == 0
+                                   ? simulator.SimulateNominal()
+                                   : simulator.SimulateFault(
+                                         fault_list[unit.fault_begin + t - 1]);
+              }
+            });
+      }
     }
     slots[k] = ShardUnitResult{
         unit, AssembleConfigRow(configs[unit.config], prepared.criteria,

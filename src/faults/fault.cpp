@@ -114,7 +114,10 @@ std::string Fault::Label() const {
 }
 
 void Fault::ApplyTo(spice::Netlist& netlist) const {
-  spice::Element& e = netlist.GetElement(device_);
+  ApplyTo(netlist.GetElement(device_));
+}
+
+void Fault::ApplyTo(spice::Element& e) const {
   if (IsOpampFault()) {
     if (e.Kind() != spice::ElementKind::kOpamp) {
       throw util::NetlistError("opamp fault targets non-opamp '" + device_ +

@@ -72,6 +72,11 @@ class Fault {
   /// NetlistError when the device is missing or has no principal value.
   void ApplyTo(spice::Netlist& netlist) const;
 
+  /// Apply directly to the (already resolved) target element — the hot-path
+  /// variant for loops that inject one fault at every sweep point.  The
+  /// element must be this fault's device.
+  void ApplyTo(spice::Element& element) const;
+
   bool operator==(const Fault& other) const = default;
 
  private:

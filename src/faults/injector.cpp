@@ -19,24 +19,26 @@ spice::Netlist InjectFaults(const spice::Netlist& golden,
 
 ScopedFaultInjection::ScopedFaultInjection(spice::Netlist& netlist,
                                            const Fault& fault)
-    : netlist_(netlist), device_(fault.Device()) {
-  spice::Element& e = netlist_.GetElement(device_);
+    : ScopedFaultInjection(netlist.GetElement(fault.Device()), fault) {}
+
+ScopedFaultInjection::ScopedFaultInjection(spice::Element& element,
+                                           const Fault& fault)
+    : element_(&element) {
   if (fault.IsOpampFault()) {
-    original_model_ = static_cast<const spice::Opamp&>(e).Model();
+    original_model_ = static_cast<const spice::Opamp&>(element).Model();
   } else {
-    original_value_ = e.Value();
+    original_value_ = element.Value();
   }
-  fault.ApplyTo(netlist_);
+  fault.ApplyTo(element);
   active_ = true;
 }
 
 void ScopedFaultInjection::Revert() {
   if (!active_) return;
-  spice::Element& e = netlist_.GetElement(device_);
   if (original_model_) {
-    static_cast<spice::Opamp&>(e).SetModel(*original_model_);
+    static_cast<spice::Opamp&>(*element_).SetModel(*original_model_);
   } else {
-    e.SetValue(original_value_);
+    element_->SetValue(original_value_);
   }
   active_ = false;
 }

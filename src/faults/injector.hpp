@@ -25,6 +25,11 @@ class ScopedFaultInjection {
   /// Apply `fault` to `netlist` (kept by reference; must outlive this).
   ScopedFaultInjection(spice::Netlist& netlist, const Fault& fault);
 
+  /// Same, with the target element already resolved — the hot-path variant
+  /// for loops that inject one fault at every sweep point (skips the name
+  /// lookup).  `element` must be `fault`'s device and outlive this.
+  ScopedFaultInjection(spice::Element& element, const Fault& fault);
+
   /// Restore the original value (idempotent).
   void Revert();
 
@@ -34,8 +39,7 @@ class ScopedFaultInjection {
   ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
 
  private:
-  spice::Netlist& netlist_;
-  std::string device_;
+  spice::Element* element_;
   double original_value_ = 0.0;
   std::optional<spice::OpampModel> original_model_;  // opamp faults only
   bool active_ = false;

@@ -1,6 +1,13 @@
 #include "faults/simulator.hpp"
 
+#include <numbers>
+#include <optional>
+
+#include "faults/stamp_delta.hpp"
+#include "linalg/lowrank.hpp"
+#include "util/error.hpp"
 #include "util/metrics.hpp"
+#include "util/parallel.hpp"
 #include "util/trace.hpp"
 
 namespace mcdft::faults {
@@ -37,6 +44,179 @@ spice::FrequencyResponse FaultSimulator::SimulateFault(const Fault& fault) const
   spice::FrequencyResponse r = analyzer_.Run(sweep_, probe_);
   r.label = fault.Label();
   return r;
+}
+
+namespace {
+
+/// Per-thread-block state of a frequency-major sweep.  Fault injection
+/// mutates the netlist, so each block owns a private clone (and its own MNA
+/// structures): blocks never share mutable state.
+///
+/// Determinism: every block derives its pivot ordering from the sweep's
+/// *first* frequency (a full Markowitz factorization of the nominal system
+/// at freqs[0]) and reaches any other point by numeric-only refactorization
+/// under that fixed ordering.  The value computed at a frequency is thus a
+/// pure function of (netlist values, frequency) — independent of how points
+/// are split across blocks, threads or shards.  A point whose values reject
+/// the anchored ordering gets its own fresh full factorization (again a
+/// pure function of that point), and the anchor ordering stays in force for
+/// subsequent points.
+class FreqMajorBlock {
+ public:
+  FreqMajorBlock(const spice::Netlist& base, const spice::MnaOptions& options,
+                 double omega0, const std::vector<Fault>& faults,
+                 std::size_t fault_begin, std::size_t fault_end)
+      : local_(base.Clone()), sys_(local_, options) {
+    // Resolve each fault's target once: the per-point loop then skips the
+    // name lookup (hash + case fold) on every (fault, frequency) pair.
+    targets_.reserve(fault_end - fault_begin);
+    for (std::size_t j = fault_begin; j < fault_end; ++j) {
+      const std::string& device = faults[j].Device();
+      targets_.push_back(
+          Target{sys_.ElementIndexOf(device), &local_.GetElement(device)});
+    }
+    sys_.Assemble(spice::AnalysisKind::kAc, omega0, a_, rhs_);
+    pattern_.emplace(a_);
+    ref_lu_.emplace(pattern_->Matrix());
+  }
+
+  /// Factor the nominal system at `omega` (t == 0 reuses the anchor
+  /// factorization as built) and cache x0; returns the nominal solution.
+  const linalg::Vector& BindPoint(std::size_t t, double omega) {
+    if (t != 0) {
+      sys_.Assemble(spice::AnalysisKind::kAc, omega, a_, rhs_);
+      pattern_->Update(a_);
+    }
+    point_lu_.reset();
+    linalg::SparseLu* lu = &*ref_lu_;
+    if (t != 0 && !ref_lu_->Refactor(pattern_->Matrix())) {
+      point_lu_.emplace(pattern_->Matrix());
+      lu = &*point_lu_;
+    }
+    smw_.Bind(*lu, rhs_);
+    return smw_.NominalSolution();
+  }
+
+  /// Solve the bound point with fault `slot` of the block's range injected:
+  /// SMW rank-update when the stamp delta allows it, exact fresh
+  /// factorization otherwise.
+  linalg::Vector SolveFault(const Fault& fault, std::size_t slot,
+                            double omega) {
+    static metrics::Counter& exact_fallback =
+        metrics::GetCounter("faults.sim.exact_fallback");
+    const Target& target = targets_[slot];
+    if (FaultStampDelta::Compute(sys_, *target.element, target.index, fault,
+                                 spice::AnalysisKind::kAc, omega, scratch_,
+                                 delta_)) {
+      std::optional<linalg::Vector> x = smw_.Solve(delta_);
+      if (x) return std::move(*x);
+    }
+    // Exact path: assemble the faulty system and factor it from scratch — a
+    // pure function of (faulty values, omega), preserving the determinism
+    // contract.  Reuses the assembly scratch; the nominal (a_, rhs_) values
+    // are not needed again at this point (x0 lives in the SMW solver) and
+    // the next point reassembles anyway.
+    exact_fallback.Add();
+    ScopedFaultInjection injection(*target.element, fault);
+    sys_.Assemble(spice::AnalysisKind::kAc, omega, a_, rhs_);
+    if (pattern_->Matches(a_)) {
+      pattern_->Update(a_);
+      linalg::SparseLu lu(pattern_->Matrix());
+      return lu.Solve(rhs_);
+    }
+    // A fault that changes the stamp structure (opamp model promotion):
+    // solve outside the cached pattern.
+    return linalg::SolveSparse(linalg::CsrMatrix(a_), rhs_);
+  }
+
+  /// Probe voltage V(plus) - V(minus) from a raw unknown vector.
+  linalg::Complex ProbeValue(const spice::Probe& probe,
+                             const linalg::Vector& x) const {
+    const auto at = [&](spice::NodeId node) {
+      return node == spice::kGround ? linalg::Complex(0.0, 0.0)
+                                    : x[node - 1];
+    };
+    return at(probe.plus) - at(probe.minus);
+  }
+
+ private:
+  /// A fault's pre-resolved injection target.
+  struct Target {
+    std::size_t index;        // MNA element index
+    spice::Element* element;  // element inside local_
+  };
+
+  spice::Netlist local_;
+  spice::MnaSystem sys_;
+  std::vector<Target> targets_;
+  linalg::TripletMatrix a_;
+  linalg::Vector rhs_;
+  std::optional<linalg::CsrAssembly> pattern_;
+  std::optional<linalg::SparseLu> ref_lu_;    // anchor-ordering factorization
+  std::optional<linalg::SparseLu> point_lu_;  // per-point ordering fallback
+  linalg::LowRankUpdateSolver smw_;
+  FaultStampDelta::Scratch scratch_;
+  linalg::LowRankPerturbation delta_;
+};
+
+}  // namespace
+
+std::vector<spice::FrequencyResponse> FaultSimulator::SimulateRange(
+    const std::vector<Fault>& faults, std::size_t fault_begin,
+    std::size_t fault_end, std::size_t threads) const {
+  static metrics::Counter& nominal_sweeps =
+      metrics::GetCounter("faults.sim.nominal_sweeps");
+  static metrics::Counter& fault_sweeps =
+      metrics::GetCounter("faults.sim.fault_sweeps");
+  if (fault_end > faults.size() || fault_begin > fault_end) {
+    throw util::AnalysisError("fault range out of bounds");
+  }
+  const std::size_t count = fault_end - fault_begin;
+
+  if (!spice::LowRankFaultSolvesEnabled(options_)) {
+    // Escape hatch (--no-lowrank / MCDFT_LOWRANK=0 / dense or uncached
+    // solver): classic fault-major sweeps, same slot layout.
+    std::vector<spice::FrequencyResponse> out;
+    out.reserve(1 + count);
+    out.push_back(SimulateNominal());
+    for (std::size_t j = fault_begin; j < fault_end; ++j) {
+      out.push_back(SimulateFault(faults[j]));
+    }
+    return out;
+  }
+
+  nominal_sweeps.Add();
+  fault_sweeps.Add(count);
+  util::trace::Span span("faults.sim.freq_major");
+
+  const std::vector<double>& freqs = sweep_.Frequencies();
+  const std::size_t points = freqs.size();
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+  std::vector<spice::FrequencyResponse> out(1 + count);
+  out[0].label = "nominal";
+  for (std::size_t j = 0; j < count; ++j) {
+    out[1 + j].label = faults[fault_begin + j].Label();
+  }
+  for (auto& r : out) {
+    r.freqs_hz = freqs;
+    r.values.resize(points);
+  }
+
+  util::ParallelForRange(
+      threads, points, [&](std::size_t begin, std::size_t end) {
+        FreqMajorBlock block(work_, options_, kTwoPi * freqs[0], faults,
+                             fault_begin, fault_end);
+        for (std::size_t t = begin; t < end; ++t) {
+          const double omega = kTwoPi * freqs[t];
+          out[0].values[t] = block.ProbeValue(probe_, block.BindPoint(t, omega));
+          for (std::size_t j = 0; j < count; ++j) {
+            out[1 + j].values[t] = block.ProbeValue(
+                probe_, block.SolveFault(faults[fault_begin + j], j, omega));
+          }
+        }
+      });
+  return out;
 }
 
 FaultSimCampaign FaultSimulator::Run(const std::vector<Fault>& faults) const {

@@ -49,6 +49,25 @@ class FaultSimulator {
   /// Nominal + all faulty responses.
   FaultSimCampaign Run(const std::vector<Fault>& faults) const;
 
+  /// Frequency-major fast path over a fault range: returns the nominal
+  /// response followed by the responses of faults [fault_begin, fault_end)
+  /// in order — the exact slot layout of one campaign-unit row.
+  ///
+  /// Per sweep frequency the nominal system is factored once (a numeric
+  /// refactorization under an ordering derived from the sweep's first
+  /// point) and every fault is applied as a Sherman-Morrison-Woodbury
+  /// rank-update against it; faults the SMW path rejects (RHS deltas,
+  /// near-singular updates) are solved exactly from scratch.  The sweep
+  /// parallelizes over frequency blocks; every value is a pure function of
+  /// (netlist values, frequency), so results are bit-identical for any
+  /// `threads` (0 = resolve MCDFT_THREADS) and any fault batching.
+  ///
+  /// When spice::LowRankFaultSolvesEnabled(options) is false this runs the
+  /// classic fault-major sweeps serially instead.
+  std::vector<spice::FrequencyResponse> SimulateRange(
+      const std::vector<Fault>& faults, std::size_t fault_begin,
+      std::size_t fault_end, std::size_t threads) const;
+
   const spice::SweepSpec& Sweep() const { return sweep_; }
   const spice::Probe& GetProbe() const { return probe_; }
 

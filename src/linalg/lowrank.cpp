@@ -1,0 +1,147 @@
+#include "linalg/lowrank.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+
+namespace mcdft::linalg {
+
+namespace metrics = util::metrics;
+
+namespace {
+
+bool Finite(Complex v) {
+  return std::isfinite(v.real()) && std::isfinite(v.imag());
+}
+
+/// w^T v over a sparse w (plain transpose, no conjugation: the perturbation
+/// is Delta = sum u w^T, not a Hermitian form).
+Complex SparseDot(const std::vector<std::pair<std::size_t, Complex>>& w,
+                  const Vector& v) {
+  Complex acc(0.0, 0.0);
+  for (const auto& [idx, val] : w) acc += val * v[idx];
+  return acc;
+}
+
+}  // namespace
+
+void LowRankUpdateSolver::Bind(SparseLu& nominal, const Vector& b) {
+  if (b.size() != nominal.Size()) {
+    throw util::NumericError("low-rank solver: rhs size " +
+                             std::to_string(b.size()) +
+                             " does not match matrix dimension " +
+                             std::to_string(nominal.Size()));
+  }
+  lu_ = &nominal;
+  x0_ = nominal.Solve(b);
+}
+
+std::optional<Vector> LowRankUpdateSolver::Solve(
+    const LowRankPerturbation& delta) {
+  static metrics::Counter& update_count = metrics::GetCounter("linalg.smw.update");
+  static metrics::Counter& fallback_count =
+      metrics::GetCounter("linalg.smw.fallback");
+  static metrics::Counter& kxk_count =
+      metrics::GetCounter("linalg.smw.kxk_solve");
+
+  if (lu_ == nullptr) {
+    throw util::NumericError("low-rank solver: Solve() before Bind()");
+  }
+  const std::size_t k = delta.Rank();
+  if (k == 0) {
+    update_count.Add();
+    return x0_;  // Delta == 0: the perturbed system is the nominal one
+  }
+  if (k > kMaxRank) {
+    fallback_count.Add();
+    return std::nullopt;
+  }
+  const std::size_t n = lu_->Size();
+
+  // Z = A^{-1} U, one triangular solve pair per rank-1 term.
+  if (z_.size() < k) z_.resize(k);
+  dense_u_.Resize(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    dense_u_.SetZero();
+    for (const auto& [idx, val] : delta.terms[j].u) {
+      if (idx >= n) {
+        throw util::NumericError("low-rank solver: u index out of range");
+      }
+      dense_u_[idx] += val;
+    }
+    z_[j] = lu_->Solve(dense_u_);
+  }
+
+  // Capacitance matrix C = I_k + W^T Z and projected rhs g = W^T x0.
+  Complex c[kMaxRank][kMaxRank];
+  Complex g[kMaxRank];
+  double cmax = 1.0;  // the identity contributes unit-scale entries
+  for (std::size_t i = 0; i < k; ++i) {
+    for (const auto& entry : delta.terms[i].w) {
+      if (entry.first >= n) {
+        throw util::NumericError("low-rank solver: w index out of range");
+      }
+    }
+    g[i] = SparseDot(delta.terms[i].w, x0_);
+    for (std::size_t j = 0; j < k; ++j) {
+      c[i][j] = (i == j ? Complex(1.0, 0.0) : Complex(0.0, 0.0)) +
+                SparseDot(delta.terms[i].w, z_[j]);
+      cmax = std::max(cmax, std::abs(c[i][j]));
+    }
+  }
+
+  // k-by-k partial-pivot elimination of C h = g.  The conditioning guard:
+  // a pivot collapsing relative to the matrix scale means A + Delta is
+  // (nearly) singular along the update subspace — SMW would amplify
+  // roundoff unboundedly there, so hand the solve back to the exact path.
+  kxk_count.Add();
+  std::size_t perm[kMaxRank];
+  for (std::size_t i = 0; i < k; ++i) perm[i] = i;
+  const double pivot_floor = kPivotFloor * cmax;
+  for (std::size_t step = 0; step < k; ++step) {
+    std::size_t best = step;
+    double best_mag = std::abs(c[perm[step]][step]);
+    for (std::size_t r = step + 1; r < k; ++r) {
+      const double mag = std::abs(c[perm[r]][step]);
+      if (mag > best_mag) {
+        best = r;
+        best_mag = mag;
+      }
+    }
+    if (!(best_mag > pivot_floor)) {  // also catches NaN pivots
+      fallback_count.Add();
+      return std::nullopt;
+    }
+    std::swap(perm[step], perm[best]);
+    const Complex pivot = c[perm[step]][step];
+    for (std::size_t r = step + 1; r < k; ++r) {
+      const Complex m = c[perm[r]][step] / pivot;
+      if (m == Complex(0.0, 0.0)) continue;
+      for (std::size_t col = step + 1; col < k; ++col) {
+        c[perm[r]][col] -= m * c[perm[step]][col];
+      }
+      g[perm[r]] -= m * g[perm[step]];
+    }
+  }
+  Complex h[kMaxRank];
+  for (std::size_t step = k; step-- > 0;) {
+    Complex acc = g[perm[step]];
+    for (std::size_t col = step + 1; col < k; ++col) {
+      acc -= c[perm[step]][col] * h[col];
+    }
+    h[step] = acc / c[perm[step]][step];
+    if (!Finite(h[step])) {
+      fallback_count.Add();
+      return std::nullopt;
+    }
+  }
+
+  // x = x0 - Z h.
+  Vector x = x0_;
+  for (std::size_t j = 0; j < k; ++j) x.Axpy(-h[j], z_[j]);
+  update_count.Add();
+  return x;
+}
+
+}  // namespace mcdft::linalg

@@ -4,7 +4,9 @@
 #include "util/strings.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <numbers>
+#include <string_view>
 
 namespace mcdft::spice {
 
@@ -122,7 +124,104 @@ class MnaStampContext final : public StampContext {
   std::size_t current_ = 0;
 };
 
+/// StampContext that records one element's weighted contributions as loose
+/// (index, value) lists instead of writing into an assembled system — the
+/// recorder behind MnaSystem::StampElement.  Uses the same unknown
+/// addressing as MnaStampContext (node i -> unknown i-1, ground dropped,
+/// branches via MnaSystem::BranchUnknown).
+class DeltaStampContext final : public StampContext {
+ public:
+  DeltaStampContext(const MnaSystem& sys, std::size_t element_idx,
+                    AnalysisKind kind, Complex s, Complex weight,
+                    std::vector<linalg::Triplet>& entries,
+                    std::vector<std::pair<std::size_t, Complex>>& rhs_entries)
+      : sys_(sys),
+        current_(element_idx),
+        kind_(kind),
+        s_(s),
+        weight_(weight),
+        entries_(entries),
+        rhs_(rhs_entries) {}
+
+  AnalysisKind Kind() const override { return kind_; }
+  Complex S() const override { return s_; }
+
+  void AddAdmittance(NodeId a, NodeId b, Complex y) override {
+    AddNodeNode(a, a, y);
+    AddNodeNode(b, b, y);
+    AddNodeNode(a, b, -y);
+    AddNodeNode(b, a, -y);
+  }
+
+  void AddNodeNode(NodeId row, NodeId col, Complex v) override {
+    if (row == kGround || col == kGround) return;
+    Push(row - 1, col - 1, v);
+  }
+
+  void AddNodeBranch(NodeId row, std::size_t branch, Complex v) override {
+    if (row == kGround) return;
+    Push(row - 1, sys_.BranchUnknown(current_, branch), v);
+  }
+
+  void AddBranchNode(std::size_t branch, NodeId col, Complex v) override {
+    if (col == kGround) return;
+    Push(sys_.BranchUnknown(current_, branch), col - 1, v);
+  }
+
+  void AddBranchBranch(std::size_t row, std::size_t col, Complex v) override {
+    Push(sys_.BranchUnknown(current_, row), sys_.BranchUnknown(current_, col),
+         v);
+  }
+
+  void AddBranchForeignBranchByName(std::size_t row, const std::string& other,
+                                    std::size_t k, Complex v) override {
+    Push(sys_.BranchUnknown(current_, row), ForeignBranch(other, k), v);
+  }
+
+  void AddNodeForeignBranchByName(NodeId row, const std::string& other,
+                                  std::size_t k, Complex v) override {
+    if (row == kGround) return;
+    Push(row - 1, ForeignBranch(other, k), v);
+  }
+
+  void AddNodeRhs(NodeId row, Complex v) override {
+    if (row == kGround) return;
+    rhs_.emplace_back(row - 1, weight_ * v);
+  }
+
+  void AddBranchRhs(std::size_t branch, Complex v) override {
+    rhs_.emplace_back(sys_.BranchUnknown(current_, branch), weight_ * v);
+  }
+
+ private:
+  void Push(std::size_t row, std::size_t col, Complex v) {
+    entries_.push_back(linalg::Triplet{row, col, weight_ * v});
+  }
+
+  std::size_t ForeignBranch(const std::string& name, std::size_t k) const {
+    return sys_.BranchUnknown(sys_.ElementIndexOf(name), k);
+  }
+
+  const MnaSystem& sys_;
+  std::size_t current_;
+  AnalysisKind kind_;
+  Complex s_;
+  Complex weight_;
+  std::vector<linalg::Triplet>& entries_;
+  std::vector<std::pair<std::size_t, Complex>>& rhs_;
+};
+
 }  // namespace
+
+bool LowRankFaultSolvesEnabled(const MnaOptions& options) {
+  static const bool env_enabled = [] {
+    const char* v = std::getenv("MCDFT_LOWRANK");
+    return v == nullptr || std::string_view(v) != "0";
+  }();
+  return env_enabled && options.lowrank_fault_updates &&
+         options.cache_factorization &&
+         options.backend != SolverBackend::kDense;
+}
 
 MnaSystem::MnaSystem(const Netlist& netlist, MnaOptions options)
     : netlist_(netlist), options_(options) {
@@ -150,6 +249,21 @@ void MnaSystem::Assemble(AnalysisKind kind, double omega,
     ctx.SetCurrentElement(i);
     netlist_.Elements()[i]->Stamp(ctx);
   }
+}
+
+void MnaSystem::StampElement(
+    std::size_t element_idx, AnalysisKind kind, double omega, Complex weight,
+    std::vector<linalg::Triplet>& entries,
+    std::vector<std::pair<std::size_t, Complex>>& rhs_entries) const {
+  if (element_idx >= netlist_.ElementCount()) {
+    throw util::AnalysisError("element index " + std::to_string(element_idx) +
+                              " outside MNA system");
+  }
+  const Complex s = kind == AnalysisKind::kDc ? Complex(0.0, 0.0)
+                                              : Complex(0.0, omega);
+  DeltaStampContext ctx(*this, element_idx, kind, s, weight, entries,
+                        rhs_entries);
+  netlist_.Elements()[element_idx]->Stamp(ctx);
 }
 
 MnaSolution MnaSystem::Solve(AnalysisKind kind, double omega) const {

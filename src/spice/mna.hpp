@@ -7,6 +7,7 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "linalg/lu.hpp"
@@ -31,7 +32,21 @@ struct MnaOptions {
   /// and parametric (value-only) faults, doing numeric-only refactorization
   /// per point.  kDense is unaffected (dense LU has no reusable analysis).
   bool cache_factorization = true;
+  /// When true, fault campaigns may solve faulty systems as rank-<=2
+  /// Sherman-Morrison-Woodbury updates against the nominal factorization
+  /// (frequency-major sweeps) instead of refactoring per (fault, omega)
+  /// cell.  Results change only at rounding level (~1e-12 relative);
+  /// `mcdft analyze --no-lowrank` or MCDFT_LOWRANK=0 restore the exact
+  /// fault-major path.  Only effective with cache_factorization and a
+  /// sparse-capable backend — see LowRankFaultSolvesEnabled().
+  bool lowrank_fault_updates = true;
 };
+
+/// Effective gate for the low-rank fault-solve path: the option is set,
+/// the factorization cache (which the nominal refactor chain rides on) is
+/// on, the backend can go sparse, and the MCDFT_LOWRANK environment
+/// variable (read once per process; "0" disables) does not veto it.
+bool LowRankFaultSolvesEnabled(const MnaOptions& options);
 
 /// Solution of one MNA solve: node voltages + branch currents with
 /// convenient accessors.
@@ -81,6 +96,17 @@ class MnaSystem {
   /// frequency `omega` (rad/s; ignored for DC).
   void Assemble(AnalysisKind kind, double omega, linalg::TripletMatrix& a,
                 linalg::Vector& rhs) const;
+
+  /// Stamp a single element at (kind, omega), scaled by `weight`, appending
+  /// its matrix contributions to `entries` and its RHS contributions to
+  /// `rhs_entries` (both in system unknown coordinates, duplicates kept).
+  /// Recording one element with weight -1 at nominal values and +1 with a
+  /// fault injected yields exactly that fault's stamp delta — the input of
+  /// the low-rank fault-solve path.
+  void StampElement(std::size_t element_idx, AnalysisKind kind, double omega,
+                    Complex weight, std::vector<linalg::Triplet>& entries,
+                    std::vector<std::pair<std::size_t, Complex>>& rhs_entries)
+      const;
 
   /// Assemble and solve at angular frequency `omega`.
   MnaSolution Solve(AnalysisKind kind, double omega) const;

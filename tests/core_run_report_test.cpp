@@ -44,6 +44,13 @@ TEST(RunReport, CapturesSolverCountersPhasesAndCoverage) {
   const util::json::Value& mna = report.Get("solver").Get("mna");
   EXPECT_GT(mna.Get("solve").AsDouble(), 0.0);
 
+  // Low-rank fault-solve statistics: with the default options every
+  // (fault, frequency) pair goes through an SMW rank update (and its k-by-k
+  // capacitance solve) against the nominal factorization.
+  const util::json::Value& smw = report.Get("solver").Get("smw");
+  EXPECT_GT(smw.Get("update").AsDouble(), 0.0);
+  EXPECT_GT(smw.Get("kxk_solve").AsDouble(), 0.0);
+
   // Phase breakdown contains the three campaign phases with wall time.
   bool saw_prepare = false, saw_simulate = false, saw_assemble = false;
   for (const auto& row : report.Get("phases").Items()) {

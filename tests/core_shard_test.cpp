@@ -138,9 +138,24 @@ TEST_F(ShardContentHash, StableAcrossCallsAndThreadCounts) {
   threaded.threads = 8;
   EXPECT_EQ(Hash(threaded), base);
 
+  // The factorization cache alone does not change numbers — but it gates
+  // the low-rank fault path (which does, at rounding level), so only the
+  // *effective* solve path is hashed.  With low-rank requested (the
+  // default), turning the cache off switches to the exact fault-major path
+  // and the hash must change with it ...
   CampaignOptions cached = options_;
-  cached.mna.cache_factorization = !cached.mna.cache_factorization;
-  EXPECT_EQ(Hash(cached), base);
+  cached.mna.cache_factorization = false;
+  EXPECT_NE(Hash(cached), base);
+
+  // ... and every option combination resolving to the exact path hashes
+  // alike: lowrank off, or lowrank requested but uncached.
+  CampaignOptions no_lowrank = options_;
+  no_lowrank.mna.lowrank_fault_updates = false;
+  const std::string exact = Hash(no_lowrank);
+  EXPECT_NE(exact, base);
+  EXPECT_EQ(Hash(cached), exact);
+  no_lowrank.mna.cache_factorization = false;
+  EXPECT_EQ(Hash(no_lowrank), exact);
 }
 
 TEST_F(ShardContentHash, SensitiveToEveryNumberBearingInput) {

@@ -4,8 +4,10 @@
 //   bench_gate --baseline BENCH_campaign.json --fresh fresh.json
 //              [--min-ratio X] [--report-only] [--summary FILE]
 //
-// Runs are matched by (circuit, threads, cache_factorization) — labels
-// embed the hardware thread count and are not stable across machines.  A
+// Runs are matched by (circuit, threads, cache_factorization, lowrank) —
+// labels embed the hardware thread count and are not stable across
+// machines.  A report predating the low-rank solve path carries no
+// "lowrank" field; such runs are read as lowrank = false (the exact path).  A
 // run regresses when fresh solves_per_s falls below min-ratio times the
 // baseline value; the default 0.6 tolerates the noise of shared CI boxes
 // while still catching a real 2x slowdown.  Baseline runs with no fresh
@@ -38,7 +40,15 @@ struct RunKey {
   std::string circuit;
   std::size_t threads = 0;
   bool cache = false;
+  bool lowrank = false;
 };
+
+/// The run's "lowrank" flag; false when the field predates the low-rank
+/// solve path.
+bool RunLowRank(const Value& run) {
+  const Value* v = run.Find("lowrank");
+  return v != nullptr && v->AsBool();
+}
 
 struct SummaryRow {
   RunKey key;
@@ -55,7 +65,8 @@ const Value* FindRun(const Value& doc, const RunKey& key) {
     for (const Value& run : circuit.Get("runs").Items()) {
       if (static_cast<std::size_t>(run.Get("threads").AsDouble()) ==
               key.threads &&
-          run.Get("cache_factorization").AsBool() == key.cache) {
+          run.Get("cache_factorization").AsBool() == key.cache &&
+          RunLowRank(run) == key.lowrank) {
         return &run;
       }
     }
@@ -72,22 +83,23 @@ bool WriteSummary(const std::string& path, const std::vector<SummaryRow>& rows,
     return false;
   }
   out << "### Campaign throughput gate (min ratio " << min_ratio << ")\n\n";
-  out << "| status | circuit | threads | cache | baseline solves/s | "
-         "fresh solves/s | ratio |\n";
-  out << "|---|---|---|---|---|---|---|\n";
+  out << "| status | circuit | threads | cache | lowrank | "
+         "baseline solves/s | fresh solves/s | ratio |\n";
+  out << "|---|---|---|---|---|---|---|---|\n";
   char buf[256];
   for (const SummaryRow& r : rows) {
     if (r.missing) {
       std::snprintf(buf, sizeof buf,
-                    "| :grey_question: missing | %s | %zu | %d | %.0f | — | — |\n",
+                    "| :grey_question: missing | %s | %zu | %d | %d | %.0f "
+                    "| — | — |\n",
                     r.key.circuit.c_str(), r.key.threads, r.key.cache ? 1 : 0,
-                    r.base_rate);
+                    r.key.lowrank ? 1 : 0, r.base_rate);
     } else {
       std::snprintf(buf, sizeof buf,
-                    "| %s | %s | %zu | %d | %.0f | %.0f | x%.2f |\n",
+                    "| %s | %s | %zu | %d | %d | %.0f | %.0f | x%.2f |\n",
                     r.ok ? ":white_check_mark: ok" : ":x: FAIL",
                     r.key.circuit.c_str(), r.key.threads, r.key.cache ? 1 : 0,
-                    r.base_rate, r.fresh_rate, r.ratio);
+                    r.key.lowrank ? 1 : 0, r.base_rate, r.fresh_rate, r.ratio);
     }
     out << buf;
   }
@@ -147,14 +159,17 @@ int main(int argc, char** argv) {
       for (const Value& run : circuit.Get("runs").Items()) {
         RunKey key{name,
                    static_cast<std::size_t>(run.Get("threads").AsDouble()),
-                   run.Get("cache_factorization").AsBool()};
+                   run.Get("cache_factorization").AsBool(), RunLowRank(run)};
         const double base_rate = run.Get("solves_per_s").AsDouble();
         const Value* match = FindRun(fresh, key);
         if (match == nullptr) {
           ++missing;
           rows.push_back(SummaryRow{key, base_rate, 0.0, 0.0, false, true});
-          std::printf("  MISSING %-10s threads=%zu cache=%d (no fresh run)\n",
-                      name.c_str(), key.threads, key.cache ? 1 : 0);
+          std::printf(
+              "  MISSING %-10s threads=%zu cache=%d lowrank=%d "
+              "(no fresh run)\n",
+              name.c_str(), key.threads, key.cache ? 1 : 0,
+              key.lowrank ? 1 : 0);
           continue;
         }
         const double fresh_rate = match->Get("solves_per_s").AsDouble();
@@ -164,10 +179,10 @@ int main(int argc, char** argv) {
         if (!ok) ++regressed;
         rows.push_back(SummaryRow{key, base_rate, fresh_rate, ratio, ok, false});
         std::printf(
-            "  %-4s %-10s threads=%zu cache=%d  %10.0f -> %10.0f "
+            "  %-4s %-10s threads=%zu cache=%d lowrank=%d  %10.0f -> %10.0f "
             "solves/s (x%.2f)\n",
             ok ? "ok" : "FAIL", name.c_str(), key.threads, key.cache ? 1 : 0,
-            base_rate, fresh_rate, ratio);
+            key.lowrank ? 1 : 0, base_rate, fresh_rate, ratio);
       }
     }
   } catch (const mcdft::util::Error& e) {

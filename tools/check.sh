@@ -22,9 +22,10 @@ case "${1:-}" in
 esac
 
 # Concurrency-sensitive subset: parallel campaigns, the Monte-Carlo
-# envelope, the pool, solver reuse, and the metrics/trace/run-report layer
-# (striped counters are updated from every pool worker).
-PARALLEL_FILTER='Campaign*:ToleranceEnvelope*:Parallel*:SolverReuse*:Metrics*:Trace*:RunReport*'
+# envelope, the pool, solver reuse, the frequency-major low-rank fault
+# solves, and the metrics/trace/run-report layer (striped counters are
+# updated from every pool worker).
+PARALLEL_FILTER='Campaign*:ToleranceEnvelope*:Parallel*:SolverReuse*:LowRank*:Metrics*:Trace*:RunReport*'
 
 if [[ "$run_tier1" == 1 ]]; then
   echo "=== tier-1: configure + build + ctest ==="

@@ -22,6 +22,9 @@
 //   --ppd N                    sweep points per decade (default 50)
 //   --max-followers K          structural config pre-selection
 //   --preselect                run the sensitivity screen first
+//   --no-lowrank               disable the frequency-major low-rank (SMW)
+//                              fault solves; classic fault-major sweeps
+//                              (MCDFT_LOWRANK=0 does the same globally)
 //   --report FILE              write a JSON run report (timings, solver
 //                              statistics, per-config coverage)
 //
@@ -112,6 +115,7 @@ Session MakeSession(const util::CliArgs& args) {
     options.tolerance->samples =
         static_cast<std::size_t>(args.GetInt("samples", 48));
   }
+  if (args.Has("no-lowrank")) options.mna.lowrank_fault_updates = false;
 
   auto space = circuit.Space();
   const std::size_t default_k = space.OpampCount() > 5 ? 2 : space.OpampCount();
@@ -368,7 +372,7 @@ void PrintUsage() {
       "<list|bode|analyze|merge|optimize|plan|diagnose|opamp-test>\n"
       "             [--circuit NAME | --deck FILE] [--eps X] [--tol X]\n"
       "             [--samples N] [--ppd N] [--max-followers K] [--preselect]\n"
-      "             [--report FILE]\n"
+      "             [--no-lowrank] [--report FILE]\n"
       "             [analyze: --shard i/N --checkpoint DIR]\n"
       "             [merge: --checkpoint DIR]\n"
       "             [plan: --sopt --magnitude-only --exact]\n"
