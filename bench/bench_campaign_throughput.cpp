@@ -12,6 +12,7 @@
 
 #include "circuits/zoo.hpp"
 #include "common.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
 
@@ -33,6 +34,8 @@ struct RunResult {
   double solves_per_s = 0.0;
   double configs_per_s = 0.0;
   double speedup = 1.0;  // vs the serial no-cache baseline of the circuit
+  std::uint64_t retries = 0;      // retry-ladder escalations during the run
+  std::uint64_t quarantined = 0;  // quarantined (fault, omega) cells
 };
 
 struct CircuitReport {
@@ -71,6 +74,11 @@ CircuitReport BenchCircuit(const char* name, std::size_t points_per_decade,
     options.mna.cache_factorization = spec.cache;
     options.mna.lowrank_fault_updates = spec.lowrank;
 
+    const util::metrics::ScopedEnable metrics_on;
+    util::metrics::Counter& retry_counter =
+        util::metrics::GetCounter("faults.sim.retries");
+    const std::uint64_t retries_before = retry_counter.Value();
+
     const auto t0 = Clock::now();
     auto campaign = core::RunCampaign(circuit, fault_list, configs, options);
     const double wall_s =
@@ -91,6 +99,8 @@ CircuitReport BenchCircuit(const char* name, std::size_t points_per_decade,
     r.speedup = report.runs.empty()
                     ? 1.0
                     : report.runs.front().wall_s / wall_s;
+    r.retries = retry_counter.Value() - retries_before;
+    r.quarantined = campaign.QuarantinedCellCount();
     report.runs.push_back(r);
   }
   return report;
@@ -121,7 +131,9 @@ void WriteJson(const std::vector<CircuitReport>& reports,
           << (r.spec.lowrank ? "true" : "false") << ", \"wall_s\": " << r.wall_s
           << ", \"solves_per_s\": " << r.solves_per_s
           << ", \"configs_per_s\": " << r.configs_per_s
-          << ", \"speedup_vs_baseline\": " << r.speedup << "}"
+          << ", \"speedup_vs_baseline\": " << r.speedup
+          << ", \"retries\": " << r.retries
+          << ", \"quarantined_cells\": " << r.quarantined << "}"
           << (i + 1 < rep.runs.size() ? "," : "") << "\n";
     }
     out << "      ]\n";
@@ -155,13 +167,14 @@ int main() {
 
   util::Table t;
   t.SetHeader({"circuit", "run", "wall [s]", "solves/s", "configs/s",
-               "speedup"});
+               "speedup", "retries", "quar"});
   for (const auto& rep : reports) {
     for (const auto& r : rep.runs) {
       t.AddRow({rep.name, r.spec.label, util::FormatTrimmed(r.wall_s, 3),
                 util::FormatTrimmed(r.solves_per_s, 0),
                 util::FormatTrimmed(r.configs_per_s, 1),
-                util::FormatTrimmed(r.speedup, 2) + "x"});
+                util::FormatTrimmed(r.speedup, 2) + "x",
+                std::to_string(r.retries), std::to_string(r.quarantined)});
     }
   }
   std::printf("%s\n", t.Render().c_str());

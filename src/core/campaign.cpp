@@ -17,6 +17,12 @@ double ConfigResult::AverageOmegaDet() const {
   return testability::AverageOmegaDetectability(faults);
 }
 
+std::size_t ConfigResult::QuarantinedCellCount() const {
+  std::size_t n = 0;
+  for (const auto& f : faults) n += f.quarantined_points;
+  return n;
+}
+
 CampaignResult::CampaignResult(std::vector<faults::Fault> fault_list,
                                std::vector<ConfigResult> per_config,
                                testability::ReferenceBand band)
@@ -83,6 +89,12 @@ double CampaignResult::Coverage(const std::vector<std::size_t>& rows) const {
 double CampaignResult::AverageOmegaDet(
     const std::vector<std::size_t>& rows) const {
   return testability::AverageOmegaDetectability(BestCase(rows));
+}
+
+std::size_t CampaignResult::QuarantinedCellCount() const {
+  std::size_t n = 0;
+  for (const auto& cr : per_config_) n += cr.QuarantinedCellCount();
+  return n;
 }
 
 std::size_t CampaignResult::RowOf(const ConfigVector& cv) const {
@@ -175,9 +187,19 @@ ConfigResult AssembleConfigRow(const ConfigVector& cv,
   }
   ConfigResult row{cv, {}, std::move(responses[0]), {}};
   row.faults.reserve(fault_end - fault_begin);
+  std::size_t quarantined_cells = 0;
   for (std::size_t j = fault_begin; j < fault_end; ++j) {
     row.faults.push_back(testability::AnalyzeFault(
         fault_list[j], row.nominal, responses[1 + j - fault_begin], criteria));
+    quarantined_cells += row.faults.back().quarantined_points;
+  }
+  // Cell accounting for run reports and the CLI exit code: a cell is one
+  // (config, fault, omega) verdict; quarantined cells were excluded from
+  // the verdict by the documented counted-undetected convention.
+  metrics::GetCounter("campaign.cells.total")
+      .Add((fault_end - fault_begin) * row.nominal.PointCount());
+  if (quarantined_cells > 0) {
+    metrics::GetCounter("campaign.cells.quarantined").Add(quarantined_cells);
   }
   row.threshold.resize(row.nominal.PointCount());
   for (std::size_t i = 0; i < row.threshold.size(); ++i) {
@@ -270,9 +292,9 @@ CampaignResult RunCampaign(const DftCircuit& circuit,
                                   frame.probe, options.mna);
                 simulator_config = c;
               }
-              responses[t] = j == 0
-                                 ? simulator->SimulateNominal()
-                                 : simulator->SimulateFault(fault_list[j - 1]);
+              responses[t] =
+                  j == 0 ? simulator->SimulateNominalResilient()
+                         : simulator->SimulateFaultResilient(fault_list[j - 1]);
             }
           });
     }

@@ -60,6 +60,11 @@ struct ConfigResult {
 
   /// Average omega-detectability over the fault list in this configuration.
   double AverageOmegaDet() const;
+
+  /// Total quarantined (fault, omega) cells in this configuration row —
+  /// grid points the resilient simulator excluded from the verdicts after
+  /// exhausting the retry ladder (counted undetected by convention).
+  std::size_t QuarantinedCellCount() const;
 };
 
 /// Full campaign result: everything Sections 3-4 need.
@@ -99,6 +104,11 @@ class CampaignResult {
   /// OptimizationError when the configuration was not simulated.  O(1):
   /// the index->row map is built at construction.
   std::size_t RowOf(const ConfigVector& cv) const;
+
+  /// Total quarantined cells over every configuration row (0 on a fully
+  /// healthy campaign).  Non-zero drives the CLI's distinct exit code and
+  /// the run report's quarantine section.
+  std::size_t QuarantinedCellCount() const;
 
  private:
   std::vector<faults::Fault> faults_;

@@ -1,10 +1,17 @@
 #include "core/checkpoint.hpp"
 
 #include <cmath>
+#include <fstream>
+#include <iterator>
+
+#include "util/crc32.hpp"
+#include "util/faultpoint.hpp"
+#include "util/metrics.hpp"
 
 namespace mcdft::core {
 
 namespace json = util::json;
+namespace metrics = util::metrics;
 
 namespace {
 
@@ -113,6 +120,11 @@ json::Value DetectabilityToJson(const testability::FaultDetectability& fd) {
   o.Set("omega_detectability", json::Value::Number(fd.omega_detectability));
   o.Set("peak_deviation", json::Value::Number(fd.peak_deviation));
   o.Set("peak_frequency_hz", json::Value::Number(fd.peak_frequency_hz));
+  if (fd.quarantined_points > 0) {
+    o.Set("quarantined_points",
+          json::Value::Number(
+              static_cast<std::uint64_t>(fd.quarantined_points)));
+  }
   json::Value region = json::Value::Object();
   region.Set("mask", MaskToJson(fd.region.mask));
   region.Set("magnitude_mask", MaskToJson(fd.region.magnitude_mask));
@@ -137,6 +149,9 @@ testability::FaultDetectability DetectabilityFromJson(
   fd.omega_detectability = v.Get("omega_detectability").AsDouble();
   fd.peak_deviation = v.Get("peak_deviation").AsDouble();
   fd.peak_frequency_hz = v.Get("peak_frequency_hz").AsDouble();
+  if (const json::Value* qp = v.Find("quarantined_points")) {
+    fd.quarantined_points = static_cast<std::size_t>(qp->AsDouble());
+  }
   const json::Value& region = v.Get("region");
   fd.region.mask = MaskFromJson(region.Get("mask"), points, "region");
   fd.region.magnitude_mask =
@@ -213,6 +228,186 @@ ShardManifest ManifestFromJson(const json::Value& v) {
   return m;
 }
 
+void ValidateUnitRange(const ShardUnit& unit, const ShardManifest& m) {
+  if (unit.config >= m.config_bits.size() ||
+      unit.fault_begin >= unit.fault_end ||
+      unit.fault_end > m.fault_list.size()) {
+    throw CheckpointError(
+        "unit (config " + std::to_string(unit.config) + ", faults [" +
+        std::to_string(unit.fault_begin) + ", " +
+        std::to_string(unit.fault_end) + ")) is outside the campaign's " +
+        std::to_string(m.config_bits.size()) + "x" +
+        std::to_string(m.fault_list.size()) + " work matrix");
+  }
+}
+
+/// Serialize a unit's result payload (everything but the cell coordinates).
+json::Value UnitPayloadToJson(const ShardUnitResult& u) {
+  json::Value o = json::Value::Object();
+  json::Value nominal = json::Value::Object();
+  nominal.Set("label", json::Value::Str(u.partial.nominal.label));
+  nominal.Set("values", ComplexToJson(u.partial.nominal.values));
+  if (u.partial.nominal.QuarantinedCount() > 0) {
+    nominal.Set("quarantined", MaskToJson(u.partial.nominal.quarantined));
+  }
+  o.Set("nominal", std::move(nominal));
+  o.Set("threshold", NumbersToJson(u.partial.threshold));
+  o.Set("relative_floor", json::Value::Number(u.partial.relative_floor));
+  json::Value fl = json::Value::Array();
+  for (const auto& fd : u.partial.faults) {
+    fl.PushBack(DetectabilityToJson(fd));
+  }
+  o.Set("faults", std::move(fl));
+  return o;
+}
+
+/// Parse a unit's result payload from `holder` into `u.partial`.  For /2
+/// records `holder` is the "payload" member; legacy /1 unit objects keep
+/// the same fields flat next to the coordinates, so the object itself is
+/// passed.
+void UnitPayloadFromJson(const json::Value& holder, ShardUnitResult& u,
+                         const ShardManifest& m,
+                         const std::vector<double>& grid) {
+  const json::Value& nominal = holder.Get("nominal");
+  u.partial.nominal.freqs_hz = grid;
+  u.partial.nominal.label = nominal.Get("label").AsString();
+  u.partial.nominal.values =
+      ComplexFromJson(nominal.Get("values"), grid.size(), "nominal response");
+  if (const json::Value* q = nominal.Find("quarantined")) {
+    u.partial.nominal.quarantined =
+        MaskFromJson(*q, grid.size(), "nominal quarantine");
+  }
+  u.partial.threshold =
+      NumbersFromJson<double>(holder.Get("threshold"), grid.size(),
+                              "threshold");
+  u.partial.relative_floor = holder.Get("relative_floor").AsDouble();
+  const json::Value& fl = holder.Get("faults");
+  if (!fl.IsArray() || fl.Size() != u.unit.fault_end - u.unit.fault_begin) {
+    throw CheckpointError("unit fault results do not match its fault range");
+  }
+  u.partial.faults.reserve(fl.Size());
+  for (std::size_t k = 0; k < fl.Size(); ++k) {
+    u.partial.faults.push_back(DetectabilityFromJson(
+        fl.At(k), m.fault_list[u.unit.fault_begin + k], grid.size()));
+  }
+}
+
+ShardUnitResult MakeEmptyUnit(const ShardUnit& unit, const ShardManifest& m) {
+  return ShardUnitResult{
+      unit,
+      ConfigResult{ConfigVector::FromBits(m.config_bits[unit.config]),
+                   {},
+                   {},
+                   {}}};
+}
+
+// The record line carries its own CRC32 so damage is localized to the
+// records it touches: the CRC covers the record object serialized
+// *without* the crc32 member, which is spliced in just before the closing
+// brace.  The reader recovers the covered bytes with a reverse search for
+// the marker — no re-serialization round trip is relied on.
+constexpr std::string_view kCrcMarker = ",\"crc32\":\"";
+
+std::string UnitRecordLine(const ShardUnitResult& u) {
+  json::Value o = json::Value::Object();
+  o.Set("config", json::Value::Number(
+                      static_cast<std::uint64_t>(u.unit.config)));
+  o.Set("fault_begin", json::Value::Number(
+                           static_cast<std::uint64_t>(u.unit.fault_begin)));
+  o.Set("fault_end", json::Value::Number(
+                         static_cast<std::uint64_t>(u.unit.fault_end)));
+  o.Set("payload", UnitPayloadToJson(u));
+  std::string body = o.Serialize(0);
+  const std::string crc = util::Crc32Hex(util::Crc32(body));
+  body.pop_back();  // the closing '}'
+  body.append(kCrcMarker);
+  body += crc;
+  body += "\"}";
+  return body;
+}
+
+ShardUnitResult UnitFromRecordLine(const std::string& line,
+                                   const ShardManifest& m,
+                                   const std::vector<double>& grid) {
+  const std::size_t pos = line.rfind(kCrcMarker);
+  if (pos == std::string::npos) {
+    throw CheckpointError("unit record has no crc32 field");
+  }
+  std::string covered = line.substr(0, pos);
+  covered += '}';
+  const std::string computed = util::Crc32Hex(util::Crc32(covered));
+  json::Value o;
+  try {
+    o = json::Parse(line);
+  } catch (const util::Error& e) {
+    throw CheckpointError(std::string("unit record is not valid JSON: ") +
+                          e.what());
+  }
+  const std::string& stored = o.Get("crc32").AsString();
+  if (stored != computed) {
+    throw CheckpointError("unit record failed its CRC check (stored " +
+                          stored + ", computed " + computed + ")");
+  }
+  ShardUnit unit;
+  unit.config = static_cast<std::size_t>(o.Get("config").AsDouble());
+  unit.fault_begin = static_cast<std::size_t>(o.Get("fault_begin").AsDouble());
+  unit.fault_end = static_cast<std::size_t>(o.Get("fault_end").AsDouble());
+  ValidateUnitRange(unit, m);
+  ShardUnitResult u = MakeEmptyUnit(unit, m);
+  UnitPayloadFromJson(o.Get("payload"), u, m, grid);
+  return u;
+}
+
+/// Legacy "mcdft.shard/1" single-document loader (schema already checked).
+ShardDocument ShardFromJsonV1(const json::Value& json) {
+  ShardDocument doc{ManifestFromJson(json.Get("manifest")), {}};
+  const ShardManifest& m = doc.manifest;
+  const std::vector<double> grid = m.Band().MakeSweep().Frequencies();
+
+  for (const json::Value& o : json.Get("units").Items()) {
+    ShardUnit unit;
+    unit.config = static_cast<std::size_t>(o.Get("config").AsDouble());
+    unit.fault_begin = static_cast<std::size_t>(o.Get("fault_begin").AsDouble());
+    unit.fault_end = static_cast<std::size_t>(o.Get("fault_end").AsDouble());
+    ValidateUnitRange(unit, m);
+    ShardUnitResult u = MakeEmptyUnit(unit, m);
+    UnitPayloadFromJson(o, u, m, grid);
+    doc.units.push_back(std::move(u));
+  }
+  return doc;
+}
+
+[[noreturn]] void ThrowSchemaMismatch(const std::string& found) {
+  throw CheckpointError("schema-version mismatch: file has '" + found +
+                        "', this build reads '" + kShardSchema +
+                        "' (and legacy '" + kShardSchemaV1 + "')");
+}
+
+std::string ReadFileText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError("cannot read shard file '" + path +
+                          "' (truncated or corrupt?): open failed");
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw CheckpointError("cannot read shard file '" + path +
+                          "' (truncated or corrupt?): read failed");
+  }
+  return text;
+}
+
+/// Re-throw a checkpoint diagnostic so it names the offending file
+/// (stripping the inner "checkpoint: " prefix the constructor re-adds).
+[[noreturn]] void RethrowNamingPath(const std::string& path,
+                                    const util::Error& e) {
+  std::string what = e.what();
+  constexpr std::string_view prefix = "checkpoint: ";
+  if (what.rfind(prefix, 0) == 0) what.erase(0, prefix.size());
+  throw CheckpointError("in shard file '" + path + "': " + what);
+}
+
 }  // namespace
 
 testability::ReferenceBand ShardManifest::Band() const {
@@ -228,91 +423,107 @@ bool ShardManifest::SameCampaign(const ShardManifest& other) const {
          probe_label == other.probe_label;
 }
 
-json::Value ShardToJson(const ShardDocument& doc) {
-  json::Value root = json::Value::Object();
-  root.Set("schema", json::Value::Str(kShardSchema));
-  root.Set("manifest", ManifestToJson(doc.manifest));
-  json::Value units = json::Value::Array();
+std::string ShardToText(const ShardDocument& doc) {
+  json::Value head = json::Value::Object();
+  head.Set("schema", json::Value::Str(kShardSchema));
+  head.Set("manifest", ManifestToJson(doc.manifest));
+  std::string text = head.Serialize(0);
+  text += '\n';
   for (const ShardUnitResult& u : doc.units) {
-    json::Value o = json::Value::Object();
-    o.Set("config", json::Value::Number(
-                        static_cast<std::uint64_t>(u.unit.config)));
-    o.Set("fault_begin", json::Value::Number(
-                             static_cast<std::uint64_t>(u.unit.fault_begin)));
-    o.Set("fault_end", json::Value::Number(
-                           static_cast<std::uint64_t>(u.unit.fault_end)));
-    json::Value nominal = json::Value::Object();
-    nominal.Set("label", json::Value::Str(u.partial.nominal.label));
-    nominal.Set("values", ComplexToJson(u.partial.nominal.values));
-    o.Set("nominal", std::move(nominal));
-    o.Set("threshold", NumbersToJson(u.partial.threshold));
-    o.Set("relative_floor", json::Value::Number(u.partial.relative_floor));
-    json::Value fl = json::Value::Array();
-    for (const auto& fd : u.partial.faults) {
-      fl.PushBack(DetectabilityToJson(fd));
-    }
-    o.Set("faults", std::move(fl));
-    units.PushBack(std::move(o));
+    text += UnitRecordLine(u);
+    text += '\n';
   }
-  root.Set("units", std::move(units));
-  return root;
+  return text;
 }
 
-ShardDocument ShardFromJson(const json::Value& json) {
-  const json::Value* schema = json.Find("schema");
+ShardDocument ShardFromText(const std::string& text, ShardSalvage* salvage) {
+  // A legacy /1 checkpoint (or a unit-less /2 header) is one complete JSON
+  // value; a /2 file with units is JSONL and never parses whole.
+  bool whole_ok = false;
+  json::Value whole;
+  try {
+    whole = json::Parse(text);
+    whole_ok = true;
+  } catch (const util::Error&) {
+  }
+  if (whole_ok) {
+    const json::Value* schema = whole.Find("schema");
+    if (schema == nullptr || !schema->IsString()) {
+      throw CheckpointError("missing schema marker (not a shard file?)");
+    }
+    ShardDocument doc;
+    if (schema->AsString() == kShardSchemaV1) {
+      // Legacy documents have no per-unit CRC: they load all-or-nothing on
+      // both the strict and the salvage path.
+      doc = ShardFromJsonV1(whole);
+    } else if (schema->AsString() == kShardSchema) {
+      doc = ShardDocument{ManifestFromJson(whole.Get("manifest")), {}};
+    } else {
+      ThrowSchemaMismatch(schema->AsString());
+    }
+    if (salvage != nullptr) salvage->units_loaded = doc.units.size();
+    return doc;
+  }
+
+  const std::size_t nl = text.find('\n');
+  const std::string head_text =
+      text.substr(0, nl == std::string::npos ? text.size() : nl);
+  json::Value head;
+  try {
+    head = json::Parse(head_text);
+  } catch (const util::Error& e) {
+    throw CheckpointError(
+        std::string("checkpoint header line is unreadable (truncated or "
+                    "corrupt?): ") +
+        e.what());
+  }
+  const json::Value* schema = head.Find("schema");
   if (schema == nullptr || !schema->IsString()) {
     throw CheckpointError("missing schema marker (not a shard file?)");
   }
   if (schema->AsString() != kShardSchema) {
-    throw CheckpointError("schema-version mismatch: file has '" +
-                          schema->AsString() + "', this build reads '" +
-                          kShardSchema + "'");
+    ThrowSchemaMismatch(schema->AsString());
   }
-  ShardDocument doc{ManifestFromJson(json.Get("manifest")), {}};
-  const ShardManifest& m = doc.manifest;
-  const std::vector<double> grid = m.Band().MakeSweep().Frequencies();
+  ShardDocument doc{ManifestFromJson(head.Get("manifest")), {}};
+  const std::vector<double> grid =
+      doc.manifest.Band().MakeSweep().Frequencies();
 
-  for (const json::Value& o : json.Get("units").Items()) {
-    ShardUnit unit;
-    unit.config = static_cast<std::size_t>(o.Get("config").AsDouble());
-    unit.fault_begin = static_cast<std::size_t>(o.Get("fault_begin").AsDouble());
-    unit.fault_end = static_cast<std::size_t>(o.Get("fault_end").AsDouble());
-    if (unit.config >= m.config_bits.size() ||
-        unit.fault_begin >= unit.fault_end ||
-        unit.fault_end > m.fault_list.size()) {
-      throw CheckpointError(
-          "unit (config " + std::to_string(unit.config) + ", faults [" +
-          std::to_string(unit.fault_begin) + ", " +
-          std::to_string(unit.fault_end) + ")) is outside the campaign's " +
-          std::to_string(m.config_bits.size()) + "x" +
-          std::to_string(m.fault_list.size()) + " work matrix");
+  std::size_t line_no = 1;
+  std::size_t start = nl == std::string::npos ? text.size() : nl + 1;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const bool terminated = end != std::string::npos;
+    const std::string line =
+        text.substr(start, (terminated ? end : text.size()) - start);
+    start = terminated ? end + 1 : text.size();
+    ++line_no;
+    if (line.empty()) continue;
+
+    std::string damage;
+    if (!terminated) {
+      // The writer always terminates records, so a missing newline means
+      // the tail of the file is gone.
+      damage = "record is truncated (file ends mid-line)";
+    } else if (util::faultpoint::AnyArmed() &&
+               util::faultpoint::ShouldFail("checkpoint.read.unit")) {
+      damage = "injected read fault (faultpoint checkpoint.read.unit)";
     }
-    ShardUnitResult u{
-        unit,
-        ConfigResult{ConfigVector::FromBits(m.config_bits[unit.config]),
-                     {},
-                     {},
-                     {}}};
-    const json::Value& nominal = o.Get("nominal");
-    u.partial.nominal.freqs_hz = grid;
-    u.partial.nominal.label = nominal.Get("label").AsString();
-    u.partial.nominal.values =
-        ComplexFromJson(nominal.Get("values"), grid.size(), "nominal response");
-    u.partial.threshold =
-        NumbersFromJson<double>(o.Get("threshold"), grid.size(), "threshold");
-    u.partial.relative_floor = o.Get("relative_floor").AsDouble();
-    const json::Value& fl = o.Get("faults");
-    if (!fl.IsArray() ||
-        fl.Size() != u.unit.fault_end - u.unit.fault_begin) {
-      throw CheckpointError("unit fault results do not match its fault range");
+    if (damage.empty()) {
+      try {
+        doc.units.push_back(UnitFromRecordLine(line, doc.manifest, grid));
+        continue;
+      } catch (const util::Error& e) {
+        damage = e.what();
+        constexpr std::string_view prefix = "checkpoint: ";
+        if (damage.rfind(prefix, 0) == 0) damage.erase(0, prefix.size());
+      }
     }
-    u.partial.faults.reserve(fl.Size());
-    for (std::size_t k = 0; k < fl.Size(); ++k) {
-      u.partial.faults.push_back(DetectabilityFromJson(
-          fl.At(k), m.fault_list[u.unit.fault_begin + k], grid.size()));
-    }
-    doc.units.push_back(std::move(u));
+    const std::string diagnostic =
+        "unit record at line " + std::to_string(line_no) + ": " + damage;
+    if (salvage == nullptr) throw CheckpointError(diagnostic);
+    salvage->damaged.push_back(diagnostic);
   }
+  if (salvage != nullptr) salvage->units_loaded = doc.units.size();
   return doc;
 }
 
@@ -321,30 +532,39 @@ std::string ShardFileName(const ShardSpec& spec) {
 }
 
 ShardDocument LoadShardFile(const std::string& path) {
-  json::Value parsed;
+  const std::string text = ReadFileText(path);
   try {
-    parsed = json::ParseFile(path);
-  } catch (const util::Error& e) {
-    throw CheckpointError("cannot read shard file '" + path +
-                          "' (truncated or corrupt?): " + e.what());
-  }
-  try {
-    return ShardFromJson(parsed);
+    return ShardFromText(text);
   } catch (const CheckpointError& e) {
-    // Re-wrap so the diagnostic names the offending file (stripping the
-    // inner "checkpoint: " prefix the constructor re-adds).
-    std::string what = e.what();
-    constexpr std::string_view prefix = "checkpoint: ";
-    if (what.rfind(prefix, 0) == 0) what.erase(0, prefix.size());
-    throw CheckpointError("in shard file '" + path + "': " + what);
+    RethrowNamingPath(path, e);
   } catch (const util::Error& e) {
     throw CheckpointError("malformed shard file '" + path + "': " + e.what());
   }
 }
 
+ShardDocument SalvageShardFile(const std::string& path,
+                               ShardSalvage& salvage) {
+  const std::string text = ReadFileText(path);
+  ShardDocument doc;
+  try {
+    doc = ShardFromText(text, &salvage);
+  } catch (const CheckpointError& e) {
+    RethrowNamingPath(path, e);
+  } catch (const util::Error& e) {
+    throw CheckpointError("malformed shard file '" + path + "': " + e.what());
+  }
+  if (!salvage.damaged.empty()) {
+    metrics::GetCounter("core.checkpoint.damaged_units")
+        .Add(salvage.damaged.size());
+    metrics::GetCounter("core.checkpoint.salvaged_units")
+        .Add(salvage.units_loaded);
+  }
+  return doc;
+}
+
 void WriteShardFile(const ShardDocument& doc, const std::string& path) {
   try {
-    json::WriteFileAtomic(ShardToJson(doc), path);
+    json::WriteTextFileAtomic(ShardToText(doc), path);
   } catch (const util::Error& e) {
     throw CheckpointError("cannot write shard file '" + path +
                           "': " + e.what());

@@ -1,15 +1,25 @@
-// The shard checkpoint file format (schema "mcdft.shard/1").
+// The shard checkpoint file format (schema "mcdft.shard/2").
 //
-// One JSON document per shard: a manifest binding the file to its campaign
-// inputs (content hash, configuration set, fault list, reference band,
-// probe label, shard spec) plus the completed work units, each carrying a
-// partial ConfigResult row at full double precision (the util/json
-// serializer emits round-trip-exact numbers).  The file is rewritten with
+// One JSONL document per shard: the first line is a compact header object
+// binding the file to its campaign inputs (content hash, configuration
+// set, fault list, reference band, probe label, shard spec); every further
+// line is one completed work unit carrying a partial ConfigResult row at
+// full double precision (the util/json serializer emits round-trip-exact
+// numbers) plus a CRC32 over the record body.  The file is rewritten with
 // an atomic rename + fsync after every completed unit, so an interrupted
 // run resumes from the last completed unit and a crash can never leave a
 // half-written checkpoint behind.
 //
-// Documented in DESIGN.md "Sharding & checkpointing".
+// The per-unit CRC makes damage *localizable*: a bit flip or truncation
+// invalidates only the records it touches, and the salvaging loader
+// (SalvageShardFile) recovers every intact unit so resume recomputes only
+// the damaged ones.  The strict loader (LoadShardFile, used by merge)
+// still refuses the whole file.  Legacy "mcdft.shard/1" single-document
+// checkpoints are still read by both loaders (all-or-nothing: /1 has no
+// per-unit CRC to salvage with).
+//
+// Documented in DESIGN.md "Sharding & checkpointing" and "Resilience &
+// failure semantics".
 #pragma once
 
 #include <string>
@@ -30,7 +40,8 @@ class CheckpointError : public util::Error {
       : Error("checkpoint: " + what) {}
 };
 
-inline constexpr const char* kShardSchema = "mcdft.shard/1";
+inline constexpr const char* kShardSchema = "mcdft.shard/2";
+inline constexpr const char* kShardSchemaV1 = "mcdft.shard/1";
 
 /// Everything needed to validate a shard file against its siblings and to
 /// reconstitute the campaign frame on merge.
@@ -56,7 +67,8 @@ struct ShardManifest {
 /// `partial.faults` holds exactly [unit.fault_begin, unit.fault_end) in
 /// fault order; nominal/threshold/relative_floor are the full-row values
 /// (identical across shards splitting one configuration, validated on
-/// merge).
+/// merge).  Quarantine state round-trips: the nominal response's mask and
+/// each fault's quarantined_points (absent in legacy /1 files = none).
 struct ShardUnitResult {
   ShardUnit unit;
   ConfigResult partial;
@@ -68,21 +80,41 @@ struct ShardDocument {
   std::vector<ShardUnitResult> units;
 };
 
-/// Serialize the document (manifest + completed units).
-util::json::Value ShardToJson(const ShardDocument& doc);
+/// Serialize the document to its on-disk JSONL text: a compact header
+/// line, then one compact CRC-carrying record line per unit.
+std::string ShardToText(const ShardDocument& doc);
 
-/// Parse and validate a shard document: schema version, structural
-/// completeness, in-range units.  Throws CheckpointError with a diagnostic
-/// that names what is wrong (the caller adds the file path).
-ShardDocument ShardFromJson(const util::json::Value& json);
+/// What SalvageShardFile recovered and what it had to drop.
+struct ShardSalvage {
+  std::size_t units_loaded = 0;        ///< intact units returned
+  std::vector<std::string> damaged;    ///< one named diagnostic per bad record
+};
+
+/// Parse and validate shard text (either schema).  Throws CheckpointError
+/// with a diagnostic that names what is wrong (the caller adds the file
+/// path).  With `salvage == nullptr` any damaged unit record is fatal;
+/// otherwise damaged /2 records are dropped into `salvage->damaged` and
+/// the intact units are returned (header damage is always fatal — without
+/// a trusted manifest nothing in the file can be attributed).
+ShardDocument ShardFromText(const std::string& text,
+                            ShardSalvage* salvage = nullptr);
 
 /// Checkpoint file name for a shard: "shard-<i>of<N>.json".
 std::string ShardFileName(const ShardSpec& spec);
 
-/// Load a shard checkpoint file.  Wraps parse/validation failures in a
-/// CheckpointError naming the path (a truncated or otherwise malformed
-/// file is reported as such, never silently ignored).
+/// Load a shard checkpoint file strictly (used by merge).  Wraps parse/
+/// validation failures in a CheckpointError naming the path (a truncated
+/// or otherwise malformed file is reported as such, never silently
+/// ignored).
 ShardDocument LoadShardFile(const std::string& path);
+
+/// Load a shard checkpoint file, salvaging what the per-unit CRCs vouch
+/// for (used by resume).  Damaged unit records are dropped with a named
+/// diagnostic in `salvage` and counted in the
+/// `core.checkpoint.salvaged_units` / `core.checkpoint.damaged_units`
+/// metrics; a damaged header still throws CheckpointError.
+ShardDocument SalvageShardFile(const std::string& path,
+                               ShardSalvage& salvage);
 
 /// Write the document to `path` atomically (tmp + fsync + rename).
 void WriteShardFile(const ShardDocument& doc, const std::string& path);

@@ -1,0 +1,64 @@
+// Structured error taxonomy for the resilience layer.
+//
+// Failures that the campaign engine reacts to programmatically (retry
+// ladder, quarantine, checkpoint salvage) are reported as `McdftError`
+// carrying a machine-checkable category plus a free-form context string.
+// The class derives from `util::Error`, so existing `catch (util::Error&)`
+// handlers — including the CLI's top-level one — keep working unchanged.
+//
+// Header-only on purpose: the linalg layer throws these, and a header
+// under `core/` keeps the taxonomy in one place without adding a link
+// dependency from mcdft_linalg up to mcdft_core.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace mcdft::core {
+
+/// What went wrong, as a machine-checkable enum.  The retry ladder and the
+/// checkpoint salvage path branch on these; the names are also the stable
+/// strings used in run reports and diagnostics.
+enum class ErrorCategory {
+  kSingularSystem,         ///< LU factorization hit a (near-)zero pivot
+  kNonFiniteResult,        ///< a solve produced NaN/Inf in an observed value
+  kDeltaExtractionFailed,  ///< fault stamp delta could not be decomposed
+  kCheckpointCorrupt,      ///< checkpoint failed schema/CRC/parse validation
+  kIoFailure,              ///< filesystem-level read/write/rename failure
+  kInjected,               ///< fired by an armed util/faultpoint (tests, CI)
+};
+
+/// Stable name for a category (used in diagnostics and run reports).
+constexpr std::string_view ErrorCategoryName(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::kSingularSystem: return "SingularSystem";
+    case ErrorCategory::kNonFiniteResult: return "NonFiniteResult";
+    case ErrorCategory::kDeltaExtractionFailed: return "DeltaExtractionFailed";
+    case ErrorCategory::kCheckpointCorrupt: return "CheckpointCorrupt";
+    case ErrorCategory::kIoFailure: return "IoFailure";
+    case ErrorCategory::kInjected: return "Injected";
+  }
+  return "Unknown";
+}
+
+/// Categorized failure.  `Context()` names the failing site (matrix step,
+/// file path, faultpoint name, ...) for diagnostics; the category is what
+/// recovery code should branch on.
+class McdftError : public util::Error {
+ public:
+  McdftError(ErrorCategory category, const std::string& context)
+      : util::Error(std::string(ErrorCategoryName(category)) + ": " + context),
+        category_(category),
+        context_(context) {}
+
+  ErrorCategory Category() const noexcept { return category_; }
+  const std::string& Context() const noexcept { return context_; }
+
+ private:
+  ErrorCategory category_;
+  std::string context_;
+};
+
+}  // namespace mcdft::core

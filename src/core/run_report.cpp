@@ -53,6 +53,22 @@ json::Value CampaignSection(const CampaignResult& campaign) {
   section.Set("average_omega_det",
               json::Value::Number(campaign.AverageOmegaDet()));
 
+  // Resilience accounting: (fault, omega) cells the retry ladder had to
+  // quarantine, campaign-wide and per configuration (with the offending
+  // faults named).  A healthy campaign reports quarantined = 0 and no
+  // per-row quarantine lists.
+  std::size_t total_cells = 0;
+  for (const auto& cr : campaign.PerConfig()) {
+    for (const auto& f : cr.faults) total_cells += f.region.mask.size();
+  }
+  json::Value cells = json::Value::Object();
+  cells.Set("total", json::Value::Number(
+                         static_cast<std::uint64_t>(total_cells)));
+  cells.Set("quarantined",
+            json::Value::Number(static_cast<std::uint64_t>(
+                campaign.QuarantinedCellCount())));
+  section.Set("cells", std::move(cells));
+
   json::Value configs = json::Value::Array();
   for (const auto& cr : campaign.PerConfig()) {
     std::size_t detected = 0;
@@ -70,6 +86,25 @@ json::Value CampaignSection(const CampaignResult& campaign) {
                                     : static_cast<double>(detected) /
                                           static_cast<double>(cr.faults.size())));
     row.Set("average_omega_det", json::Value::Number(cr.AverageOmegaDet()));
+    const std::size_t quarantined = cr.QuarantinedCellCount();
+    row.Set("quarantined_cells",
+            json::Value::Number(static_cast<std::uint64_t>(quarantined)));
+    if (quarantined > 0) {
+      json::Value list = json::Value::Array();
+      for (const auto& f : cr.faults) {
+        if (f.quarantined_points == 0) continue;
+        json::Value q = json::Value::Object();
+        q.Set("device", json::Value::Str(f.fault.Device()));
+        q.Set("kind", json::Value::Str(
+                          std::string(faults::FaultKindName(f.fault.Kind()))));
+        q.Set("magnitude", json::Value::Number(f.fault.Magnitude()));
+        q.Set("quarantined_points",
+              json::Value::Number(
+                  static_cast<std::uint64_t>(f.quarantined_points)));
+        list.PushBack(std::move(q));
+      }
+      row.Set("quarantine", std::move(list));
+    }
     configs.PushBack(std::move(row));
   }
   section.Set("per_config", std::move(configs));
@@ -125,7 +160,7 @@ json::Value CampaignRunRecorder::Finish(const CampaignResult& campaign,
   enable_.reset();  // restore the pre-recorder enable state
 
   json::Value report = json::Value::Object();
-  report.Set("schema", json::Value::Str("mcdft.run_report/1"));
+  report.Set("schema", json::Value::Str("mcdft.run_report/2"));
   report.Set("tool", json::Value::Str(options.tool));
   if (!options.circuit.empty()) {
     report.Set("circuit", json::Value::Str(options.circuit));

@@ -214,11 +214,16 @@ ShardRunResult RunCampaignShard(const DftCircuit& circuit,
 
   // Resume: a valid checkpoint for the same inputs restores its completed
   // units; anything suspicious aborts loudly instead of merging bad data.
+  // Damaged unit records are the exception: the per-unit CRCs localize the
+  // damage, so the salvaging loader keeps the intact units and this run
+  // simply recomputes the dropped ones.
   std::vector<std::optional<ShardUnitResult>> slots(units.size());
   if (std::filesystem::exists(path)) {
     util::trace::Span load_span("checkpoint.load");
     metrics::GetCounter("core.checkpoint.loads").Add();
-    ShardDocument existing = LoadShardFile(path);
+    ShardSalvage salvage;
+    ShardDocument existing = SalvageShardFile(path, salvage);
+    result.salvage_diagnostics = std::move(salvage.damaged);
     if (existing.manifest.shard != spec) {
       throw CheckpointError("'" + path + "' belongs to shard " +
                             existing.manifest.shard.Name() +
@@ -253,8 +258,18 @@ ShardRunResult RunCampaignShard(const DftCircuit& circuit,
     for (const auto& slot : slots) {
       if (slot) doc.units.push_back(*slot);
     }
-    WriteShardFile(doc, path);
-    metrics::GetCounter("core.checkpoint.writes").Add();
+    // A failed write is tolerated: the atomic protocol leaves the previous
+    // checkpoint (and no tmp litter) behind, so the only cost is that a
+    // later resume recomputes more units.  Simulation results never abort
+    // over checkpoint I/O.
+    try {
+      WriteShardFile(doc, path);
+      metrics::GetCounter("core.checkpoint.writes").Add();
+    } catch (const util::Error& e) {
+      ++result.checkpoint_write_failures;
+      result.last_write_error = e.what();
+      metrics::GetCounter("core.checkpoint.write_failures").Add();
+    }
   };
   // Persist the manifest immediately: a run killed before its first unit
   // still leaves a resumable (empty) checkpoint behind.
@@ -311,6 +326,9 @@ ShardRunResult RunCampaignShard(const DftCircuit& circuit,
 
   result.complete = std::all_of(slots.begin(), slots.end(),
                                 [](const auto& s) { return s.has_value(); });
+  for (const auto& slot : slots) {
+    if (slot) result.quarantined_cells += slot->partial.QuarantinedCellCount();
+  }
   return result;
 }
 
@@ -406,6 +424,7 @@ MergedCampaign MergeShards(const std::vector<std::string>& shard_paths) {
       const ConfigResult& p = part->partial;
       if (p.nominal.values != row.nominal.values ||
           p.nominal.label != row.nominal.label ||
+          p.nominal.quarantined != row.nominal.quarantined ||
           p.threshold != row.threshold ||
           p.relative_floor != row.relative_floor) {
         throw CheckpointError(

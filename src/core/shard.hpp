@@ -94,13 +94,34 @@ struct ShardRunResult {
   std::size_t units_resumed = 0;   ///< restored from the checkpoint
   std::size_t units_run = 0;       ///< freshly computed this run
   bool complete = false;           ///< all owned units are in the file
+
+  /// Unit records the salvaging loader had to drop from a damaged
+  /// checkpoint (CRC mismatch, truncation, injected read fault); each
+  /// entry names the record and what was wrong with it.  The dropped
+  /// units were recomputed like any other missing unit.
+  std::vector<std::string> salvage_diagnostics;
+
+  /// Checkpoint writes that failed this run (tolerated: the atomic write
+  /// protocol leaves the previous checkpoint intact, so a failure only
+  /// widens what a later resume recomputes).  The last failure's
+  /// diagnostic is kept for reporting.
+  std::size_t checkpoint_write_failures = 0;
+  std::string last_write_error;
+
+  /// Quarantined (fault, omega) cells across this shard's completed units
+  /// (resumed or run) — drives the CLI's degraded-run exit code for
+  /// multi-shard runs where no merged campaign exists yet.
+  std::size_t quarantined_cells = 0;
 };
 
 /// Run one shard of the campaign, checkpointing each completed unit with
 /// an atomic rename + fsync.  An existing checkpoint for the same inputs
-/// resumes after its last completed unit; a checkpoint whose manifest does
-/// not match (schema, content hash, shard spec) makes the run fail with a
-/// CheckpointError rather than silently mixing results.
+/// resumes after its last completed unit, salvaging every CRC-intact unit
+/// of a damaged file (the dropped units are recomputed); a checkpoint
+/// whose manifest does not match (schema, content hash, shard spec) makes
+/// the run fail with a CheckpointError rather than silently mixing
+/// results.  Checkpoint-write failures are tolerated and counted (see
+/// ShardRunResult); the campaign itself never aborts over checkpoint I/O.
 ShardRunResult RunCampaignShard(const DftCircuit& circuit,
                                 const std::vector<faults::Fault>& fault_list,
                                 const std::vector<ConfigVector>& configs,

@@ -1,10 +1,13 @@
 #include "faults/simulator.hpp"
 
+#include <cmath>
 #include <numbers>
 #include <optional>
 
+#include "core/error.hpp"
 #include "faults/stamp_delta.hpp"
 #include "linalg/lowrank.hpp"
+#include "linalg/lu.hpp"
 #include "util/error.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
@@ -13,6 +16,24 @@
 namespace mcdft::faults {
 
 namespace metrics = util::metrics;
+
+namespace {
+
+bool Finite(linalg::Complex v) {
+  return std::isfinite(v.real()) && std::isfinite(v.imag());
+}
+
+metrics::Counter& RetryCounter() {
+  static metrics::Counter& c = metrics::GetCounter("faults.sim.retries");
+  return c;
+}
+
+metrics::Counter& QuarantineCounter() {
+  static metrics::Counter& c = metrics::GetCounter("faults.sim.quarantined");
+  return c;
+}
+
+}  // namespace
 
 FaultSimulator::FaultSimulator(const spice::Netlist& netlist,
                                spice::SweepSpec sweep, spice::Probe probe,
@@ -46,6 +67,83 @@ spice::FrequencyResponse FaultSimulator::SimulateFault(const Fault& fault) const
   return r;
 }
 
+spice::FrequencyResponse FaultSimulator::SimulateResilient(
+    const Fault* fault) const {
+  const std::string label = fault ? fault->Label() : "nominal";
+  if (!options_.retry_ladder) {
+    return fault ? SimulateFault(*fault) : SimulateNominal();
+  }
+
+  // Classic (fault-major) retry ladder, sweep granularity: a sweep that
+  // throws — or contains a non-finite probe value — is retried once on a
+  // fresh dense-backend analyzer (different factorization path, no pivot
+  // ordering reuse).  Points still bad after the retry are quarantined;
+  // a retry that throws quarantines the whole sweep.  Everything here is
+  // serial and a pure function of (netlist values, sweep), so the outcome
+  // is independent of thread/shard partitioning.
+  std::optional<spice::FrequencyResponse> r;
+  try {
+    r = fault ? SimulateFault(*fault) : SimulateNominal();
+  } catch (const util::Error&) {
+    r.reset();
+  }
+
+  const auto has_bad_point = [](const spice::FrequencyResponse& resp) {
+    for (const auto& v : resp.values) {
+      if (!Finite(v)) return true;
+    }
+    return false;
+  };
+
+  if (!r || has_bad_point(*r)) {
+    RetryCounter().Add();
+    try {
+      spice::MnaOptions dense = options_;
+      dense.backend = spice::SolverBackend::kDense;
+      std::optional<ScopedFaultInjection> injection;
+      if (fault) injection.emplace(work_, *fault);
+      spice::AcAnalyzer fresh(work_, dense);
+      spice::FrequencyResponse retried = fresh.Run(sweep_, probe_);
+      retried.label = label;
+      r = std::move(retried);
+    } catch (const util::Error&) {
+      if (!r) {
+        // Both attempts threw: quarantine the entire sweep.
+        spice::FrequencyResponse all_bad;
+        all_bad.freqs_hz = sweep_.Frequencies();
+        all_bad.values.assign(all_bad.freqs_hz.size(),
+                              linalg::Complex(0.0, 0.0));
+        all_bad.label = label;
+        for (std::size_t i = 0; i < all_bad.freqs_hz.size(); ++i) {
+          all_bad.MarkQuarantined(i);
+        }
+        QuarantineCounter().Add(all_bad.freqs_hz.size());
+        return all_bad;
+      }
+      // Keep the first attempt's response; its bad points are quarantined
+      // below.
+    }
+    // Quarantine whatever is still non-finite after the retry.
+    for (std::size_t i = 0; i < r->values.size(); ++i) {
+      if (!Finite(r->values[i])) {
+        r->values[i] = linalg::Complex(0.0, 0.0);
+        r->MarkQuarantined(i);
+        QuarantineCounter().Add();
+      }
+    }
+  }
+  return *r;
+}
+
+spice::FrequencyResponse FaultSimulator::SimulateNominalResilient() const {
+  return SimulateResilient(nullptr);
+}
+
+spice::FrequencyResponse FaultSimulator::SimulateFaultResilient(
+    const Fault& fault) const {
+  return SimulateResilient(&fault);
+}
+
 namespace {
 
 /// Per-thread-block state of a frequency-major sweep.  Fault injection
@@ -60,13 +158,17 @@ namespace {
 /// are split across blocks, threads or shards.  A point whose values reject
 /// the anchored ordering gets its own fresh full factorization (again a
 /// pure function of that point), and the anchor ordering stays in force for
-/// subsequent points.
+/// subsequent points.  The retry ladder keeps the same contract: every
+/// escalation decision depends only on the cell's own inputs (an exception
+/// or a non-finite value from a deterministic solve), never on timing, so
+/// quarantine verdicts are identical at any thread or shard count.
 class FreqMajorBlock {
  public:
   FreqMajorBlock(const spice::Netlist& base, const spice::MnaOptions& options,
                  double omega0, const std::vector<Fault>& faults,
                  std::size_t fault_begin, std::size_t fault_end)
-      : local_(base.Clone()), sys_(local_, options) {
+      : local_(base.Clone()), sys_(local_, options),
+        ladder_(options.retry_ladder) {
     // Resolve each fault's target once: the per-point loop then skips the
     // name lookup (hash + case fold) on every (fault, frequency) pair.
     targets_.reserve(fault_end - fault_begin);
@@ -77,56 +179,199 @@ class FreqMajorBlock {
     }
     sys_.Assemble(spice::AnalysisKind::kAc, omega0, a_, rhs_);
     pattern_.emplace(a_);
-    ref_lu_.emplace(pattern_->Matrix());
+    if (!ladder_) {
+      ref_lu_.emplace(pattern_->Matrix());
+      return;
+    }
+    try {
+      ref_lu_.emplace(pattern_->Matrix());
+    } catch (const util::Error&) {
+      // Anchor factorization failed: leave ref_lu_ empty — every point then
+      // runs its own full factorization through the ladder.  The decision
+      // depends only on (netlist values, freqs[0]), so every block across
+      // every thread/shard partition makes it identically.
+      RetryCounter().Add();
+    }
   }
 
-  /// Factor the nominal system at `omega` (t == 0 reuses the anchor
-  /// factorization as built) and cache x0; returns the nominal solution.
-  const linalg::Vector& BindPoint(std::size_t t, double omega) {
+  /// Solve the nominal system at `omega` (t == 0 reuses the anchor
+  /// assembly) and bind the SMW solver; returns the probe value, or
+  /// nullopt when the whole retry ladder failed (quarantine the point).
+  /// Without the ladder, failures propagate as exceptions (fail-fast).
+  std::optional<linalg::Complex> SolveNominal(std::size_t t, double omega,
+                                              const spice::Probe& probe) {
     if (t != 0) {
       sys_.Assemble(spice::AnalysisKind::kAc, omega, a_, rhs_);
       pattern_->Update(a_);
     }
     point_lu_.reset();
-    linalg::SparseLu* lu = &*ref_lu_;
-    if (t != 0 && !ref_lu_->Refactor(pattern_->Matrix())) {
-      point_lu_.emplace(pattern_->Matrix());
-      lu = &*point_lu_;
+    smw_bound_ = false;
+    dense_nominal_ = false;
+
+    if (!ladder_) {
+      linalg::SparseLu* lu = &*ref_lu_;
+      if (t != 0 && !ref_lu_->Refactor(pattern_->Matrix())) {
+        point_lu_.emplace(pattern_->Matrix());
+        lu = &*point_lu_;
+      }
+      smw_.Bind(*lu, rhs_);
+      smw_bound_ = true;
+      return ProbeValue(probe, smw_.NominalSolution());
     }
-    smw_.Bind(*lu, rhs_);
-    return smw_.NominalSolution();
+
+    // Stage 1: anchored sparse factorization (the normal path).
+    try {
+      linalg::SparseLu* lu = nullptr;
+      if (ref_lu_) {
+        lu = &*ref_lu_;
+        if (t != 0 && !ref_lu_->Refactor(pattern_->Matrix())) lu = nullptr;
+      }
+      if (lu == nullptr) {
+        point_lu_.emplace(pattern_->Matrix());
+        lu = &*point_lu_;
+      }
+      smw_.Bind(*lu, rhs_);
+      const linalg::Complex v = ProbeValue(probe, smw_.NominalSolution());
+      if (Finite(v)) {
+        smw_bound_ = true;
+        return v;
+      }
+    } catch (const util::Error&) {
+    }
+    RetryCounter().Add();
+
+    // Stage 2: jittered pivot ordering — a fresh factorization under pure
+    // partial pivoting (threshold 1.0) instead of the sparsity-favoring
+    // Markowitz ordering.
+    try {
+      point_lu_.emplace(pattern_->Matrix(), linalg::SparseLuOptions{1.0});
+      smw_.Bind(*point_lu_, rhs_);
+      const linalg::Complex v = ProbeValue(probe, smw_.NominalSolution());
+      if (Finite(v)) {
+        smw_bound_ = true;
+        return v;
+      }
+    } catch (const util::Error&) {
+    }
+    RetryCounter().Add();
+
+    // Stage 3: dense fallback.  SMW cannot bind a dense factorization, so
+    // every fault at this point takes the exact ladder directly.
+    try {
+      dense_x0_ = linalg::SolveDense(a_.ToDense(), rhs_);
+      const linalg::Complex v = ProbeValue(probe, dense_x0_);
+      if (Finite(v)) {
+        dense_nominal_ = true;
+        return v;
+      }
+    } catch (const util::Error&) {
+    }
+    return std::nullopt;
   }
 
   /// Solve the bound point with fault `slot` of the block's range injected:
   /// SMW rank-update when the stamp delta allows it, exact fresh
-  /// factorization otherwise.
-  linalg::Vector SolveFault(const Fault& fault, std::size_t slot,
-                            double omega) {
+  /// factorization otherwise, then (ladder only) jittered-pivot and dense
+  /// retries.  Returns the probe value, or nullopt when quarantined.
+  std::optional<linalg::Complex> SolveFaultValue(const Fault& fault,
+                                                 std::size_t slot,
+                                                 double omega,
+                                                 const spice::Probe& probe) {
     static metrics::Counter& exact_fallback =
         metrics::GetCounter("faults.sim.exact_fallback");
     const Target& target = targets_[slot];
-    if (FaultStampDelta::Compute(sys_, *target.element, target.index, fault,
-                                 spice::AnalysisKind::kAc, omega, scratch_,
-                                 delta_)) {
-      std::optional<linalg::Vector> x = smw_.Solve(delta_);
-      if (x) return std::move(*x);
+
+    if (!ladder_) {
+      if (FaultStampDelta::Compute(sys_, *target.element, target.index, fault,
+                                   spice::AnalysisKind::kAc, omega, scratch_,
+                                   delta_)) {
+        std::optional<linalg::Vector> x = smw_.Solve(delta_);
+        if (x) return ProbeValue(probe, *x);
+      }
+      exact_fallback.Add();
+      ScopedFaultInjection injection(*target.element, fault);
+      sys_.Assemble(spice::AnalysisKind::kAc, omega, a_, rhs_);
+      if (pattern_->Matches(a_)) {
+        pattern_->Update(a_);
+        linalg::SparseLu lu(pattern_->Matrix());
+        return ProbeValue(probe, lu.Solve(rhs_));
+      }
+      // A fault that changes the stamp structure (opamp model promotion):
+      // solve outside the cached pattern.
+      return ProbeValue(probe, linalg::SolveSparse(linalg::CsrMatrix(a_), rhs_));
     }
-    // Exact path: assemble the faulty system and factor it from scratch — a
-    // pure function of (faulty values, omega), preserving the determinism
-    // contract.  Reuses the assembly scratch; the nominal (a_, rhs_) values
-    // are not needed again at this point (x0 lives in the SMW solver) and
-    // the next point reassembles anyway.
+
+    // Stage 0: SMW rank-update against the bound nominal factorization.  A
+    // declined update (rank cap, RHS delta, conditioning guard) is the
+    // normal exact fallback, not a retry; a *thrown* failure or non-finite
+    // value counts as one and escalates.
+    if (smw_bound_) {
+      bool smw_failed = false;
+      try {
+        if (FaultStampDelta::Compute(sys_, *target.element, target.index,
+                                     fault, spice::AnalysisKind::kAc, omega,
+                                     scratch_, delta_)) {
+          std::optional<linalg::Vector> x = smw_.Solve(delta_);
+          if (x) {
+            const linalg::Complex v = ProbeValue(probe, *x);
+            if (Finite(v)) return v;
+            smw_failed = true;
+          }
+        }
+      } catch (const util::Error&) {
+        smw_failed = true;
+      }
+      if (smw_failed) RetryCounter().Add();
+    }
+
     exact_fallback.Add();
-    ScopedFaultInjection injection(*target.element, fault);
-    sys_.Assemble(spice::AnalysisKind::kAc, omega, a_, rhs_);
-    if (pattern_->Matches(a_)) {
-      pattern_->Update(a_);
-      linalg::SparseLu lu(pattern_->Matrix());
-      return lu.Solve(rhs_);
+    std::optional<ScopedFaultInjection> injection;
+    try {
+      injection.emplace(*target.element, fault);
+      sys_.Assemble(spice::AnalysisKind::kAc, omega, a_, rhs_);
+    } catch (const util::Error&) {
+      // The faulty value itself is unrepresentable (e.g. scales past the
+      // floating-point range) or the faulty stamp cannot assemble: there
+      // is no alternative factorization to try — quarantine the cell.
+      RetryCounter().Add();
+      return std::nullopt;
     }
-    // A fault that changes the stamp structure (opamp model promotion):
-    // solve outside the cached pattern.
-    return linalg::SolveSparse(linalg::CsrMatrix(a_), rhs_);
+    const bool same_structure = pattern_->Matches(a_);
+    if (same_structure) pattern_->Update(a_);
+
+    // Stage 1: exact sparse factorization, default Markowitz ordering.
+    try {
+      linalg::Vector x =
+          same_structure
+              ? linalg::SparseLu(pattern_->Matrix()).Solve(rhs_)
+              : linalg::SolveSparse(linalg::CsrMatrix(a_), rhs_);
+      const linalg::Complex v = ProbeValue(probe, x);
+      if (Finite(v)) return v;
+    } catch (const util::Error&) {
+    }
+    RetryCounter().Add();
+
+    // Stage 2: jittered pivot ordering (pure partial pivoting).
+    try {
+      const linalg::SparseLuOptions jitter{1.0};
+      linalg::Vector x =
+          same_structure
+              ? linalg::SparseLu(pattern_->Matrix(), jitter).Solve(rhs_)
+              : linalg::SolveSparse(linalg::CsrMatrix(a_), rhs_, jitter);
+      const linalg::Complex v = ProbeValue(probe, x);
+      if (Finite(v)) return v;
+    } catch (const util::Error&) {
+    }
+    RetryCounter().Add();
+
+    // Stage 3: dense factorization of the faulty system.
+    try {
+      linalg::Vector x = linalg::SolveDense(a_.ToDense(), rhs_);
+      const linalg::Complex v = ProbeValue(probe, x);
+      if (Finite(v)) return v;
+    } catch (const util::Error&) {
+    }
+    return std::nullopt;
   }
 
   /// Probe voltage V(plus) - V(minus) from a raw unknown vector.
@@ -157,6 +402,10 @@ class FreqMajorBlock {
   linalg::LowRankUpdateSolver smw_;
   FaultStampDelta::Scratch scratch_;
   linalg::LowRankPerturbation delta_;
+  bool ladder_ = true;
+  bool smw_bound_ = false;     // SMW holds a valid nominal at this point
+  bool dense_nominal_ = false; // nominal recovered densely at this point
+  linalg::Vector dense_x0_;
 };
 
 }  // namespace
@@ -175,12 +424,13 @@ std::vector<spice::FrequencyResponse> FaultSimulator::SimulateRange(
 
   if (!spice::LowRankFaultSolvesEnabled(options_)) {
     // Escape hatch (--no-lowrank / MCDFT_LOWRANK=0 / dense or uncached
-    // solver): classic fault-major sweeps, same slot layout.
+    // solver): classic fault-major sweeps, same slot layout, with the same
+    // quarantine semantics at sweep granularity.
     std::vector<spice::FrequencyResponse> out;
     out.reserve(1 + count);
-    out.push_back(SimulateNominal());
+    out.push_back(SimulateNominalResilient());
     for (std::size_t j = fault_begin; j < fault_end; ++j) {
-      out.push_back(SimulateFault(faults[j]));
+      out.push_back(SimulateFaultResilient(faults[j]));
     }
     return out;
   }
@@ -192,6 +442,7 @@ std::vector<spice::FrequencyResponse> FaultSimulator::SimulateRange(
   const std::vector<double>& freqs = sweep_.Frequencies();
   const std::size_t points = freqs.size();
   constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  const bool ladder = options_.retry_ladder;
 
   std::vector<spice::FrequencyResponse> out(1 + count);
   out[0].label = "nominal";
@@ -203,19 +454,61 @@ std::vector<spice::FrequencyResponse> FaultSimulator::SimulateRange(
     r.values.resize(points);
   }
 
+  // Quarantine scratch masks: one byte per (slot, point).  vector<bool>
+  // bit-packs, so adjacent frequency blocks would race on shared words —
+  // bytes keep the parallel writes disjoint.  Folded into the responses'
+  // masks after the join.
+  std::vector<std::vector<unsigned char>> qmask;
+  if (ladder) {
+    qmask.assign(1 + count, std::vector<unsigned char>(points, 0));
+  }
+
   util::ParallelForRange(
       threads, points, [&](std::size_t begin, std::size_t end) {
         FreqMajorBlock block(work_, options_, kTwoPi * freqs[0], faults,
                              fault_begin, fault_end);
         for (std::size_t t = begin; t < end; ++t) {
           const double omega = kTwoPi * freqs[t];
-          out[0].values[t] = block.ProbeValue(probe_, block.BindPoint(t, omega));
+          const std::optional<linalg::Complex> nominal =
+              block.SolveNominal(t, omega, probe_);
+          if (!nominal) {
+            // Nominal quarantined: every fault cell at this omega is
+            // quarantined with it (there is no reference to compare
+            // against).  Ladder mode only — without it SolveNominal threw.
+            qmask[0][t] = 1;
+            out[0].values[t] = linalg::Complex(0.0, 0.0);
+            for (std::size_t j = 0; j < count; ++j) {
+              qmask[1 + j][t] = 1;
+              out[1 + j].values[t] = linalg::Complex(0.0, 0.0);
+            }
+            continue;
+          }
+          out[0].values[t] = *nominal;
           for (std::size_t j = 0; j < count; ++j) {
-            out[1 + j].values[t] = block.ProbeValue(
-                probe_, block.SolveFault(faults[fault_begin + j], j, omega));
+            const std::optional<linalg::Complex> v = block.SolveFaultValue(
+                faults[fault_begin + j], j, omega, probe_);
+            if (v) {
+              out[1 + j].values[t] = *v;
+            } else {
+              qmask[1 + j][t] = 1;
+              out[1 + j].values[t] = linalg::Complex(0.0, 0.0);
+            }
           }
         }
       });
+
+  if (ladder) {
+    std::size_t quarantined = 0;
+    for (std::size_t s = 0; s < qmask.size(); ++s) {
+      for (std::size_t t = 0; t < points; ++t) {
+        if (qmask[s][t]) {
+          out[s].MarkQuarantined(t);
+          ++quarantined;
+        }
+      }
+    }
+    if (quarantined > 0) QuarantineCounter().Add(quarantined);
+  }
   return out;
 }
 

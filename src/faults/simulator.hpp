@@ -46,6 +46,14 @@ class FaultSimulator {
   /// Response with one fault injected.
   spice::FrequencyResponse SimulateFault(const Fault& fault) const;
 
+  /// Resilient variants used by campaigns: with options.retry_ladder set
+  /// (the default) a failed or non-finite sweep is retried once on a fresh
+  /// dense-backend analyzer and points that stay bad are quarantined in
+  /// the response's mask instead of throwing.  Without the ladder these
+  /// delegate to the fail-fast variants above.
+  spice::FrequencyResponse SimulateNominalResilient() const;
+  spice::FrequencyResponse SimulateFaultResilient(const Fault& fault) const;
+
   /// Nominal + all faulty responses.
   FaultSimCampaign Run(const std::vector<Fault>& faults) const;
 
@@ -72,6 +80,10 @@ class FaultSimulator {
   const spice::Probe& GetProbe() const { return probe_; }
 
  private:
+  /// Shared body of the resilient sweep variants (fault == nullptr runs
+  /// the nominal sweep).
+  spice::FrequencyResponse SimulateResilient(const Fault* fault) const;
+
   // mutable: SimulateFault temporarily perturbs the working netlist and
   // restores it; the object is logically const.
   mutable spice::Netlist work_;

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "core/error.hpp"
 #include "util/error.hpp"
+#include "util/faultpoint.hpp"
 #include "util/metrics.hpp"
 
 namespace mcdft::linalg {
@@ -56,6 +58,27 @@ std::optional<Vector> LowRankUpdateSolver::Solve(
   if (k > kMaxRank) {
     fallback_count.Add();
     return std::nullopt;
+  }
+  // Hashed-mode faultpoint over the perturbation terms: armed runs fail
+  // the same (fault, frequency) cells at any thread or shard count.
+  if (util::faultpoint::AnyArmed()) {
+    std::uint64_t digest = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      for (const auto& [idx, val] : delta.terms[j].u) {
+        digest = util::faultpoint::DigestCombine(digest, idx);
+        digest = util::faultpoint::DigestCombine(
+            digest, util::faultpoint::DigestBytes(&val, sizeof(val)));
+      }
+      for (const auto& [idx, val] : delta.terms[j].w) {
+        digest = util::faultpoint::DigestCombine(digest, idx);
+        digest = util::faultpoint::DigestCombine(
+            digest, util::faultpoint::DigestBytes(&val, sizeof(val)));
+      }
+    }
+    if (util::faultpoint::ShouldFail("smw.solve", digest)) {
+      throw core::McdftError(core::ErrorCategory::kInjected,
+                             "faultpoint smw.solve");
+    }
   }
   const std::size_t n = lu_->Size();
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/error.hpp"
+#include "util/faultpoint.hpp"
 #include "util/metrics.hpp"
 
 namespace mcdft::linalg {
@@ -56,6 +58,17 @@ SparseLu::SparseLu(const CsrMatrix& a, SparseLuOptions options) {
     throw util::NumericError("sparse LU requires a square matrix");
   }
   n_ = a.Rows();
+  // Hashed-mode faultpoint: the decision is a pure function of the matrix
+  // values, so an armed run fails the same factorizations at any thread or
+  // shard count.  The digest is only computed while armed.
+  if (util::faultpoint::AnyArmed() &&
+      util::faultpoint::ShouldFail(
+          "sparse_lu.factor",
+          util::faultpoint::DigestBytes(
+              a.Values().data(), a.Values().size() * sizeof(Complex)))) {
+    throw core::McdftError(core::ErrorCategory::kInjected,
+                           "faultpoint sparse_lu.factor");
+  }
   lower_.assign(n_, {});
   upper_.assign(n_, {});
   row_perm_.resize(n_);
@@ -114,8 +127,10 @@ SparseLu::SparseLu(const CsrMatrix& a, SparseLuOptions options) {
       }
     }
     if (best_row == n_) {
-      throw util::NumericError("singular matrix in sparse LU at step " +
-                               std::to_string(step));
+      throw core::McdftError(
+          core::ErrorCategory::kSingularSystem,
+          "sparse LU found no acceptable pivot at step " +
+              std::to_string(step) + " of " + std::to_string(n_));
     }
 
     row_perm_[step] = best_row;

@@ -22,7 +22,8 @@ struct SparseLuOptions {
 /// symbolic+numeric factorization; Solve() is then cheap and reusable.
 class SparseLu {
  public:
-  /// Factorize.  Throws NumericError on non-square or singular input.
+  /// Factorize.  Throws NumericError on non-square input and
+  /// core::McdftError (category kSingularSystem) on singular input.
   explicit SparseLu(const CsrMatrix& a, SparseLuOptions options = {});
 
   /// Numeric-only refactorization: redo the elimination of `a` (same

@@ -40,6 +40,17 @@ struct MnaOptions {
   /// fault-major path.  Only effective with cache_factorization and a
   /// sparse-capable backend — see LowRankFaultSolvesEnabled().
   bool lowrank_fault_updates = true;
+  /// When true (default), fault campaigns recover from per-cell solve
+  /// failures instead of aborting: an SMW failure retries on the exact
+  /// path, an exact failure or a non-finite probe value retries once with
+  /// a jittered (fully-pivoted) ordering and then a dense factorization,
+  /// and a cell that exhausts the ladder is quarantined (see
+  /// FrequencyResponse::quarantined).  On healthy circuits the ladder
+  /// never engages and results are bit-identical to `retry_ladder = false`,
+  /// which restores strict fail-fast behavior (first solve failure
+  /// throws).  Every ladder decision is a pure function of the cell's
+  /// inputs, preserving thread/shard determinism.
+  bool retry_ladder = true;
 };
 
 /// Effective gate for the low-rank fault-solve path: the option is set,

@@ -17,7 +17,35 @@ struct FrequencyResponse {
   std::vector<std::complex<double>> values;
   std::string label;
 
+  /// Per-point quarantine mask from the resilient fault simulator: true at
+  /// points where every solve attempt (SMW, exact, jittered-pivot, dense)
+  /// failed or returned a non-finite value.  Empty means no point is
+  /// quarantined (the common case: the mask is only allocated on first
+  /// quarantine).  Quarantined points hold the placeholder value (0, 0)
+  /// and are excluded from detectability with the documented convention.
+  std::vector<bool> quarantined;
+
   std::size_t PointCount() const { return freqs_hz.size(); }
+
+  /// True when point i is quarantined.
+  bool QuarantinedAt(std::size_t i) const {
+    return i < quarantined.size() && quarantined[i];
+  }
+
+  /// Number of quarantined points (0 when the mask is empty).
+  std::size_t QuarantinedCount() const {
+    std::size_t n = 0;
+    for (bool q : quarantined) n += q ? 1 : 0;
+    return n;
+  }
+
+  /// Mark point i quarantined, allocating the mask on first use.
+  void MarkQuarantined(std::size_t i) {
+    if (quarantined.size() < freqs_hz.size()) {
+      quarantined.assign(freqs_hz.size(), false);
+    }
+    quarantined[i] = true;
+  }
 
   /// |T| at point i.
   double MagnitudeAt(std::size_t i) const { return std::abs(values[i]); }

@@ -30,6 +30,15 @@ FaultDetectability AnalyzeFault(const faults::Fault& fault,
 
   double measure = 0.0;
   for (std::size_t i = 0; i < dev.size(); ++i) {
+    // Quarantined-point convention (see FaultDetectability): the point is
+    // counted undetected and contributes no deviation.  A non-finite
+    // deviation that slipped past the solve-boundary checks is handled the
+    // same way — the comparison layer never propagates NaN/Inf.
+    if (nominal.QuarantinedAt(i) || faulty.QuarantinedAt(i) ||
+        !std::isfinite(dev[i]) || !std::isfinite(mag_dev[i])) {
+      ++out.quarantined_points;
+      continue;
+    }
     out.region.deviation[i] = static_cast<float>(dev[i]);
     out.region.magnitude_deviation[i] = static_cast<float>(mag_dev[i]);
     if (dev[i] > criteria.ThresholdAt(i)) {

@@ -80,6 +80,14 @@ struct FaultDetectability {
   double peak_deviation = 0.0;
   double peak_frequency_hz = 0.0;
 
+  /// Grid points excluded from the verdict because the resilient simulator
+  /// quarantined them (every solve attempt failed there, in either the
+  /// nominal or the faulty response).  Convention: a quarantined point
+  /// counts as *undetected* at that omega — deviation forced to 0, masks
+  /// false, measure weight forfeited — so quarantine can only lower, never
+  /// raise, detectability and coverage claims stay conservative.
+  std::size_t quarantined_points = 0;
+
   DetectabilityRegion region;
 };
 

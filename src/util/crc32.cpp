@@ -1,0 +1,45 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace mcdft::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t crc, std::string_view data) {
+  crc = ~crc;
+  for (unsigned char byte : data) {
+    crc = kTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32(std::string_view data) { return Crc32Update(0, data); }
+
+std::string Crc32Hex(std::uint32_t crc) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[crc & 0xFu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+}  // namespace mcdft::util

@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/`cksum -o 3` variant) for
+// checkpoint unit integrity.  Table-driven, no dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mcdft::util {
+
+/// CRC-32 of `data` (IEEE polynomial 0xEDB88320, init/final XOR 0xFFFFFFFF).
+std::uint32_t Crc32(std::string_view data);
+
+/// Continue a running CRC: `Crc32Update(Crc32(a), b) == Crc32(a + b)`.
+std::uint32_t Crc32Update(std::uint32_t crc, std::string_view data);
+
+/// Lower-case 8-hex-digit rendering, zero padded ("0042ab9f").
+std::string Crc32Hex(std::uint32_t crc);
+
+}  // namespace mcdft::util

@@ -1,0 +1,220 @@
+#include "util/faultpoint.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/error.hpp"
+#include "util/metrics.hpp"
+
+namespace mcdft::util::faultpoint {
+
+namespace {
+
+struct PointState {
+  bool armed = false;
+  std::uint64_t threshold = 0;  // fire iff mix < threshold; ~0 means always
+  bool always = false;          // rate >= 1: fire unconditionally
+  std::uint64_t seed = 0;
+  std::atomic<std::uint64_t> ordinal{0};
+  std::atomic<std::uint64_t> evaluations{0};
+  std::atomic<std::uint64_t> fired{0};
+};
+
+struct Registry {
+  std::shared_mutex mutex;
+  // std::map: stable node addresses let evaluations hold a PointState*
+  // outside the lock while DisarmAll() only flips `armed`.
+  std::map<std::string, PointState, std::less<>> points;
+};
+
+std::atomic<bool> g_any_armed{false};
+std::once_flag g_env_once;
+
+Registry& TheRegistry() {
+  static Registry* registry = new Registry();  // leaked: safe at exit
+  return *registry;
+}
+
+/// splitmix64 finalizer: the standard 64-bit avalanche mix.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+void RecountArmed() {
+  bool any = false;
+  for (const auto& [name, state] : TheRegistry().points) {
+    if (state.armed) any = true;
+  }
+  g_any_armed.store(any, std::memory_order_relaxed);
+}
+
+void ArmLocked(std::string_view name, double rate, std::uint64_t seed) {
+  PointState& state = TheRegistry().points[std::string(name)];
+  if (rate < 0.0) rate = 0.0;
+  state.always = rate >= 1.0;
+  state.threshold =
+      state.always ? ~0ull
+                   : static_cast<std::uint64_t>(rate * 18446744073709551616.0);
+  state.seed = seed;
+  state.ordinal.store(0, std::memory_order_relaxed);
+  state.evaluations.store(0, std::memory_order_relaxed);
+  state.fired.store(0, std::memory_order_relaxed);
+  state.armed = true;
+}
+
+void ParseEnvOnce() {
+  std::call_once(g_env_once, [] {
+    const char* spec = std::getenv("MCDFT_FAULTPOINTS");
+    if (spec != nullptr && *spec != '\0') ArmFromSpec(spec);
+  });
+}
+
+/// Decide + account for a firing.  `mix` is the per-evaluation hash.
+bool Decide(PointState& state, std::uint64_t mix) {
+  state.evaluations.fetch_add(1, std::memory_order_relaxed);
+  const bool fire = state.always || mix < state.threshold;
+  if (fire) {
+    state.fired.fetch_add(1, std::memory_order_relaxed);
+    metrics::GetCounter("util.faultpoint.fired").Add(1);
+  }
+  return fire;
+}
+
+PointState* FindArmed(std::string_view name) {
+  Registry& registry = TheRegistry();
+  std::shared_lock lock(registry.mutex);
+  auto it = registry.points.find(name);
+  if (it == registry.points.end() || !it->second.armed) return nullptr;
+  return &it->second;
+}
+
+}  // namespace
+
+bool AnyArmed() {
+  ParseEnvOnce();
+  return g_any_armed.load(std::memory_order_relaxed);
+}
+
+void Arm(std::string_view name, double rate, std::uint64_t seed) {
+  ParseEnvOnce();
+  Registry& registry = TheRegistry();
+  std::unique_lock lock(registry.mutex);
+  ArmLocked(name, rate, seed);
+  RecountArmed();
+}
+
+void ArmFromSpec(std::string_view spec) {
+  // `name:rate:seed[,name:rate:seed...]` — whitespace not allowed.
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view triple = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (triple.empty()) continue;
+
+    const std::size_t c1 = triple.find(':');
+    const std::size_t c2 =
+        c1 == std::string_view::npos ? c1 : triple.find(':', c1 + 1);
+    if (c1 == std::string_view::npos || c2 == std::string_view::npos) {
+      throw Error("faultpoint: malformed spec entry '" + std::string(triple) +
+                  "' (want name:rate:seed)");
+    }
+    const std::string name(triple.substr(0, c1));
+    const std::string rate_text(triple.substr(c1 + 1, c2 - c1 - 1));
+    const std::string seed_text(triple.substr(c2 + 1));
+    if (name.empty()) {
+      throw Error("faultpoint: empty point name in spec");
+    }
+    double rate = 0.0;
+    std::uint64_t seed = 0;
+    try {
+      std::size_t used = 0;
+      rate = std::stod(rate_text, &used);
+      if (used != rate_text.size()) throw std::invalid_argument(rate_text);
+      used = 0;
+      seed = std::stoull(seed_text, &used, 0);
+      if (used != seed_text.size()) throw std::invalid_argument(seed_text);
+    } catch (const std::exception&) {
+      throw Error("faultpoint: bad rate/seed in spec entry '" +
+                  std::string(triple) + "'");
+    }
+
+    Registry& registry = TheRegistry();
+    std::unique_lock lock(registry.mutex);
+    ArmLocked(name, rate, seed);
+    RecountArmed();
+  }
+}
+
+void Disarm(std::string_view name) {
+  // Apply any pending MCDFT_FAULTPOINTS spec first so an explicit disarm
+  // always wins over the lazy env arming — otherwise a test that disarms
+  // up front could see the spec re-arm points at its first evaluation.
+  ParseEnvOnce();
+  Registry& registry = TheRegistry();
+  std::unique_lock lock(registry.mutex);
+  auto it = registry.points.find(name);
+  if (it != registry.points.end()) it->second.armed = false;
+  RecountArmed();
+}
+
+void DisarmAll() {
+  ParseEnvOnce();
+  Registry& registry = TheRegistry();
+  std::unique_lock lock(registry.mutex);
+  for (auto& [name, state] : registry.points) state.armed = false;
+  RecountArmed();
+}
+
+bool ShouldFail(std::string_view name) {
+  if (!AnyArmed()) return false;
+  PointState* state = FindArmed(name);
+  if (state == nullptr) return false;
+  const std::uint64_t n =
+      state->ordinal.fetch_add(1, std::memory_order_relaxed);
+  return Decide(*state, Mix(state->seed ^ Mix(n)));
+}
+
+bool ShouldFail(std::string_view name, std::uint64_t digest) {
+  if (!AnyArmed()) return false;
+  PointState* state = FindArmed(name);
+  if (state == nullptr) return false;
+  return Decide(*state, Mix(state->seed ^ Mix(digest)));
+}
+
+Stats StatsOf(std::string_view name) {
+  Registry& registry = TheRegistry();
+  std::shared_lock lock(registry.mutex);
+  auto it = registry.points.find(name);
+  if (it == registry.points.end()) return {};
+  return {it->second.evaluations.load(std::memory_order_relaxed),
+          it->second.fired.load(std::memory_order_relaxed)};
+}
+
+std::uint64_t DigestBytes(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a 64 offset basis
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t DigestCombine(std::uint64_t digest, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    digest ^= value & 0xFFull;
+    digest *= 0x100000001B3ull;
+    value >>= 8;
+  }
+  return digest;
+}
+
+}  // namespace mcdft::util::faultpoint

@@ -10,6 +10,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/faultpoint.hpp"
+
 namespace mcdft::util::json {
 
 Value Value::Bool(bool b) {
@@ -427,33 +429,74 @@ Value ParseFile(const std::string& path) {
   return Parse(buf.str());
 }
 
-void WriteFileAtomic(const Value& value, const std::string& path, int indent) {
+namespace {
+
+/// Owns the tmp file across the write: closes the fd and unlinks the file
+/// on *every* exit path (including the injected ones) unless the rename
+/// succeeded and `Commit()` was called.
+class TmpFileGuard {
+ public:
+  explicit TmpFileGuard(std::string path) : path_(std::move(path)) {}
+  TmpFileGuard(const TmpFileGuard&) = delete;
+  TmpFileGuard& operator=(const TmpFileGuard&) = delete;
+  ~TmpFileGuard() {
+    if (fd_ >= 0) ::close(fd_);
+    if (!committed_) ::unlink(path_.c_str());
+  }
+
+  void SetFd(int fd) { fd_ = fd; }
+  void CloseFd() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  void Commit() { committed_ = true; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  bool committed_ = false;
+};
+
+}  // namespace
+
+void WriteTextFileAtomic(const std::string& text, const std::string& path) {
   const std::string tmp = path + ".tmp";
-  const std::string text = value.Serialize(indent) + "\n";
+  TmpFileGuard guard(tmp);
 
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) throw JsonError("cannot open '" + tmp + "' for writing");
-  std::size_t written = 0;
-  while (written < text.size()) {
-    const ssize_t n = ::write(fd, text.data() + written, text.size() - written);
-    if (n < 0) {
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      throw JsonError("failed writing '" + tmp + "'");
+  guard.SetFd(fd);
+
+  // Injected short write: persist a truncated prefix, skip the fsync and
+  // rename, and fail exactly like a crash mid-write would.
+  std::size_t limit = text.size();
+  if (faultpoint::ShouldFail("checkpoint.write.short")) {
+    limit = text.size() / 2;
+    std::size_t done = 0;
+    while (done < limit) {
+      const ssize_t n = ::write(fd, text.data() + done, limit - done);
+      if (n < 0) break;
+      done += static_cast<std::size_t>(n);
     }
+    throw JsonError("injected short write on '" + tmp + "'");
+  }
+
+  std::size_t written = 0;
+  while (written < limit) {
+    const ssize_t n = ::write(fd, text.data() + written, limit - written);
+    if (n < 0) throw JsonError("failed writing '" + tmp + "'");
     written += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    ::unlink(tmp.c_str());
+  if (faultpoint::ShouldFail("checkpoint.write.fsync") || ::fsync(fd) != 0) {
     throw JsonError("fsync failed on '" + tmp + "'");
   }
-  ::close(fd);
+  guard.CloseFd();
 
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
+  if (faultpoint::ShouldFail("checkpoint.write.rename") ||
+      ::rename(tmp.c_str(), path.c_str()) != 0) {
     throw JsonError("cannot rename '" + tmp + "' to '" + path + "'");
   }
+  guard.Commit();
 
   // Persist the rename itself: fsync the containing directory.
   std::string dir = path;
@@ -464,6 +507,10 @@ void WriteFileAtomic(const Value& value, const std::string& path, int indent) {
     ::fsync(dfd);  // best effort; the data itself is already durable
     ::close(dfd);
   }
+}
+
+void WriteFileAtomic(const Value& value, const std::string& path, int indent) {
+  WriteTextFileAtomic(value.Serialize(indent) + "\n", path);
 }
 
 }  // namespace mcdft::util::json

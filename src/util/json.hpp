@@ -90,4 +90,10 @@ Value ParseFile(const std::string& path);
 void WriteFileAtomic(const Value& value, const std::string& path,
                      int indent = 2);
 
+/// Same atomic protocol for pre-rendered text (multi-line checkpoint
+/// records).  The tmp file is removed on every error path — including the
+/// `checkpoint.write.*` faultpoints wired into the write, fsync and rename
+/// steps — so a failed write never leaves `path.tmp` behind.
+void WriteTextFileAtomic(const std::string& text, const std::string& path);
+
 }  // namespace mcdft::util::json

@@ -34,7 +34,7 @@ TEST(RunReport, CapturesSolverCountersPhasesAndCoverage) {
   options.threads = 2;
   const util::json::Value report = recorder.Finish(campaign, options);
 
-  EXPECT_EQ(report.Get("schema").AsString(), "mcdft.run_report/1");
+  EXPECT_EQ(report.Get("schema").AsString(), "mcdft.run_report/2");
   EXPECT_EQ(report.Get("circuit").AsString(), "biquad");
   EXPECT_GT(report.Get("timing").Get("wall_s").AsDouble(), 0.0);
   EXPECT_EQ(report.Get("threads").Get("resolved").AsDouble(), 2.0);
@@ -80,6 +80,12 @@ TEST(RunReport, CapturesSolverCountersPhasesAndCoverage) {
   EXPECT_DOUBLE_EQ(section.Get("config_count").AsDouble(),
                    static_cast<double>(campaign.ConfigCount()));
   EXPECT_DOUBLE_EQ(section.Get("coverage").AsDouble(), campaign.Coverage());
+
+  // Quarantine accounting: a healthy campaign has cells but zero
+  // quarantined, and no per-row quarantine lists.
+  const util::json::Value& cells = section.Get("cells");
+  EXPECT_GT(cells.Get("total").AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(cells.Get("quarantined").AsDouble(), 0.0);
   const util::json::Value& per_config = section.Get("per_config");
   ASSERT_EQ(per_config.Size(), campaign.ConfigCount());
   for (std::size_t i = 0; i < per_config.Size(); ++i) {
@@ -91,6 +97,8 @@ TEST(RunReport, CapturesSolverCountersPhasesAndCoverage) {
     const double cov = row.Get("fault_coverage").AsDouble();
     EXPECT_GE(cov, 0.0);
     EXPECT_LE(cov, 1.0);
+    EXPECT_DOUBLE_EQ(row.Get("quarantined_cells").AsDouble(), 0.0);
+    EXPECT_EQ(row.Find("quarantine"), nullptr);
   }
 
   EXPECT_GT(report.Get("environment").Get("hardware_threads").AsDouble(), 0.0);
@@ -105,7 +113,7 @@ TEST(RunReport, ReportSerializesAndParsesBack) {
   WriteRunReport(report, path);
   const util::json::Value back = util::json::ParseFile(path);
   std::remove(path.c_str());
-  EXPECT_EQ(back.Get("schema").AsString(), "mcdft.run_report/1");
+  EXPECT_EQ(back.Get("schema").AsString(), "mcdft.run_report/2");
   EXPECT_DOUBLE_EQ(back.Get("campaign").Get("coverage").AsDouble(),
                    campaign.Coverage());
 }

@@ -16,6 +16,7 @@
 #include "core/checkpoint.hpp"
 #include "core/shard.hpp"
 #include "faults/fault_list.hpp"
+#include "util/faultpoint.hpp"
 
 namespace mcdft::core {
 namespace {
@@ -83,11 +84,17 @@ std::string ReadBytes(const std::string& path) {
 class ShardMerge : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Byte-identity claims require undisturbed checkpoint writes: opt out
+    // of any armed-suite MCDFT_FAULTPOINTS spec.
+    util::faultpoint::DisarmAll();
     dir_ = fs::temp_directory_path() /
            ("mcdft_shard_merge_test_" + std::to_string(::getpid()));
     fs::remove_all(dir_);
   }
-  void TearDown() override { fs::remove_all(dir_); }
+  void TearDown() override {
+    util::faultpoint::DisarmAll();
+    fs::remove_all(dir_);
+  }
 
   fs::path dir_;
 };

@@ -4,6 +4,7 @@
 
 #include <random>
 
+#include "core/error.hpp"
 #include "linalg/lu.hpp"
 
 namespace mcdft::linalg {
@@ -46,19 +47,24 @@ TEST(SparseLu, RequiresSquare) {
   EXPECT_THROW(SparseLu{CsrMatrix(t)}, util::NumericError);
 }
 
-TEST(SparseLu, SingularThrows) {
+TEST(SparseLu, SingularThrowsCategorizedError) {
   TripletMatrix t(2, 2);
   t.Add(0, 0, Complex(1, 0));
   t.Add(0, 1, Complex(1, 0));
   t.Add(1, 0, Complex(1, 0));
   t.Add(1, 1, Complex(1, 0));
-  EXPECT_THROW(SparseLu{CsrMatrix(t)}, util::NumericError);
+  try {
+    SparseLu lu{CsrMatrix(t)};
+    FAIL() << "singular factorization did not throw";
+  } catch (const core::McdftError& e) {
+    EXPECT_EQ(e.Category(), core::ErrorCategory::kSingularSystem);
+  }
 }
 
 TEST(SparseLu, StructurallySingularThrows) {
   TripletMatrix t(2, 2);
   t.Add(0, 0, Complex(1, 0));  // row/col 1 empty
-  EXPECT_THROW(SparseLu{CsrMatrix(t)}, util::NumericError);
+  EXPECT_THROW(SparseLu{CsrMatrix(t)}, core::McdftError);
 }
 
 TEST(SparseLu, PermutedIdentity) {

@@ -122,9 +122,39 @@ TEST_F(BenchGate, SummaryFileContainsMarkdownTableAndVerdict) {
   std::string text((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   EXPECT_NE(text.find("| status | circuit | threads |"), std::string::npos);
+  EXPECT_NE(text.find("| retries | quarantined |"), std::string::npos);
   EXPECT_NE(text.find(":x: FAIL | biquad | 1 |"), std::string::npos);
   EXPECT_NE(text.find("x0.10"), std::string::npos);
+  // The fixture's reports predate the resilience counters: absent fields
+  // read as zero rather than failing the parse.
+  EXPECT_NE(text.find("| 0 | 0 |"), std::string::npos);
   EXPECT_NE(text.find("report-only"), std::string::npos);
+}
+
+TEST_F(BenchGate, ResilienceCountersSurfaceInSummary) {
+  const std::string base = WriteReport("base.json", 1000.0);
+  const std::string path = (dir_ / "fresh.json").string();
+  std::ofstream(path) << R"({
+  "bench": "campaign_throughput",
+  "circuits": [
+    {
+      "name": "biquad",
+      "runs": [
+        {"threads": 1, "cache_factorization": true, "solves_per_s": 1000.0,
+         "retries": 3, "quarantined_cells": 7}
+      ]
+    }
+  ]
+})";
+  const std::string summary = (dir_ / "summary.md").string();
+  EXPECT_EQ(Run("--baseline " + base + " --fresh " + path + " --summary " +
+                summary),
+            0);
+  std::ifstream in(summary);
+  ASSERT_TRUE(in);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("| 3 | 7 |"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,131 @@
+// The deterministic fault-injection harness (util/faultpoint): ordinal and
+// hashed firing modes, the MCDFT_FAULTPOINTS spec parser, stat counters,
+// and the determinism contract both modes are built on.
+#include "util/faultpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mcdft::util::faultpoint {
+namespace {
+
+/// Each test runs in its own process (gtest discovery), so mutating the
+/// global registry is safe; still, start and end from a clean slate so an
+/// armed-suite run (MCDFT_FAULTPOINTS set) cannot bleed into assertions.
+class FaultpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { DisarmAll(); }
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FaultpointTest, DisarmedPointsNeverFire) {
+  EXPECT_FALSE(ShouldFail("test.never_armed"));
+  EXPECT_FALSE(ShouldFail("test.never_armed", 0x1234u));
+  const Stats s = StatsOf("test.never_armed");
+  EXPECT_EQ(s.fired, 0u);
+}
+
+TEST_F(FaultpointTest, OrdinalSequenceIsAFunctionOfSeedAndCallOrder) {
+  const auto sequence = [](std::uint64_t seed) {
+    Arm("test.ordinal", 0.5, seed);
+    std::vector<bool> fires;
+    for (int i = 0; i < 256; ++i) fires.push_back(ShouldFail("test.ordinal"));
+    return fires;
+  };
+  const std::vector<bool> first = sequence(123);
+  const std::vector<bool> again = sequence(123);
+  EXPECT_EQ(first, again);  // re-arming resets the ordinal counter
+  EXPECT_NE(first, sequence(124));
+
+  // Rate 0.5 over 256 draws: both outcomes must occur.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST_F(FaultpointTest, RateEndpointsAndClamping) {
+  Arm("test.rate", 0.0, 1);
+  for (int i = 0; i < 64; ++i) EXPECT_FALSE(ShouldFail("test.rate"));
+  Arm("test.rate", 1.0, 1);
+  for (int i = 0; i < 64; ++i) EXPECT_TRUE(ShouldFail("test.rate"));
+  Arm("test.rate", 7.5, 1);  // clamped to 1
+  for (int i = 0; i < 64; ++i) EXPECT_TRUE(ShouldFail("test.rate"));
+  Arm("test.rate", -0.5, 1);  // clamped to 0
+  for (int i = 0; i < 64; ++i) EXPECT_FALSE(ShouldFail("test.rate"));
+}
+
+TEST_F(FaultpointTest, HashedModeIsAPureFunctionOfSeedAndDigest) {
+  Arm("test.hashed", 0.5, 42);
+  std::size_t fired = 0;
+  for (std::uint64_t d = 0; d < 1000; ++d) {
+    const bool first = ShouldFail("test.hashed", d);
+    // No internal state: the same digest always decides the same way, in
+    // any evaluation order — this is what makes solver injection
+    // thread-count invariant.
+    EXPECT_EQ(ShouldFail("test.hashed", d), first);
+    if (first) ++fired;
+  }
+  EXPECT_GT(fired, 300u);  // ~binomial(1000, 0.5)
+  EXPECT_LT(fired, 700u);
+  // Re-arming with the same (rate, seed) reproduces every decision.
+  Arm("test.hashed", 0.5, 42);
+  std::size_t fired_again = 0;
+  for (std::uint64_t d = 0; d < 1000; ++d) {
+    if (ShouldFail("test.hashed", d)) ++fired_again;
+  }
+  EXPECT_EQ(fired, fired_again);
+}
+
+TEST_F(FaultpointTest, StatsCountEvaluationsAndFires) {
+  Arm("test.stats", 1.0, 9);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ShouldFail("test.stats"));
+  Stats s = StatsOf("test.stats");
+  EXPECT_EQ(s.evaluations, 5u);
+  EXPECT_EQ(s.fired, 5u);
+
+  // Disarm keeps the counters for post-hoc assertions but stops firing.
+  Disarm("test.stats");
+  EXPECT_FALSE(ShouldFail("test.stats"));
+  s = StatsOf("test.stats");
+  EXPECT_EQ(s.fired, 5u);
+}
+
+TEST_F(FaultpointTest, SpecParserArmsEveryTriple) {
+  ArmFromSpec("test.spec.a:0:3,test.spec.b:1:4");
+  EXPECT_TRUE(AnyArmed());
+  EXPECT_FALSE(ShouldFail("test.spec.a"));
+  EXPECT_TRUE(ShouldFail("test.spec.b"));
+}
+
+TEST_F(FaultpointTest, SpecParserRejectsMalformedInput) {
+  for (const char* bad :
+       {"noseed:0.5", ":0.5:7", "name::7", "name:0.5:",
+        "name:zero:7", "name:0.5:seed", "name:0.5:7:extra"}) {
+    EXPECT_THROW(ArmFromSpec(bad), util::Error) << "spec '" << bad << "'";
+  }
+}
+
+TEST_F(FaultpointTest, DigestHelpersAreDeterministic) {
+  const unsigned char bytes[] = {1, 2, 3, 4};
+  const std::uint64_t d1 = DigestBytes(bytes, sizeof bytes);
+  EXPECT_EQ(d1, DigestBytes(bytes, sizeof bytes));
+  const unsigned char other[] = {1, 2, 3, 5};
+  EXPECT_NE(d1, DigestBytes(other, sizeof other));
+  EXPECT_NE(DigestCombine(d1, 7), DigestCombine(d1, 8));
+  EXPECT_EQ(DigestCombine(d1, 7), DigestCombine(d1, 7));
+}
+
+TEST_F(FaultpointTest, AnyArmedTracksTheRegistry) {
+  DisarmAll();
+  EXPECT_FALSE(AnyArmed());
+  Arm("test.any", 0.1, 2);
+  EXPECT_TRUE(AnyArmed());
+  DisarmAll();
+  EXPECT_FALSE(AnyArmed());
+}
+
+}  // namespace
+}  // namespace mcdft::util::faultpoint

@@ -1,0 +1,106 @@
+// Atomic file writes (util/json WriteFileAtomic / WriteTextFileAtomic):
+// crash-consistency driven through the checkpoint.write.* faultpoints.
+// Every failure mode — short write, fsync failure, rename failure — must
+// leave the destination at its previous content and remove the tmp file.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/faultpoint.hpp"
+#include "util/json.hpp"
+
+namespace mcdft::util::json {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+class AtomicWrite : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    faultpoint::DisarmAll();
+    dir_ = fs::temp_directory_path() /
+           ("mcdft_atomic_write_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = (dir_ / "doc.json").string();
+    tmp_ = path_ + ".tmp";
+  }
+  void TearDown() override {
+    faultpoint::DisarmAll();
+    fs::remove_all(dir_);
+  }
+
+  fs::path dir_;
+  std::string path_;
+  std::string tmp_;
+};
+
+TEST_F(AtomicWrite, SuccessfulWriteLeavesNoTmpFile) {
+  WriteTextFileAtomic("hello\n", path_);
+  EXPECT_EQ(Slurp(path_), "hello\n");
+  EXPECT_FALSE(fs::exists(tmp_));
+
+  Value v = Value::Object();
+  v.Set("k", Value::Number(static_cast<std::uint64_t>(7)));
+  WriteFileAtomic(v, path_);
+  EXPECT_EQ(ParseFile(path_).Get("k").AsDouble(), 7.0);
+  EXPECT_FALSE(fs::exists(tmp_));
+}
+
+TEST_F(AtomicWrite, EveryInjectedFailureCleansTmpAndKeepsPreviousContent) {
+  WriteTextFileAtomic("previous\n", path_);
+
+  for (const char* point : {"checkpoint.write.short",
+                            "checkpoint.write.fsync",
+                            "checkpoint.write.rename"}) {
+    faultpoint::DisarmAll();
+    faultpoint::Arm(point, 1.0, 1);
+    EXPECT_THROW(WriteTextFileAtomic("replacement\n", path_), util::Error)
+        << point;
+    // The destination still holds the previous document and the failed
+    // attempt left no tmp litter behind.
+    EXPECT_EQ(Slurp(path_), "previous\n") << point;
+    EXPECT_FALSE(fs::exists(tmp_)) << point;
+  }
+
+  // Disarmed again, the same write goes through.
+  faultpoint::DisarmAll();
+  WriteTextFileAtomic("replacement\n", path_);
+  EXPECT_EQ(Slurp(path_), "replacement\n");
+  EXPECT_FALSE(fs::exists(tmp_));
+}
+
+TEST_F(AtomicWrite, PartialRateInjectionEventuallySucceedsAndStaysClean) {
+  // At rate 0.5 some attempts fail and some succeed; after each attempt
+  // the invariant holds: no tmp file, destination either previous or new.
+  faultpoint::Arm("checkpoint.write.short", 0.5, 99);
+  std::string expected;
+  std::size_t failures = 0;
+  for (int i = 0; i < 20; ++i) {
+    const std::string text = "generation " + std::to_string(i) + "\n";
+    try {
+      WriteTextFileAtomic(text, path_);
+      expected = text;
+    } catch (const util::Error&) {
+      ++failures;
+    }
+    EXPECT_FALSE(fs::exists(tmp_));
+    if (!expected.empty()) {
+      EXPECT_EQ(Slurp(path_), expected);
+    }
+  }
+  EXPECT_GT(failures, 0u);
+  EXPECT_FALSE(expected.empty());
+}
+
+}  // namespace
+}  // namespace mcdft::util::json

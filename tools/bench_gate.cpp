@@ -50,6 +50,14 @@ bool RunLowRank(const Value& run) {
   return v != nullptr && v->AsBool();
 }
 
+/// A numeric run field that may predate its introduction; absent reads 0
+/// (reports from before the resilience counters carry no "retries" /
+/// "quarantined_cells").
+std::size_t RunCount(const Value& run, std::string_view field) {
+  const Value* v = run.Find(field);
+  return v == nullptr ? 0 : static_cast<std::size_t>(v->AsDouble());
+}
+
 struct SummaryRow {
   RunKey key;
   double base_rate = 0.0;
@@ -57,6 +65,8 @@ struct SummaryRow {
   double ratio = 0.0;
   bool ok = false;
   bool missing = false;
+  std::size_t retries = 0;      // fresh run's retry-ladder escalations
+  std::size_t quarantined = 0;  // fresh run's quarantined cells
 };
 
 const Value* FindRun(const Value& doc, const RunKey& key) {
@@ -84,22 +94,25 @@ bool WriteSummary(const std::string& path, const std::vector<SummaryRow>& rows,
   }
   out << "### Campaign throughput gate (min ratio " << min_ratio << ")\n\n";
   out << "| status | circuit | threads | cache | lowrank | "
-         "baseline solves/s | fresh solves/s | ratio |\n";
-  out << "|---|---|---|---|---|---|---|---|\n";
+         "baseline solves/s | fresh solves/s | ratio | retries | "
+         "quarantined |\n";
+  out << "|---|---|---|---|---|---|---|---|---|---|\n";
   char buf[256];
   for (const SummaryRow& r : rows) {
     if (r.missing) {
       std::snprintf(buf, sizeof buf,
                     "| :grey_question: missing | %s | %zu | %d | %d | %.0f "
-                    "| — | — |\n",
+                    "| — | — | — | — |\n",
                     r.key.circuit.c_str(), r.key.threads, r.key.cache ? 1 : 0,
                     r.key.lowrank ? 1 : 0, r.base_rate);
     } else {
       std::snprintf(buf, sizeof buf,
-                    "| %s | %s | %zu | %d | %d | %.0f | %.0f | x%.2f |\n",
+                    "| %s | %s | %zu | %d | %d | %.0f | %.0f | x%.2f "
+                    "| %zu | %zu |\n",
                     r.ok ? ":white_check_mark: ok" : ":x: FAIL",
                     r.key.circuit.c_str(), r.key.threads, r.key.cache ? 1 : 0,
-                    r.key.lowrank ? 1 : 0, r.base_rate, r.fresh_rate, r.ratio);
+                    r.key.lowrank ? 1 : 0, r.base_rate, r.fresh_rate, r.ratio,
+                    r.retries, r.quarantined);
     }
     out << buf;
   }
@@ -177,12 +190,15 @@ int main(int argc, char** argv) {
         const bool ok = ratio >= min_ratio;
         ++compared;
         if (!ok) ++regressed;
-        rows.push_back(SummaryRow{key, base_rate, fresh_rate, ratio, ok, false});
+        rows.push_back(SummaryRow{key, base_rate, fresh_rate, ratio, ok, false,
+                                  RunCount(*match, "retries"),
+                                  RunCount(*match, "quarantined_cells")});
         std::printf(
             "  %-4s %-10s threads=%zu cache=%d lowrank=%d  %10.0f -> %10.0f "
-            "solves/s (x%.2f)\n",
+            "solves/s (x%.2f) retries=%zu quarantined=%zu\n",
             ok ? "ok" : "FAIL", name.c_str(), key.threads, key.cache ? 1 : 0,
-            key.lowrank ? 1 : 0, base_rate, fresh_rate, ratio);
+            key.lowrank ? 1 : 0, base_rate, fresh_rate, ratio,
+            rows.back().retries, rows.back().quarantined);
       }
     }
   } catch (const mcdft::util::Error& e) {

@@ -2,8 +2,10 @@
 # Tier-1 verification plus sanitizer passes over the parallel campaign and
 # observability paths.  Run from the repository root:
 #
-#   tools/check.sh           # full: tier-1 build+ctest, TSan, then ASan+UBSan
+#   tools/check.sh           # full: tier-1 build+ctest, fault-injection
+#                            # ctest, TSan, then ASan+UBSan
 #   tools/check.sh --tier1   # tier-1 only
+#   tools/check.sh --faults  # tier-1 ctest with MCDFT_FAULTPOINTS armed
 #   tools/check.sh --tsan    # TSan subset only
 #   tools/check.sh --asan    # ASan+UBSan subset only
 set -euo pipefail
@@ -11,15 +13,24 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_tier1=1
+run_faults=1
 run_tsan=1
 run_asan=1
 case "${1:-}" in
-  --tier1) run_tsan=0; run_asan=0 ;;
-  --tsan) run_tier1=0; run_asan=0 ;;
-  --asan) run_tier1=0; run_tsan=0 ;;
+  --tier1) run_faults=0; run_tsan=0; run_asan=0 ;;
+  --faults) run_tier1=0; run_tsan=0; run_asan=0 ;;
+  --tsan) run_tier1=0; run_faults=0; run_asan=0 ;;
+  --asan) run_tier1=0; run_faults=0; run_tsan=0 ;;
   "") ;;
-  *) echo "usage: tools/check.sh [--tier1|--tsan|--asan]" >&2; exit 2 ;;
+  *) echo "usage: tools/check.sh [--tier1|--faults|--tsan|--asan]" >&2; exit 2 ;;
 esac
+
+# The armed-suite spec for fault-injection runs: rare short checkpoint
+# writes plus rare SMW solve failures.  Byte-pinning tests opt out via
+# util::faultpoint::DisarmAll(); everything else must absorb the faults
+# (retry ladder, checkpoint salvage) and still pass.  Both firing modes
+# are deterministic per seed, so this run is reproducible.
+FAULT_SPEC='checkpoint.write.short:0.05:1234,smw.solve:0.01:99'
 
 # Concurrency-sensitive subset: parallel campaigns, the Monte-Carlo
 # envelope, the pool, solver reuse, the frequency-major low-rank fault
@@ -32,6 +43,14 @@ if [[ "$run_tier1" == 1 ]]; then
   cmake -B build -S . >/dev/null
   cmake --build build -j
   (cd build && ctest --output-on-failure -j "$(nproc)")
+fi
+
+if [[ "$run_faults" == 1 ]]; then
+  echo "=== fault injection: tier-1 ctest with MCDFT_FAULTPOINTS armed ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j
+  (cd build && MCDFT_FAULTPOINTS="$FAULT_SPEC" \
+    ctest --output-on-failure -j "$(nproc)")
 fi
 
 if [[ "$run_tsan" == 1 ]]; then

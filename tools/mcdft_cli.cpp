@@ -34,6 +34,14 @@
 //   --checkpoint DIR           write/resume shard-<i>of<N>.json checkpoints
 //                              in DIR (atomic rename + fsync per unit)
 //
+// Exit codes:
+//   0  success
+//   1  runtime error (solver, parse, checkpoint manifest mismatch, ...)
+//   2  usage error
+//   3  campaign completed but quarantined >=1 (fault, omega) cell after
+//      exhausting the retry ladder (results degraded, see DESIGN.md
+//      "Resilience & failure semantics")
+//
 // Examples:
 //   mcdft analyze --circuit leapfrog --max-followers 2
 //   mcdft analyze --circuit biquad --shard 1/3 --checkpoint ckpt/
@@ -188,6 +196,37 @@ int CmdBode(const util::CliArgs& args) {
   return 0;
 }
 
+/// Exit code for campaigns that completed with quarantined cells: the
+/// results are usable but degraded (quarantined (fault, omega) points
+/// count as undetected), and scripted callers must be able to tell that
+/// apart from both success (0) and failure (1/2).
+constexpr int kExitQuarantine = 3;
+
+int QuarantineExit(const core::CampaignResult& campaign) {
+  const std::size_t q = campaign.QuarantinedCellCount();
+  if (q == 0) return 0;
+  std::fprintf(stderr,
+               "warning: %zu (fault, omega) cell(s) quarantined after the "
+               "retry ladder; they count as undetected (exit code %d)\n", q,
+               kExitQuarantine);
+  return kExitQuarantine;
+}
+
+/// Per-shard resilience notes (salvaged checkpoints, tolerated write
+/// failures) go to stderr so scripted stdout parsing stays stable.
+void PrintShardResilienceNotes(const core::ShardRunResult& run) {
+  for (const auto& d : run.salvage_diagnostics) {
+    std::fprintf(stderr, "checkpoint salvage: %s\n", d.c_str());
+  }
+  if (run.checkpoint_write_failures > 0) {
+    std::fprintf(stderr,
+                 "warning: %zu checkpoint write(s) failed (last: %s); the "
+                 "previous checkpoint is intact, resume will recompute the "
+                 "difference\n",
+                 run.checkpoint_write_failures, run.last_write_error.c_str());
+  }
+}
+
 /// The analyze output body, shared between `analyze` (monolithic or
 /// single-shard checkpointed runs) and `merge` so CI can diff the two.
 void PrintCampaignAnalysis(const core::CampaignResult& campaign) {
@@ -213,8 +252,9 @@ int CmdAnalyze(const util::CliArgs& args) {
   }
 
   if (session.checkpoint_dir.empty()) {
-    PrintCampaignAnalysis(session.RunCampaignNow());
-    return 0;
+    const core::CampaignResult campaign = session.RunCampaignNow();
+    PrintCampaignAnalysis(campaign);
+    return QuarantineExit(campaign);
   }
 
   // Checkpointed run: execute this shard's units (resuming from any
@@ -230,6 +270,7 @@ int CmdAnalyze(const util::CliArgs& args) {
                "shard %s: %zu units (%zu resumed, %zu run) -> %s\n",
                session.shard.Name().c_str(), run.units_total,
                run.units_resumed, run.units_run, run.shard_path.c_str());
+  PrintShardResilienceNotes(run);
   if (session.shard.count > 1) {
     if (!session.report_path.empty()) {
       std::fprintf(stderr,
@@ -240,6 +281,13 @@ int CmdAnalyze(const util::CliArgs& args) {
                 "mcdft merge --checkpoint %s\n",
                 session.shard.Name().c_str(), session.shard.count,
                 session.checkpoint_dir.c_str());
+    if (run.quarantined_cells > 0) {
+      std::fprintf(stderr,
+                   "warning: %zu (fault, omega) cell(s) quarantined in this "
+                   "shard (exit code %d)\n",
+                   run.quarantined_cells, kExitQuarantine);
+      return kExitQuarantine;
+    }
     return 0;
   }
 
@@ -255,7 +303,7 @@ int CmdAnalyze(const util::CliArgs& args) {
                  session.report_path.c_str());
   }
   PrintCampaignAnalysis(merged.campaign);
-  return 0;
+  return QuarantineExit(merged.campaign);
 }
 
 int CmdMerge(const util::CliArgs& args) {
@@ -301,7 +349,7 @@ int CmdMerge(const util::CliArgs& args) {
     std::fprintf(stderr, "run report written to %s\n", report_path.c_str());
   }
   PrintCampaignAnalysis(merged.campaign);
-  return 0;
+  return QuarantineExit(merged.campaign);
 }
 
 int CmdOptimize(const util::CliArgs& args) {
