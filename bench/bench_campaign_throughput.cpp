@@ -26,6 +26,7 @@ struct RunSpec {
   std::size_t threads;
   bool cache;
   bool lowrank;  // frequency-major SMW fault solves (needs cache = true)
+  bool batched;  // batched multi-RHS SMW solves (needs lowrank = true)
 };
 
 struct RunResult {
@@ -73,6 +74,7 @@ CircuitReport BenchCircuit(const char* name, std::size_t points_per_decade,
     options.threads = spec.threads;
     options.mna.cache_factorization = spec.cache;
     options.mna.lowrank_fault_updates = spec.lowrank;
+    if (!spec.batched) options.mna.fault_batch = 0;
 
     const util::metrics::ScopedEnable metrics_on;
     util::metrics::Counter& retry_counter =
@@ -128,7 +130,8 @@ void WriteJson(const std::vector<CircuitReport>& reports,
           << "\", \"threads\": " << r.spec.threads
           << ", \"cache_factorization\": "
           << (r.spec.cache ? "true" : "false") << ", \"lowrank\": "
-          << (r.spec.lowrank ? "true" : "false") << ", \"wall_s\": " << r.wall_s
+          << (r.spec.lowrank ? "true" : "false") << ", \"batched\": "
+          << (r.spec.batched ? "true" : "false") << ", \"wall_s\": " << r.wall_s
           << ", \"solves_per_s\": " << r.solves_per_s
           << ", \"configs_per_s\": " << r.configs_per_s
           << ", \"speedup_vs_baseline\": " << r.speedup
@@ -151,14 +154,16 @@ int main() {
 
   const std::size_t hw = util::HardwareThreadCount();
   std::vector<RunSpec> specs = {
-      {"serial, no reuse", 1, false, false},
-      {"serial, reuse, exact", 1, true, false},
-      {"serial, reuse", 1, true, true},
-      {"2 threads, reuse", 2, true, true},
-      {"8 threads, reuse", 8, true, true},
+      {"serial, no reuse", 1, false, false, false},
+      {"serial, reuse, exact", 1, true, false, false},
+      {"serial, reuse, unbatched", 1, true, true, false},
+      {"serial, reuse", 1, true, true, true},
+      {"2 threads, reuse", 2, true, true, true},
+      {"8 threads, reuse", 8, true, true, true},
   };
   if (hw != 1 && hw != 2 && hw != 8) {
-    specs.push_back({std::to_string(hw) + " threads, reuse", hw, true, true});
+    specs.push_back(
+        {std::to_string(hw) + " threads, reuse", hw, true, true, true});
   }
 
   std::vector<CircuitReport> reports;

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "linalg/simd/kernels.hpp"
 #include "util/parallel.hpp"
 
 namespace mcdft::core {
@@ -14,6 +15,33 @@ namespace trace = util::trace;
 namespace {
 
 double Seconds(std::uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
+
+std::uint64_t CounterValue(const metrics::Snapshot& delta,
+                           std::string_view name) {
+  for (const auto& c : delta.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+/// Batched fault-solve occupancy: how full the SMW batches ran and how many
+/// cells peeled out onto the exact ladder.  All zeros when batching is off.
+json::Value BatchingSection(const metrics::Snapshot& delta) {
+  const std::uint64_t batches = CounterValue(delta, "faults.sim.batches");
+  const std::uint64_t cells = CounterValue(delta, "faults.sim.batched_cells");
+  const std::uint64_t peeled = CounterValue(delta, "faults.sim.batch_peeled");
+  json::Value section = json::Value::Object();
+  section.Set("batches", json::Value::Number(batches));
+  section.Set("batched_cells", json::Value::Number(cells));
+  section.Set("peeled_cells", json::Value::Number(peeled));
+  section.Set("mean_occupancy",
+              json::Value::Number(batches == 0
+                                      ? 0.0
+                                      : static_cast<double>(cells) /
+                                            static_cast<double>(batches)));
+  section.Set("simd", json::Value::Str(linalg::simd::Active().name));
+  return section;
+}
 
 /// Counters under `prefix.` folded into one JSON object (prefix stripped).
 json::Value CounterGroup(const metrics::Snapshot& delta,
@@ -122,6 +150,12 @@ json::Value EnvironmentSection() {
   const char* metrics_env = std::getenv("MCDFT_METRICS");
   env.Set("mcdft_metrics_env", metrics_env ? json::Value::Str(metrics_env)
                                            : json::Value::Null());
+  const char* simd_env = std::getenv("MCDFT_SIMD");
+  env.Set("mcdft_simd_env", simd_env ? json::Value::Str(simd_env)
+                                     : json::Value::Null());
+  const char* batch_env = std::getenv("MCDFT_BATCH");
+  env.Set("mcdft_batch_env", batch_env ? json::Value::Str(batch_env)
+                                       : json::Value::Null());
 #if defined(__clang__)
   env.Set("compiler", json::Value::Str("clang " __clang_version__));
 #elif defined(__GNUC__)
@@ -160,7 +194,7 @@ json::Value CampaignRunRecorder::Finish(const CampaignResult& campaign,
   enable_.reset();  // restore the pre-recorder enable state
 
   json::Value report = json::Value::Object();
-  report.Set("schema", json::Value::Str("mcdft.run_report/2"));
+  report.Set("schema", json::Value::Str("mcdft.run_report/3"));
   report.Set("tool", json::Value::Str(options.tool));
   if (!options.circuit.empty()) {
     report.Set("circuit", json::Value::Str(options.circuit));
@@ -199,6 +233,7 @@ json::Value CampaignRunRecorder::Finish(const CampaignResult& campaign,
 
   report.Set("parallel", CounterGroup(delta, "util.parallel"));
   report.Set("faults", CounterGroup(delta, "faults.sim"));
+  report.Set("batching", BatchingSection(delta));
   report.Set("shard", CounterGroup(delta, "core.shard"));
   report.Set("checkpoint", CounterGroup(delta, "core.checkpoint"));
 

@@ -151,6 +151,12 @@ std::string CampaignContentHash(const DftCircuit& circuit,
   // same path (e.g. lowrank requested but the cache is off) hash alike.
   blob += "|lowrank=";
   blob += spice::LowRankFaultSolvesEnabled(options.mna) ? "1" : "0";
+  // Only the on/off gate, never the width: batched SMW solves are
+  // bit-identical at every batch width, so runs differing only in width
+  // may share checkpoints.  (The gate itself is likewise bit-identical to
+  // unbatched today — kept in the hash so a future divergence fails safe.)
+  blob += "|batch=";
+  blob += spice::BatchedFaultSolvesEnabled(options.mna) ? "1" : "0";
   return Fnv1a64Hex(blob);
 }
 

@@ -168,6 +168,7 @@ class FreqMajorBlock {
                  double omega0, const std::vector<Fault>& faults,
                  std::size_t fault_begin, std::size_t fault_end)
       : local_(base.Clone()), sys_(local_, options),
+        batch_size_(spice::EffectiveFaultBatch(options)),
         ladder_(options.retry_ladder) {
     // Resolve each fault's target once: the per-point loop then skips the
     // name lookup (hash + case fold) on every (fault, frequency) pair.
@@ -277,8 +278,6 @@ class FreqMajorBlock {
                                                  std::size_t slot,
                                                  double omega,
                                                  const spice::Probe& probe) {
-    static metrics::Counter& exact_fallback =
-        metrics::GetCounter("faults.sim.exact_fallback");
     const Target& target = targets_[slot];
 
     if (!ladder_) {
@@ -288,17 +287,7 @@ class FreqMajorBlock {
         std::optional<linalg::Vector> x = smw_.Solve(delta_);
         if (x) return ProbeValue(probe, *x);
       }
-      exact_fallback.Add();
-      ScopedFaultInjection injection(*target.element, fault);
-      sys_.Assemble(spice::AnalysisKind::kAc, omega, a_, rhs_);
-      if (pattern_->Matches(a_)) {
-        pattern_->Update(a_);
-        linalg::SparseLu lu(pattern_->Matrix());
-        return ProbeValue(probe, lu.Solve(rhs_));
-      }
-      // A fault that changes the stamp structure (opamp model promotion):
-      // solve outside the cached pattern.
-      return ProbeValue(probe, linalg::SolveSparse(linalg::CsrMatrix(a_), rhs_));
+      return SolveFaultExact(fault, slot, omega, probe);
     }
 
     // Stage 0: SMW rank-update against the bound nominal factorization.  A
@@ -324,7 +313,35 @@ class FreqMajorBlock {
       if (smw_failed) RetryCounter().Add();
     }
 
+    return SolveFaultExact(fault, slot, omega, probe);
+  }
+
+  /// Solve fault `slot` at the bound point exactly — everything after the
+  /// SMW stage of SolveFaultValue(), shared with the batched path so a
+  /// cell peeled out of a batch walks the identical ladder.  Returns the
+  /// probe value, or nullopt when the ladder is exhausted (quarantine).
+  std::optional<linalg::Complex> SolveFaultExact(const Fault& fault,
+                                                 std::size_t slot,
+                                                 double omega,
+                                                 const spice::Probe& probe) {
+    static metrics::Counter& exact_fallback =
+        metrics::GetCounter("faults.sim.exact_fallback");
+    const Target& target = targets_[slot];
     exact_fallback.Add();
+
+    if (!ladder_) {
+      ScopedFaultInjection injection(*target.element, fault);
+      sys_.Assemble(spice::AnalysisKind::kAc, omega, a_, rhs_);
+      if (pattern_->Matches(a_)) {
+        pattern_->Update(a_);
+        linalg::SparseLu lu(pattern_->Matrix());
+        return ProbeValue(probe, lu.Solve(rhs_));
+      }
+      // A fault that changes the stamp structure (opamp model promotion):
+      // solve outside the cached pattern.
+      return ProbeValue(probe, linalg::SolveSparse(linalg::CsrMatrix(a_), rhs_));
+    }
+
     std::optional<ScopedFaultInjection> injection;
     try {
       injection.emplace(*target.element, fault);
@@ -374,6 +391,127 @@ class FreqMajorBlock {
     return std::nullopt;
   }
 
+  /// Solve every fault of the block's range at the bound point and return
+  /// the per-slot values (nullopt = quarantined).  With a nonzero batch
+  /// width and a bound SMW solver the faults run in chunks through
+  /// LowRankUpdateSolver::SolveBatch(); every outcome a batch reports maps
+  /// onto exactly the action the unbatched path would have taken for that
+  /// cell (see below), so values, counters and quarantine verdicts are
+  /// bit-identical at any batch width — including width 0, which runs the
+  /// per-fault path directly.
+  const std::vector<std::optional<linalg::Complex>>& SolveFaultRow(
+      const std::vector<Fault>& faults, std::size_t fault_begin, double omega,
+      const spice::Probe& probe) {
+    static metrics::Counter& batch_count =
+        metrics::GetCounter("faults.sim.batches");
+    static metrics::Counter& batched_cells =
+        metrics::GetCounter("faults.sim.batched_cells");
+    static metrics::Counter& batch_peeled =
+        metrics::GetCounter("faults.sim.batch_peeled");
+    const std::size_t count = targets_.size();
+    row_.assign(count, std::nullopt);
+    if (batch_size_ == 0 || !smw_bound_) {
+      // Unbatched (or the nominal recovered densely / ladder-failed —
+      // SMW is unbound and every cell takes the exact path anyway).
+      for (std::size_t j = 0; j < count; ++j) {
+        row_[j] = SolveFaultValue(faults[fault_begin + j], j, omega, probe);
+      }
+      return row_;
+    }
+
+    for (std::size_t chunk = 0; chunk < count; chunk += batch_size_) {
+      const std::size_t cells = std::min(batch_size_, count - chunk);
+      // Build the chunk's perturbations.  Cells whose stamp delta does not
+      // exist (kNoDelta) or whose computation threw (kThrew, ladder only —
+      // fail-fast propagates the exception) peel out before the batch.
+      cell_kind_.assign(cells, kLaned);
+      if (deltas_.size() < cells) deltas_.resize(cells);
+      std::size_t laned = 0;
+      for (std::size_t c = 0; c < cells; ++c) {
+        const std::size_t j = chunk + c;
+        const Target& target = targets_[j];
+        bool have = false;
+        if (!ladder_) {
+          have = FaultStampDelta::Compute(
+              sys_, *target.element, target.index, faults[fault_begin + j],
+              spice::AnalysisKind::kAc, omega, scratch_, deltas_[laned]);
+        } else {
+          try {
+            have = FaultStampDelta::Compute(
+                sys_, *target.element, target.index, faults[fault_begin + j],
+                spice::AnalysisKind::kAc, omega, scratch_, deltas_[laned]);
+          } catch (const util::Error&) {
+            RetryCounter().Add();
+            cell_kind_[c] = kThrew;
+            continue;
+          }
+        }
+        if (have) {
+          ++laned;
+        } else {
+          cell_kind_[c] = kNoDelta;
+        }
+      }
+
+      if (laned > 0) {
+        batch_count.Add();
+        batched_cells.Add(laned);
+        smw_.SolveBatch(deltas_.data(), laned, batch_);
+      }
+
+      // Resolve every cell of the chunk, peeling batch rejections onto the
+      // same exact ladder the unbatched path uses.
+      std::size_t compact = 0;
+      for (std::size_t c = 0; c < cells; ++c) {
+        const std::size_t j = chunk + c;
+        const Fault& fault = faults[fault_begin + j];
+        if (cell_kind_[c] != kLaned) {
+          // kThrew already counted its retry; kNoDelta is the normal
+          // exact fallback (unbatched: Compute false -> exact).
+          row_[j] = SolveFaultExact(fault, j, omega, probe);
+          batch_peeled.Add();
+          continue;
+        }
+        const std::size_t cell = compact++;
+        switch (batch_.Status(cell)) {
+          case linalg::SmwBatchStatus::kSolved:
+          case linalg::SmwBatchStatus::kNominal: {
+            const linalg::Complex v =
+                batch_.Status(cell) == linalg::SmwBatchStatus::kNominal
+                    ? ProbeValue(probe, smw_.NominalSolution())
+                    : ProbeBatchValue(probe, cell);
+            if (!ladder_ || Finite(v)) {
+              row_[j] = v;
+            } else {
+              // Unbatched: non-finite SMW value = one retry, then exact.
+              RetryCounter().Add();
+              row_[j] = SolveFaultExact(fault, j, omega, probe);
+              batch_peeled.Add();
+            }
+            break;
+          }
+          case linalg::SmwBatchStatus::kDeclined:
+            // Unbatched: Solve() returned nullopt -> exact fallback.
+            row_[j] = SolveFaultExact(fault, j, omega, probe);
+            batch_peeled.Add();
+            break;
+          case linalg::SmwBatchStatus::kFailed:
+            // Unbatched: Solve() threw.  Fail-fast rethrows; the ladder
+            // counts a retry and escalates to the exact path.
+            if (!ladder_) {
+              throw core::McdftError(core::ErrorCategory::kInjected,
+                                     "faultpoint smw.solve");
+            }
+            RetryCounter().Add();
+            row_[j] = SolveFaultExact(fault, j, omega, probe);
+            batch_peeled.Add();
+            break;
+        }
+      }
+    }
+    return row_;
+  }
+
   /// Probe voltage V(plus) - V(minus) from a raw unknown vector.
   linalg::Complex ProbeValue(const spice::Probe& probe,
                              const linalg::Vector& x) const {
@@ -391,6 +529,22 @@ class FreqMajorBlock {
     spice::Element* element;  // element inside local_
   };
 
+  // Chunk-cell classification of the batched path.
+  static constexpr unsigned char kLaned = 0;    // entered the SMW batch
+  static constexpr unsigned char kNoDelta = 1;  // no stamp delta: exact path
+  static constexpr unsigned char kThrew = 2;    // delta computation threw
+
+  /// Probe voltage of a kSolved batch cell (same arithmetic as ProbeValue
+  /// over the cell's solution lanes).
+  linalg::Complex ProbeBatchValue(const spice::Probe& probe,
+                                  std::size_t cell) const {
+    const auto at = [&](spice::NodeId node) {
+      return node == spice::kGround ? linalg::Complex(0.0, 0.0)
+                                    : batch_.At(cell, node - 1);
+    };
+    return at(probe.plus) - at(probe.minus);
+  }
+
   spice::Netlist local_;
   spice::MnaSystem sys_;
   std::vector<Target> targets_;
@@ -402,6 +556,12 @@ class FreqMajorBlock {
   linalg::LowRankUpdateSolver smw_;
   FaultStampDelta::Scratch scratch_;
   linalg::LowRankPerturbation delta_;
+  // Batched-path scratch, reused across points and chunks.
+  std::size_t batch_size_ = 0;
+  std::vector<linalg::LowRankPerturbation> deltas_;
+  linalg::SmwBatch batch_;
+  std::vector<unsigned char> cell_kind_;
+  std::vector<std::optional<linalg::Complex>> row_;
   bool ladder_ = true;
   bool smw_bound_ = false;     // SMW holds a valid nominal at this point
   bool dense_nominal_ = false; // nominal recovered densely at this point
@@ -484,11 +644,11 @@ std::vector<spice::FrequencyResponse> FaultSimulator::SimulateRange(
             continue;
           }
           out[0].values[t] = *nominal;
+          const std::vector<std::optional<linalg::Complex>>& row =
+              block.SolveFaultRow(faults, fault_begin, omega, probe_);
           for (std::size_t j = 0; j < count; ++j) {
-            const std::optional<linalg::Complex> v = block.SolveFaultValue(
-                faults[fault_begin + j], j, omega, probe_);
-            if (v) {
-              out[1 + j].values[t] = *v;
+            if (row[j]) {
+              out[1 + j].values[t] = *row[j];
             } else {
               qmask[1 + j][t] = 1;
               out[1 + j].values[t] = linalg::Complex(0.0, 0.0);

@@ -1,0 +1,76 @@
+// Runtime kernel dispatch: CPUID detection, MCDFT_SIMD forcing, and the
+// process-wide active kernel table.
+#include "linalg/simd/kernels.hpp"
+
+#include <cstdlib>
+
+namespace mcdft::linalg::simd {
+
+bool Compiled(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return true;
+    case IsaLevel::kAvx2:
+      return Avx2Kernels().level == IsaLevel::kAvx2;
+    case IsaLevel::kAvx512:
+      return Avx512Kernels().level == IsaLevel::kAvx512;
+  }
+  return false;
+}
+
+IsaLevel DetectCpuLevel() {
+#if defined(__x86_64__)
+  if (Compiled(IsaLevel::kAvx512) && __builtin_cpu_supports("avx512f")) {
+    return IsaLevel::kAvx512;
+  }
+  if (Compiled(IsaLevel::kAvx2) && __builtin_cpu_supports("avx2")) {
+    return IsaLevel::kAvx2;
+  }
+#endif
+  return IsaLevel::kScalar;
+}
+
+std::optional<IsaLevel> ParseLevel(std::string_view text) {
+  if (text == "scalar") return IsaLevel::kScalar;
+  if (text == "avx2") return IsaLevel::kAvx2;
+  if (text == "avx512") return IsaLevel::kAvx512;
+  return std::nullopt;
+}
+
+IsaLevel ResolveLevel(std::optional<IsaLevel> requested, IsaLevel supported) {
+  if (!requested) return supported;
+  // A forced level above what the host can run degrades gracefully to the
+  // best usable level; a forced level below skips available hardware.
+  return static_cast<int>(*requested) < static_cast<int>(supported)
+             ? *requested
+             : supported;
+}
+
+const Kernels& KernelsFor(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kAvx512:
+      if (Compiled(IsaLevel::kAvx512)) return Avx512Kernels();
+      [[fallthrough]];
+    case IsaLevel::kAvx2:
+      if (Compiled(IsaLevel::kAvx2)) return Avx2Kernels();
+      [[fallthrough]];
+    case IsaLevel::kScalar:
+      break;
+  }
+  return ScalarKernels();
+}
+
+const Kernels& Active() {
+  // Environment read once per process: the kernel choice is global state
+  // folded into performance only, never into results (all variants are
+  // bit-identical), so a stale read can at worst cost speed.
+  static const Kernels* const active = [] {
+    const char* env = std::getenv("MCDFT_SIMD");
+    const std::optional<IsaLevel> forced =
+        env != nullptr ? ParseLevel(env) : std::nullopt;
+    return &KernelsFor(ResolveLevel(forced, DetectCpuLevel()));
+  }();
+  return *active;
+}
+
+}  // namespace mcdft::linalg::simd

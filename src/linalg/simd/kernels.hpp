@@ -1,0 +1,90 @@
+// Packed complex SIMD kernels over SoA (split real/imaginary) lanes, with
+// scalar / AVX2 / AVX-512 variants selected by runtime CPUID dispatch.
+//
+// These are the inner loops of the batched SMW fault-solve path: a batch of
+// B fault perturbations at one frequency is packed lane-wise (lane l = one
+// batch cell) and the multi-RHS triangular solves plus the U*y correction
+// accumulation run as elementwise complex multiply-adds over the lanes.
+//
+// Bit-compatibility contract: every variant computes each lane with the
+// textbook complex product
+//
+//   (a*x).re = a.re*x.re - a.im*x.im,   (a*x).im = a.re*x.im + a.im*x.re
+//
+// followed by a plain add/subtract — exactly the operation sequence
+// libstdc++'s std::complex<double> arithmetic performs for finite values.
+// The vector translation units are compiled with -ffp-contract=off so no
+// FMA contraction can perturb the scalar results; lane position never
+// enters the arithmetic, so a value is bit-identical at any batch size and
+// under any variant.  (The lone reachable divergence is the both-parts-NaN
+// case, where __muldc3's recovery may turn a NaN into an infinity — either
+// way the value is non-finite and takes the same peel-out decision.)
+//
+// Complex *division* is deliberately absent: quotients (triangular-solve
+// pivots, k-by-k back-substitution) stay per-lane std::complex<double> so
+// the library's Smith-style scaling is reproduced bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace mcdft::linalg::simd {
+
+/// Instruction-set level of a kernel variant, in increasing order.
+enum class IsaLevel : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Function table of one kernel variant.
+struct Kernels {
+  IsaLevel level = IsaLevel::kScalar;
+  const char* name = "scalar";
+
+  /// y[l] -= a * x[l] for l in [0, m): subtract a broadcast complex scalar
+  /// times the lane vector (the multi-RHS triangular-solve update).
+  void (*caxpy_sub)(std::size_t m, double a_re, double a_im,
+                    const double* x_re, const double* x_im, double* y_re,
+                    double* y_im) = nullptr;
+
+  /// y[l] += a[l] * x[l] for l in [0, m): elementwise complex multiply-add
+  /// with per-lane coefficients (the blocked U*y correction accumulation).
+  void (*cmadd)(std::size_t m, const double* a_re, const double* a_im,
+                const double* x_re, const double* x_im, double* y_re,
+                double* y_im) = nullptr;
+};
+
+/// Highest variant both compiled into this binary and supported by the CPU.
+IsaLevel DetectCpuLevel();
+
+/// True when the variant was compiled into this binary (x86-64 build with
+/// the matching -m flags); the scalar variant always is.
+bool Compiled(IsaLevel level);
+
+/// Parse an MCDFT_SIMD value ("scalar" / "avx2" / "avx512", case-sensitive).
+/// Empty or unrecognized strings parse to nullopt (auto-detect).
+std::optional<IsaLevel> ParseLevel(std::string_view text);
+
+/// The level that actually runs for a request: the requested level when it
+/// is compiled and CPU-supported, otherwise the highest usable level at or
+/// below it (a forced "avx512" on an AVX2-only host runs AVX2; "avx2" on a
+/// pre-AVX2 host runs scalar).  nullopt requests auto-detection.
+IsaLevel ResolveLevel(std::optional<IsaLevel> requested, IsaLevel supported);
+
+/// Kernel table of one specific level; falls back to the highest compiled
+/// level at or below `level`.  Used by tests to compare variants.
+const Kernels& KernelsFor(IsaLevel level);
+
+/// The process-wide active kernel table: MCDFT_SIMD (read once) resolved
+/// against DetectCpuLevel().
+const Kernels& Active();
+
+// Per-variant tables, defined in their own translation units so each can
+// carry its own target flags.  Unavailable variants alias the scalar table.
+const Kernels& ScalarKernels();
+const Kernels& Avx2Kernels();
+const Kernels& Avx512Kernels();
+
+}  // namespace mcdft::linalg::simd

@@ -1,0 +1,98 @@
+// AVX-512F variant of the packed complex kernels: 8 double lanes per
+// vector, with a masked tail so no lane is ever read or written beyond m.
+//
+// Compiled with -mavx512f -ffp-contract=off (CMake, x86-64 only).  The
+// contract=off flag matters doubly here: AVX-512F implies FMA hardware and
+// the compiler's default contraction would otherwise fuse the mul/sub
+// pairs, breaking bit-identity with the scalar variant.
+#include "linalg/simd/kernels.hpp"
+
+#if defined(__x86_64__) && defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace mcdft::linalg::simd {
+
+namespace {
+
+void CAxpySubAvx512(std::size_t m, double a_re, double a_im,
+                    const double* x_re, const double* x_im, double* y_re,
+                    double* y_im) {
+  const __m512d ar = _mm512_set1_pd(a_re);
+  const __m512d ai = _mm512_set1_pd(a_im);
+  std::size_t l = 0;
+  for (; l + 8 <= m; l += 8) {
+    const __m512d xr = _mm512_loadu_pd(x_re + l);
+    const __m512d xi = _mm512_loadu_pd(x_im + l);
+    const __m512d pr = _mm512_sub_pd(_mm512_mul_pd(ar, xr),
+                                     _mm512_mul_pd(ai, xi));
+    const __m512d pi = _mm512_add_pd(_mm512_mul_pd(ar, xi),
+                                     _mm512_mul_pd(ai, xr));
+    _mm512_storeu_pd(y_re + l, _mm512_sub_pd(_mm512_loadu_pd(y_re + l), pr));
+    _mm512_storeu_pd(y_im + l, _mm512_sub_pd(_mm512_loadu_pd(y_im + l), pi));
+  }
+  if (l < m) {
+    const __mmask8 tail = static_cast<__mmask8>((1u << (m - l)) - 1u);
+    const __m512d xr = _mm512_maskz_loadu_pd(tail, x_re + l);
+    const __m512d xi = _mm512_maskz_loadu_pd(tail, x_im + l);
+    const __m512d pr = _mm512_sub_pd(_mm512_mul_pd(ar, xr),
+                                     _mm512_mul_pd(ai, xi));
+    const __m512d pi = _mm512_add_pd(_mm512_mul_pd(ar, xi),
+                                     _mm512_mul_pd(ai, xr));
+    const __m512d yr = _mm512_maskz_loadu_pd(tail, y_re + l);
+    const __m512d yi = _mm512_maskz_loadu_pd(tail, y_im + l);
+    _mm512_mask_storeu_pd(y_re + l, tail, _mm512_sub_pd(yr, pr));
+    _mm512_mask_storeu_pd(y_im + l, tail, _mm512_sub_pd(yi, pi));
+  }
+}
+
+void CMAddAvx512(std::size_t m, const double* a_re, const double* a_im,
+                 const double* x_re, const double* x_im, double* y_re,
+                 double* y_im) {
+  std::size_t l = 0;
+  for (; l + 8 <= m; l += 8) {
+    const __m512d ar = _mm512_loadu_pd(a_re + l);
+    const __m512d ai = _mm512_loadu_pd(a_im + l);
+    const __m512d xr = _mm512_loadu_pd(x_re + l);
+    const __m512d xi = _mm512_loadu_pd(x_im + l);
+    const __m512d pr = _mm512_sub_pd(_mm512_mul_pd(ar, xr),
+                                     _mm512_mul_pd(ai, xi));
+    const __m512d pi = _mm512_add_pd(_mm512_mul_pd(ar, xi),
+                                     _mm512_mul_pd(ai, xr));
+    _mm512_storeu_pd(y_re + l, _mm512_add_pd(_mm512_loadu_pd(y_re + l), pr));
+    _mm512_storeu_pd(y_im + l, _mm512_add_pd(_mm512_loadu_pd(y_im + l), pi));
+  }
+  if (l < m) {
+    const __mmask8 tail = static_cast<__mmask8>((1u << (m - l)) - 1u);
+    const __m512d ar = _mm512_maskz_loadu_pd(tail, a_re + l);
+    const __m512d ai = _mm512_maskz_loadu_pd(tail, a_im + l);
+    const __m512d xr = _mm512_maskz_loadu_pd(tail, x_re + l);
+    const __m512d xi = _mm512_maskz_loadu_pd(tail, x_im + l);
+    const __m512d pr = _mm512_sub_pd(_mm512_mul_pd(ar, xr),
+                                     _mm512_mul_pd(ai, xi));
+    const __m512d pi = _mm512_add_pd(_mm512_mul_pd(ar, xi),
+                                     _mm512_mul_pd(ai, xr));
+    const __m512d yr = _mm512_maskz_loadu_pd(tail, y_re + l);
+    const __m512d yi = _mm512_maskz_loadu_pd(tail, y_im + l);
+    _mm512_mask_storeu_pd(y_re + l, tail, _mm512_add_pd(yr, pr));
+    _mm512_mask_storeu_pd(y_im + l, tail, _mm512_add_pd(yi, pi));
+  }
+}
+
+}  // namespace
+
+const Kernels& Avx512Kernels() {
+  static const Kernels k{IsaLevel::kAvx512, "avx512", &CAxpySubAvx512,
+                         &CMAddAvx512};
+  return k;
+}
+
+}  // namespace mcdft::linalg::simd
+
+#else  // non-x86 build or AVX-512 flags unavailable: alias the scalar table
+
+namespace mcdft::linalg::simd {
+const Kernels& Avx512Kernels() { return ScalarKernels(); }
+}  // namespace mcdft::linalg::simd
+
+#endif

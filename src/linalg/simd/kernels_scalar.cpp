@@ -1,0 +1,44 @@
+// Scalar reference variant of the packed complex kernels.
+//
+// This translation unit is the bit-compatibility anchor: the explicit
+// real/imaginary formulas below are the operation sequence every vector
+// variant must reproduce.  Compiled with -ffp-contract=off (set in CMake)
+// so the compiler cannot fuse the multiply-subtract pairs even under
+// aggressive flags.
+#include "linalg/simd/kernels.hpp"
+
+namespace mcdft::linalg::simd {
+
+namespace {
+
+void CAxpySubScalar(std::size_t m, double a_re, double a_im,
+                    const double* x_re, const double* x_im, double* y_re,
+                    double* y_im) {
+  for (std::size_t l = 0; l < m; ++l) {
+    const double p_re = a_re * x_re[l] - a_im * x_im[l];
+    const double p_im = a_re * x_im[l] + a_im * x_re[l];
+    y_re[l] -= p_re;
+    y_im[l] -= p_im;
+  }
+}
+
+void CMAddScalar(std::size_t m, const double* a_re, const double* a_im,
+                 const double* x_re, const double* x_im, double* y_re,
+                 double* y_im) {
+  for (std::size_t l = 0; l < m; ++l) {
+    const double p_re = a_re[l] * x_re[l] - a_im[l] * x_im[l];
+    const double p_im = a_re[l] * x_im[l] + a_im[l] * x_re[l];
+    y_re[l] += p_re;
+    y_im[l] += p_im;
+  }
+}
+
+}  // namespace
+
+const Kernels& ScalarKernels() {
+  static const Kernels k{IsaLevel::kScalar, "scalar", &CAxpySubScalar,
+                         &CMAddScalar};
+  return k;
+}
+
+}  // namespace mcdft::linalg::simd

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "core/error.hpp"
+#include "linalg/simd/kernels.hpp"
 #include "util/faultpoint.hpp"
 #include "util/metrics.hpp"
 
@@ -74,6 +76,9 @@ SparseLu::SparseLu(const CsrMatrix& a, SparseLuOptions options) {
   row_perm_.resize(n_);
   col_perm_.resize(n_);
   col_pos_.assign(n_, 0);
+  // Remember the pattern for the (lazy) factor-program compilation.
+  pat_row_ptr_ = a.RowPointers();
+  pat_col_idx_ = a.ColumnIndices();
 
   // Working copy: active rows as sorted (col, val) vectors.
   std::vector<SparseRow> rows;
@@ -182,69 +187,234 @@ SparseLu::SparseLu(const CsrMatrix& a, SparseLuOptions options) {
   if (metrics::Enabled()) fill_hist.Observe(FactorNonZeroCount());
 }
 
-bool SparseLu::Refactor(const CsrMatrix& a) {
-  if (a.Rows() != n_ || a.Cols() != n_) {
-    throw util::NumericError("sparse LU refactor dimension mismatch");
+// ---- Factor program ------------------------------------------------------
+//
+// CompileProgram turns the elimination under the fixed (row_perm_,
+// col_perm_) pivot sequence into a replayable schedule over a flat value
+// array.  The structure is derived *symbolically* from the sparsity
+// pattern alone — it is the superset of every structure the value-guided
+// elimination can produce for this pattern, because the legacy passes drop
+// entries on value conditions (explicit zeros in the CSR input, zero
+// multipliers, exact cancellations) that a schedule recorded from one
+// value assignment would miss for another.  Replaying the superset with
+// any values performs the same arithmetic as the legacy pass on those
+// values; the only divergences are sign-of-zero / exact-cancellation
+// positions, where results differ at most in the bit pattern of a zero.
+
+void SparseLu::CompileProgram() {
+  // Pass 1: symbolic elimination over the pattern.  `cur` is each active
+  // row's current column set (sorted); `all` accumulates every position a
+  // row ever holds (initial pattern + fill), which becomes its slot range.
+  std::vector<std::vector<std::size_t>> cur(n_);
+  std::vector<std::vector<std::size_t>> all(n_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    cur[r].assign(pat_col_idx_.begin() + pat_row_ptr_[r],
+                  pat_col_idx_.begin() + pat_row_ptr_[r + 1]);
+    std::sort(cur[r].begin(), cur[r].end());
+    all[r] = cur[r];
   }
+  std::vector<std::vector<std::size_t>> step_ucols(n_);
+  std::vector<std::vector<std::size_t>> step_targets(n_);
+  std::vector<char> row_active(n_, 1);
+  std::vector<std::size_t> merged;
+  for (std::size_t step = 0; step < n_; ++step) {
+    const std::size_t pr = row_perm_[step];
+    const std::size_t pc = col_perm_[step];
+    row_active[pr] = 0;
+    // Invariant: an active row never holds an already-eliminated column
+    // (targets erase the pivot column below), so the frozen pivot-row
+    // structure is {pc} plus still-active columns — exactly the legacy U
+    // row superset.
+    step_ucols[step] = cur[pr];
+    const std::vector<std::size_t>& ucols = step_ucols[step];
+    for (std::size_t r = 0; r < n_; ++r) {
+      if (!row_active[r]) continue;
+      std::vector<std::size_t>& rc = cur[r];
+      auto it = std::lower_bound(rc.begin(), rc.end(), pc);
+      if (it == rc.end() || *it != pc) continue;
+      step_targets[step].push_back(r);
+      rc.erase(it);  // the entry becomes the multiplier
+      // rc = rc union (ucols minus pc): sorted merge.
+      merged.clear();
+      merged.reserve(rc.size() + ucols.size());
+      std::size_t i = 0, j = 0;
+      while (i < rc.size() || j < ucols.size()) {
+        if (j < ucols.size() && ucols[j] == pc) {
+          ++j;
+        } else if (j >= ucols.size() ||
+                   (i < rc.size() && rc[i] < ucols[j])) {
+          merged.push_back(rc[i++]);
+        } else if (i >= rc.size() || ucols[j] < rc[i]) {
+          merged.push_back(ucols[j++]);
+        } else {
+          merged.push_back(rc[i]);
+          ++i;
+          ++j;
+        }
+      }
+      rc.swap(merged);
+      // Fold the (possibly grown) structure into the row's slot set.
+      merged.clear();
+      std::set_union(all[r].begin(), all[r].end(), rc.begin(), rc.end(),
+                     std::back_inserter(merged));
+      all[r].swap(merged);
+    }
+  }
+
+  // Assign slots: rows concatenated, column-sorted within each row.
+  row_slot_ptr_.assign(n_ + 1, 0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    row_slot_ptr_[r + 1] = row_slot_ptr_[r] + all[r].size();
+  }
+  slot_col_.clear();
+  slot_col_.reserve(row_slot_ptr_[n_]);
+  for (std::size_t r = 0; r < n_; ++r) {
+    slot_col_.insert(slot_col_.end(), all[r].begin(), all[r].end());
+  }
+  slot_val_.assign(slot_col_.size(), Complex(0.0, 0.0));
+  csr_slot_.resize(pat_col_idx_.size());
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = pat_row_ptr_[r]; k < pat_row_ptr_[r + 1]; ++k) {
+      csr_slot_[k] = SlotOf(r, pat_col_idx_[k]);
+    }
+  }
+
+  // Pass 2: resolve the recorded structures into slot indices.
+  step_pivot_slot_.assign(n_, kNoSlot);
+  step_u_ptr_.assign(n_ + 1, 0);
+  step_target_ptr_.assign(n_ + 1, 0);
+  u_slot_.clear();
+  u_col_.clear();
+  target_row_.clear();
+  target_mult_slot_.clear();
+  target_op_ptr_.clear();
+  op_dst_.clear();
+  op_src_.clear();
+  for (std::size_t step = 0; step < n_; ++step) {
+    const std::size_t pr = row_perm_[step];
+    const std::size_t pc = col_perm_[step];
+    step_pivot_slot_[step] = SlotOf(pr, pc);
+    for (std::size_t c : step_ucols[step]) {
+      if (c == pc) continue;
+      u_slot_.push_back(SlotOf(pr, c));
+      u_col_.push_back(c);
+    }
+    step_u_ptr_[step + 1] = u_slot_.size();
+    for (std::size_t r : step_targets[step]) {
+      target_row_.push_back(r);
+      target_mult_slot_.push_back(SlotOf(r, pc));
+      target_op_ptr_.push_back(op_dst_.size());
+      for (std::size_t u = step_u_ptr_[step]; u < step_u_ptr_[step + 1];
+           ++u) {
+        op_dst_.push_back(SlotOf(r, u_col_[u]));
+        op_src_.push_back(u_slot_[u]);
+      }
+    }
+    step_target_ptr_[step + 1] = target_row_.size();
+  }
+  target_op_ptr_.push_back(op_dst_.size());
+  have_program_ = true;
+  flat_valid_ = false;
+}
+
+std::size_t SparseLu::SlotOf(std::size_t row, std::size_t col) const {
+  const auto begin = slot_col_.begin() + row_slot_ptr_[row];
+  const auto end = slot_col_.begin() + row_slot_ptr_[row + 1];
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return kNoSlot;
+  return static_cast<std::size_t>(it - slot_col_.begin());
+}
+
+void SparseLu::LoadLegacyFactor() {
+  std::fill(slot_val_.begin(), slot_val_.end(), Complex(0.0, 0.0));
+  for (std::size_t step = 0; step < n_; ++step) {
+    const std::size_t pr = row_perm_[step];
+    for (const Entry& e : upper_[step]) {
+      const std::size_t s = SlotOf(pr, e.col);
+      if (s == kNoSlot) {
+        throw util::NumericError(
+            "sparse LU factor entry outside compiled pattern");
+      }
+      slot_val_[s] = e.val;
+    }
+    for (const Entry& e : lower_[step]) {
+      // lower_ entries store (target row, multiplier) for pivot column
+      // col_perm_[step].
+      const std::size_t s = SlotOf(e.col, col_perm_[step]);
+      if (s == kNoSlot) {
+        throw util::NumericError(
+            "sparse LU multiplier outside compiled pattern");
+      }
+      slot_val_[s] = e.val;
+    }
+  }
+  flat_valid_ = true;
+}
+
+void SparseLu::EnsureFlatFactor() {
+  if (flat_valid_) return;
+  if (!have_program_) CompileProgram();
+  LoadLegacyFactor();
+}
+
+bool SparseLu::ReplayRefactor(const CsrMatrix& a) {
   static metrics::Counter& refactor_count =
       metrics::GetCounter("linalg.sparse_lu.refactor");
   static metrics::Counter& fallback_count =
       metrics::GetCounter("linalg.sparse_lu.refactor_fallback");
-  // All workspace lives in the object: the sparsity pattern (and hence the
-  // structure of every intermediate row) repeats across an AC sweep, so
-  // after the first call every buffer already has its final capacity and
-  // this pass is allocation-free.
-  BuildRows(a, work_rows_);
-  work_row_active_.assign(n_, true);
-  work_col_active_.assign(n_, true);
-
+  flat_valid_ = false;
+  // Load: zero every slot, then scatter the CSR values through the
+  // precomputed slot map (CSR positions are unique, so plain stores).
+  std::fill(slot_val_.begin(), slot_val_.end(), Complex(0.0, 0.0));
+  const std::vector<Complex>& vals = a.Values();
+  for (std::size_t k = 0; k < vals.size(); ++k) {
+    slot_val_[csr_slot_[k]] = vals[k];
+  }
+  // Replay: per step one pivot check, then per target one division plus a
+  // run of indexed multiply-subtracts.  The value conditions mirror the
+  // legacy pass exactly: an absent entry is a zero-valued slot, so a
+  // missing pivot fails the same |piv| test and a missing multiplier takes
+  // the same m == 0 skip.
+  Complex* const sv = slot_val_.data();
   for (std::size_t step = 0; step < n_; ++step) {
-    const std::size_t prow_idx = row_perm_[step];
-    const std::size_t pcol = col_perm_[step];
-    work_row_active_[prow_idx] = false;
-    work_col_active_[pcol] = false;
-
-    // Freeze the pivot row into U using the fixed pivot column.
-    SparseRow& prow = work_rows_[prow_idx];
-    Complex piv(0.0, 0.0);
-    bool have_pivot = false;
-    SparseRow& urow = upper_[step];
-    urow.clear();
-    for (const Entry& e : prow) {
-      if (e.col == pcol) {
-        piv = e.val;
-        have_pivot = true;
-      }
-      if (e.col == pcol || work_col_active_[e.col]) urow.push_back(e);
-    }
-    if (!have_pivot || std::abs(piv) <= kSingularAbs) {
+    const std::size_t pslot = step_pivot_slot_[step];
+    const Complex piv = pslot == kNoSlot ? Complex(0.0, 0.0) : sv[pslot];
+    if (std::abs(piv) <= kSingularAbs) {
       fallback_count.Add();
       return false;
     }
-
-    // Eliminate the fixed pivot column from every remaining active row,
-    // recording the multipliers directly under the producing step.
-    lower_[step].clear();
-    for (std::size_t r = 0; r < n_; ++r) {
-      if (!work_row_active_[r]) continue;
-      SparseRow& row = work_rows_[r];
-      auto it = std::lower_bound(
-          row.begin(), row.end(), pcol,
-          [](const Entry& e, std::size_t c) { return e.col < c; });
-      if (it == row.end() || it->col != pcol) continue;
-      Complex m = it->val / piv;
-      row.erase(it);
+    for (std::size_t t = step_target_ptr_[step];
+         t < step_target_ptr_[step + 1]; ++t) {
+      const std::size_t mslot = target_mult_slot_[t];
+      const Complex m = sv[mslot] / piv;
+      sv[mslot] = m;
       if (m == Complex(0.0, 0.0)) continue;
       if (std::abs(m) > kRefactorGrowthLimit) {
         fallback_count.Add();
         return false;
       }
-      lower_[step].push_back(Entry{r, m});
-      EliminateRow(row, urow, work_col_active_, m, work_merge_);
+      const std::size_t op_end = target_op_ptr_[t + 1];
+      for (std::size_t o = target_op_ptr_[t]; o < op_end; ++o) {
+        sv[op_dst_[o]] -= m * sv[op_src_[o]];
+      }
     }
   }
   refactor_count.Add();
+  flat_valid_ = true;
   return true;
+}
+
+bool SparseLu::Refactor(const CsrMatrix& a) {
+  if (a.Rows() != n_ || a.Cols() != n_) {
+    throw util::NumericError("sparse LU refactor dimension mismatch");
+  }
+  if (!have_program_ || a.RowPointers() != pat_row_ptr_ ||
+      a.ColumnIndices() != pat_col_idx_) {
+    pat_row_ptr_ = a.RowPointers();
+    pat_col_idx_ = a.ColumnIndices();
+    CompileProgram();
+  }
+  return ReplayRefactor(a);
 }
 
 Vector SparseLu::Solve(const Vector& b) {
@@ -256,6 +426,31 @@ Vector SparseLu::Solve(const Vector& b) {
   work.data().assign(b.data().begin(), b.data().end());
   Vector& y = work_y_;
   y.Resize(n_);
+  if (flat_valid_) {
+    // Program path: same per-entry operation sequence as the legacy rows
+    // (targets in ascending row order, U entries in ascending column
+    // order), reading values from the flat slot array.
+    const Complex* const sv = slot_val_.data();
+    for (std::size_t step = 0; step < n_; ++step) {
+      const Complex yk = work[row_perm_[step]];
+      y[step] = yk;
+      for (std::size_t t = step_target_ptr_[step];
+           t < step_target_ptr_[step + 1]; ++t) {
+        work[target_row_[t]] -= sv[target_mult_slot_[t]] * yk;
+      }
+    }
+    Vector x(n_);
+    for (std::size_t s = n_; s-- > 0;) {
+      Complex acc = y[s];
+      for (std::size_t u = step_u_ptr_[s]; u < step_u_ptr_[s + 1]; ++u) {
+        acc -= sv[u_slot_[u]] * x[u_col_[u]];
+      }
+      const std::size_t pslot = step_pivot_slot_[s];
+      const Complex piv = pslot == kNoSlot ? Complex(0.0, 0.0) : sv[pslot];
+      x[col_perm_[s]] = acc / piv;
+    }
+    return x;
+  }
   for (std::size_t step = 0; step < n_; ++step) {
     Complex yk = work[row_perm_[step]];
     y[step] = yk;
@@ -278,7 +473,61 @@ Vector SparseLu::Solve(const Vector& b) {
   return x;
 }
 
+void SparseLu::SolveMulti(std::size_t lanes, double* re, double* im) {
+  if (lanes == 0) return;
+  EnsureFlatFactor();
+  const simd::Kernels& kern = simd::Active();
+  const Complex* const sv = slot_val_.data();
+  multi_y_re_.resize(n_ * lanes);
+  multi_y_im_.resize(n_ * lanes);
+  // Forward elimination, in place on the caller's lanes: lane l replays
+  // exactly the scalar forward pass (y_step = work[row_perm_[step]];
+  // work[target] -= m * y_step).
+  for (std::size_t step = 0; step < n_; ++step) {
+    double* const yr = multi_y_re_.data() + step * lanes;
+    double* const yi = multi_y_im_.data() + step * lanes;
+    std::memcpy(yr, re + row_perm_[step] * lanes, lanes * sizeof(double));
+    std::memcpy(yi, im + row_perm_[step] * lanes, lanes * sizeof(double));
+    for (std::size_t t = step_target_ptr_[step];
+         t < step_target_ptr_[step + 1]; ++t) {
+      const Complex m = sv[target_mult_slot_[t]];
+      const std::size_t row = target_row_[t];
+      kern.caxpy_sub(lanes, m.real(), m.imag(), yr, yi, re + row * lanes,
+                     im + row * lanes);
+    }
+  }
+  // Backward substitution: the accumulator reuses the y rows; per-lane
+  // divisions stay scalar std::complex so the pivot quotient is
+  // bit-identical to Solve().
+  for (std::size_t s = n_; s-- > 0;) {
+    double* const ar = multi_y_re_.data() + s * lanes;
+    double* const ai = multi_y_im_.data() + s * lanes;
+    for (std::size_t u = step_u_ptr_[s]; u < step_u_ptr_[s + 1]; ++u) {
+      const Complex uv = sv[u_slot_[u]];
+      const std::size_t col = u_col_[u];
+      kern.caxpy_sub(lanes, uv.real(), uv.imag(), re + col * lanes,
+                     im + col * lanes, ar, ai);
+    }
+    const std::size_t pslot = step_pivot_slot_[s];
+    const Complex piv = pslot == kNoSlot ? Complex(0.0, 0.0) : sv[pslot];
+    double* const xr = re + col_perm_[s] * lanes;
+    double* const xi = im + col_perm_[s] * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      const Complex q = Complex(ar[l], ai[l]) / piv;
+      xr[l] = q.real();
+      xi[l] = q.imag();
+    }
+  }
+}
+
 std::size_t SparseLu::FactorNonZeroCount() const {
+  if (flat_valid_) {
+    std::size_t nnz = 0;
+    for (const Complex& v : slot_val_) {
+      if (v != Complex(0.0, 0.0)) ++nnz;
+    }
+    return nnz;
+  }
   std::size_t nnz = 0;
   for (const auto& r : lower_) nnz += r.size();
   for (const auto& r : upper_) nnz += r.size();

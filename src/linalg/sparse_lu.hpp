@@ -2,9 +2,15 @@
 // Markowitz pivoting, the classical circuit-simulator ordering (Kundert,
 // "Sparse matrix techniques").
 //
-// Rows are held as sorted (column, value) vectors during elimination, which
-// keeps fill-in handling simple and is fast at the matrix sizes produced by
-// MNA on the circuit zoo (up to a few hundred unknowns).
+// Construction performs the full value-guided symbolic+numeric
+// factorization with rows held as sorted (column, value) vectors.  Repeated
+// numeric-only refactorizations (the AC-sweep fast path) do not re-run that
+// machinery: the first Refactor() compiles the elimination into a *factor
+// program* — a symbolic-superset schedule of flat value-array indices (see
+// CompileProgram) — and every subsequent refactor is a branch-light replay
+// of multiplier divisions and indexed multiply-subtracts.  The same flat
+// storage backs SolveMulti(), the SoA multi-RHS triangular solve that the
+// batched SMW fault path runs through the linalg/simd kernels.
 #pragma once
 
 #include "linalg/sparse.hpp"
@@ -51,12 +57,31 @@ class SparseLu {
   /// allocate beyond the returned vector.
   Vector Solve(const Vector& b);
 
+  /// Multi-RHS triangular solve, in place, over SoA lanes: `re`/`im` hold
+  /// `lanes` right-hand sides with component r of lane l at index
+  /// r*lanes + l; on return the same layout holds the solutions.  Each
+  /// lane's arithmetic is the exact per-entry operation sequence of
+  /// Solve() (the SIMD kernels only change how lanes are grouped, never
+  /// what one lane computes), so lane results are bit-identical at any
+  /// lane count.  Compiles the factor program on first use.
+  void SolveMulti(std::size_t lanes, double* re, double* im);
+
   /// Matrix dimension.
   std::size_t Size() const noexcept { return n_; }
 
-  /// Number of stored entries in L + U after elimination (fill-in metric,
-  /// exercised by the perf bench and ordering tests).
+  /// Number of stored nonzero entries in L + U after elimination (fill-in
+  /// metric, exercised by the perf bench and ordering tests).
   std::size_t FactorNonZeroCount() const;
+
+  /// True once the factor program has been compiled (first Refactor or
+  /// SolveMulti).  Exposed for tests.
+  bool HasFactorProgram() const noexcept { return have_program_; }
+
+  /// Compile the factor program and move the current factor into the flat
+  /// storage now (normally lazy).  Solve() then runs the program path, so
+  /// callers that mix Solve() and SolveMulti() against one factorization
+  /// (the SMW batch path) see a single operation sequence for both.
+  void EnsureFactorProgram() { EnsureFlatFactor(); }
 
  private:
   struct Entry {
@@ -64,6 +89,8 @@ class SparseLu {
     Complex val;
   };
   using SparseRow = std::vector<Entry>;  // sorted by col
+
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 
   /// row -= m * (urow restricted to still-active columns); sorted merge
   /// through `scratch` (buffer swapped into `row`, capacities recirculate).
@@ -75,26 +102,72 @@ class SparseLu {
   /// keeping each row's capacity from the previous pass.
   static void BuildRows(const CsrMatrix& a, std::vector<SparseRow>& rows);
 
+  /// Compile the factor program for the pattern in pat_row_ptr_/
+  /// pat_col_idx_ under the fixed pivot sequence (see the .cpp).
+  void CompileProgram();
+
+  /// Scatter the construction-time factor (lower_/upper_) into the flat
+  /// slot array so Solve/SolveMulti can run the program before any
+  /// Refactor happened.
+  void LoadLegacyFactor();
+
+  /// Replay the program over the values of `a` (same pattern); the numeric
+  /// body of Refactor().
+  bool ReplayRefactor(const CsrMatrix& a);
+
+  /// Compile the program and load current factor values if not already
+  /// flat (first SolveMulti on a freshly constructed factor).
+  void EnsureFlatFactor();
+
+  /// Slot index of position (row, col); kNoSlot when outside the compiled
+  /// structure.
+  std::size_t SlotOf(std::size_t row, std::size_t col) const;
+
   std::size_t n_ = 0;
-  // Rows of the combined LU factor, in elimination order.
+  // Rows of the combined LU factor from construction, in elimination order.
+  // Superseded by the flat slot storage once the program is compiled.
   std::vector<SparseRow> lower_;        // multipliers, cols < pivot col order
   std::vector<SparseRow> upper_;        // pivot + trailing entries
   std::vector<std::size_t> row_perm_;   // elimination step k used original row row_perm_[k]
   std::vector<std::size_t> col_perm_;   // step k eliminated original column col_perm_[k]
   std::vector<std::size_t> col_pos_;    // inverse of col_perm_
 
-  // Refactor() workspace, retained across calls: after the first refactor
-  // every buffer has its steady-state capacity and the numeric-only pass
-  // performs no heap allocation (the pattern — and hence every intermediate
-  // row structure — is invariant across an AC sweep).
-  std::vector<SparseRow> work_rows_;
-  std::vector<bool> work_row_active_;
-  std::vector<bool> work_col_active_;
-  SparseRow work_merge_;
+  // ---- Factor program (compiled by CompileProgram) -----------------------
+  // Pattern the program was compiled for (CSR row pointers + column
+  // indices); Refactor recompiles when the incoming pattern differs.
+  bool have_program_ = false;
+  bool flat_valid_ = false;  // slot_val_ holds the current factor
+  std::vector<std::size_t> pat_row_ptr_;
+  std::vector<std::size_t> pat_col_idx_;
+  // Flat storage: one slot per (row, column) position the elimination can
+  // ever touch, grouped by original row, column-sorted within a row.
+  std::vector<std::size_t> row_slot_ptr_;  // n+1
+  std::vector<std::size_t> slot_col_;
+  std::vector<Complex> slot_val_;
+  std::vector<std::size_t> csr_slot_;      // CSR entry k -> slot
+  // Per elimination step: the pivot slot, the frozen U entries of the
+  // pivot row excluding the pivot itself (for the backward pass), and the
+  // target rows with their multiplier slots.  Each target applies the ops
+  // (dst -= m * src) listed per step in op_dst_/op_src_ — targets of one
+  // step share the src sequence, so ops are stored target-major with a
+  // fixed per-target width of (step_u_ptr_ delta).
+  std::vector<std::size_t> step_pivot_slot_;  // n (kNoSlot = missing pivot)
+  std::vector<std::size_t> step_u_ptr_;       // n+1 -> u_slot_/u_col_
+  std::vector<std::size_t> u_slot_;
+  std::vector<std::size_t> u_col_;
+  std::vector<std::size_t> step_target_ptr_;  // n+1 -> target_row_/...
+  std::vector<std::size_t> target_row_;
+  std::vector<std::size_t> target_mult_slot_;
+  std::vector<std::size_t> target_op_ptr_;    // per target -> op_dst_/op_src_
+  std::vector<std::size_t> op_dst_;
+  std::vector<std::size_t> op_src_;
 
   // Solve() workspace (forward-elimination copy of b and intermediate y).
   Vector work_b_;
   Vector work_y_;
+  // SolveMulti() workspace (SoA intermediate y, n*lanes each).
+  std::vector<double> multi_y_re_;
+  std::vector<double> multi_y_im_;
 };
 
 /// One-shot sparse solve.

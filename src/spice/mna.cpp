@@ -223,6 +223,25 @@ bool LowRankFaultSolvesEnabled(const MnaOptions& options) {
          options.backend != SolverBackend::kDense;
 }
 
+std::size_t EffectiveFaultBatch(const MnaOptions& options) {
+  // -1 = no override; read once so mid-run environment edits cannot split
+  // a campaign across two behaviors.
+  static const long long env_batch = [] {
+    const char* v = std::getenv("MCDFT_BATCH");
+    if (v == nullptr || *v == '\0') return -1LL;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(v, &end, 10);
+    if (end == v || *end != '\0' || parsed < 0) return -1LL;
+    return parsed;
+  }();
+  if (env_batch >= 0) return static_cast<std::size_t>(env_batch);
+  return options.fault_batch;
+}
+
+bool BatchedFaultSolvesEnabled(const MnaOptions& options) {
+  return EffectiveFaultBatch(options) > 0 && LowRankFaultSolvesEnabled(options);
+}
+
 MnaSystem::MnaSystem(const Netlist& netlist, MnaOptions options)
     : netlist_(netlist), options_(options) {
   netlist.ValidateOrThrow();

@@ -51,6 +51,14 @@ struct MnaOptions {
   /// throws).  Every ladder decision is a pure function of the cell's
   /// inputs, preserving thread/shard determinism.
   bool retry_ladder = true;
+  /// Fault-batch width of the frequency-major low-rank path: up to this
+  /// many faults at one frequency solve as one SoA-packed multi-RHS SMW
+  /// batch (SIMD complex kernels).  0 disables batching (per-fault SMW
+  /// solves).  Results are bit-identical at every width — batching only
+  /// changes throughput — so the campaign content hash folds in the on/off
+  /// gate, never the width.  `mcdft analyze --no-batch` or MCDFT_BATCH
+  /// override it (see EffectiveFaultBatch()).
+  std::size_t fault_batch = 32;
 };
 
 /// Effective gate for the low-rank fault-solve path: the option is set,
@@ -58,6 +66,15 @@ struct MnaOptions {
 /// on, the backend can go sparse, and the MCDFT_LOWRANK environment
 /// variable (read once per process; "0" disables) does not veto it.
 bool LowRankFaultSolvesEnabled(const MnaOptions& options);
+
+/// Effective fault-batch width: `options.fault_batch` unless the
+/// MCDFT_BATCH environment variable (read once per process) overrides it —
+/// "0" disables batching, a positive integer replaces the width.
+std::size_t EffectiveFaultBatch(const MnaOptions& options);
+
+/// True when fault campaigns run the *batched* SMW path: a nonzero
+/// effective batch width on top of LowRankFaultSolvesEnabled().
+bool BatchedFaultSolvesEnabled(const MnaOptions& options);
 
 /// Solution of one MNA solve: node voltages + branch currents with
 /// convenient accessors.

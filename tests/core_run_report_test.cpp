@@ -34,7 +34,7 @@ TEST(RunReport, CapturesSolverCountersPhasesAndCoverage) {
   options.threads = 2;
   const util::json::Value report = recorder.Finish(campaign, options);
 
-  EXPECT_EQ(report.Get("schema").AsString(), "mcdft.run_report/2");
+  EXPECT_EQ(report.Get("schema").AsString(), "mcdft.run_report/3");
   EXPECT_EQ(report.Get("circuit").AsString(), "biquad");
   EXPECT_GT(report.Get("timing").Get("wall_s").AsDouble(), 0.0);
   EXPECT_EQ(report.Get("threads").Get("resolved").AsDouble(), 2.0);
@@ -75,6 +75,16 @@ TEST(RunReport, CapturesSolverCountersPhasesAndCoverage) {
       faults.Get("fault_sweeps").AsDouble(),
       static_cast<double>(campaign.ConfigCount() * campaign.FaultCount()));
 
+  // Batch occupancy: default options run the batched SMW path, so batches
+  // were issued, every (fault, omega) cell of a healthy campaign rode one,
+  // and the active SIMD dispatch level is named.
+  const util::json::Value& batching = report.Get("batching");
+  EXPECT_GT(batching.Get("batches").AsDouble(), 0.0);
+  EXPECT_GT(batching.Get("batched_cells").AsDouble(), 0.0);
+  EXPECT_GT(batching.Get("mean_occupancy").AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(batching.Get("peeled_cells").AsDouble(), 0.0);
+  EXPECT_FALSE(batching.Get("simd").AsString().empty());
+
   // Per-configuration coverage summary mirrors the campaign result.
   const util::json::Value& section = report.Get("campaign");
   EXPECT_DOUBLE_EQ(section.Get("config_count").AsDouble(),
@@ -113,7 +123,7 @@ TEST(RunReport, ReportSerializesAndParsesBack) {
   WriteRunReport(report, path);
   const util::json::Value back = util::json::ParseFile(path);
   std::remove(path.c_str());
-  EXPECT_EQ(back.Get("schema").AsString(), "mcdft.run_report/2");
+  EXPECT_EQ(back.Get("schema").AsString(), "mcdft.run_report/3");
   EXPECT_DOUBLE_EQ(back.Get("campaign").Get("coverage").AsDouble(),
                    campaign.Coverage());
 }

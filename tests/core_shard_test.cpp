@@ -158,6 +158,31 @@ TEST_F(ShardContentHash, StableAcrossCallsAndThreadCounts) {
   EXPECT_EQ(Hash(no_lowrank), exact);
 }
 
+TEST_F(ShardContentHash, BatchGateHashesOnOffButNeverWidth) {
+  // Batched SMW solves are bit-identical at every width, so checkpoints
+  // from different widths must merge — only the on/off gate is hashed.
+  const std::string base = Hash(options_);  // default width 32, batched
+
+  CampaignOptions narrow = options_;
+  narrow.mna.fault_batch = 1;
+  EXPECT_EQ(Hash(narrow), base);
+  CampaignOptions wide = options_;
+  wide.mna.fault_batch = 128;
+  EXPECT_EQ(Hash(wide), base);
+
+  CampaignOptions off = options_;
+  off.mna.fault_batch = 0;
+  EXPECT_NE(Hash(off), base);
+
+  // With the low-rank path off the batch width is moot either way: every
+  // combination resolves to the exact fault-major path and hashes alike.
+  CampaignOptions exact = options_;
+  exact.mna.lowrank_fault_updates = false;
+  CampaignOptions exact_nobatch = exact;
+  exact_nobatch.mna.fault_batch = 0;
+  EXPECT_EQ(Hash(exact), Hash(exact_nobatch));
+}
+
 TEST_F(ShardContentHash, SensitiveToEveryNumberBearingInput) {
   const std::string base = Hash(options_);
 

@@ -1,0 +1,150 @@
+// Bit-identity tests of the batched fault-solve path (ISSUE 6 tentpole):
+// batching is a pure throughput knob, so FaultSimulator::SimulateRange must
+// produce *byte*-identical values and quarantine verdicts at every batch
+// width, thread count, and under forced scalar SIMD dispatch — including
+// with the smw.solve faultpoint armed, where batched cells peel out onto
+// the same retry ladder the unbatched path walks.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuits/zoo.hpp"
+#include "faults/fault_list.hpp"
+#include "faults/simulator.hpp"
+#include "util/faultpoint.hpp"
+#include "util/metrics.hpp"
+
+namespace mcdft::faults {
+namespace {
+
+std::vector<spice::FrequencyResponse> RunRange(
+    const core::AnalogBlock& block, const std::vector<Fault>& fault_list,
+    const spice::SweepSpec& sweep, std::size_t fault_batch,
+    std::size_t threads, bool ladder = true) {
+  spice::Probe probe;
+  probe.plus = block.netlist.FindNode(block.output_node);
+  spice::MnaOptions options;
+  options.fault_batch = fault_batch;
+  options.retry_ladder = ladder;
+  const FaultSimulator sim(block.netlist, sweep, probe, options);
+  return sim.SimulateRange(fault_list, 0, fault_list.size(), threads);
+}
+
+void ExpectBitIdentical(const std::vector<spice::FrequencyResponse>& a,
+                        const std::vector<spice::FrequencyResponse>& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label) << what;
+    ASSERT_EQ(a[i].values.size(), b[i].values.size()) << what;
+    for (std::size_t p = 0; p < a[i].values.size(); ++p) {
+      EXPECT_EQ(a[i].values[p], b[i].values[p])
+          << what << " row " << a[i].label << " point " << p;
+      EXPECT_EQ(a[i].QuarantinedAt(p), b[i].QuarantinedAt(p))
+          << what << " row " << a[i].label << " point " << p;
+    }
+  }
+}
+
+TEST(BatchedFaultSolves, BitIdenticalAcrossBatchWidthsAndThreads) {
+  util::faultpoint::DisarmAll();
+  const auto sweep = spice::SweepSpec::Decade(50.0, 5e4, 4);
+
+  for (const char* name : {"biquad", "cascade6", "leapfrog"}) {
+    const core::AnalogBlock block = circuits::FindInZoo(name).build();
+    const std::vector<Fault> fault_list = MakeDeviationFaults(block.netlist);
+    ASSERT_GT(fault_list.size(), 4u) << name;
+
+    // Reference: batching disabled, serial.
+    const auto reference = RunRange(block, fault_list, sweep, 0, 1);
+
+    for (const std::size_t width : {1u, 4u, 32u}) {
+      for (const std::size_t threads : {1u, 2u, 8u}) {
+        const std::string what = std::string(name) + " width=" +
+                                 std::to_string(width) + " threads=" +
+                                 std::to_string(threads);
+        ExpectBitIdentical(
+            reference, RunRange(block, fault_list, sweep, width, threads),
+            what);
+      }
+    }
+  }
+}
+
+TEST(BatchedFaultSolves, BitIdenticalWithoutRetryLadder) {
+  util::faultpoint::DisarmAll();
+  const auto sweep = spice::SweepSpec::Decade(50.0, 5e4, 3);
+  const core::AnalogBlock block = circuits::FindInZoo("biquad").build();
+  const std::vector<Fault> fault_list = MakeDeviationFaults(block.netlist);
+
+  const auto unbatched = RunRange(block, fault_list, sweep, 0, 1, false);
+  const auto batched = RunRange(block, fault_list, sweep, 8, 1, false);
+  ExpectBitIdentical(unbatched, batched, "biquad fail-fast");
+}
+
+TEST(BatchedFaultSolves, OccupancyCountersTrackBatchedCells) {
+  util::faultpoint::DisarmAll();
+  const util::metrics::ScopedEnable metrics_on;
+  util::metrics::Counter& batches =
+      util::metrics::GetCounter("faults.sim.batches");
+  util::metrics::Counter& cells =
+      util::metrics::GetCounter("faults.sim.batched_cells");
+  util::metrics::Counter& peeled =
+      util::metrics::GetCounter("faults.sim.batch_peeled");
+
+  const auto sweep = spice::SweepSpec::Decade(50.0, 5e4, 3);
+  const core::AnalogBlock block = circuits::FindInZoo("cascade6").build();
+  const std::vector<Fault> fault_list = MakeDeviationFaults(block.netlist);
+
+  const std::uint64_t batches0 = batches.Value();
+  const std::uint64_t cells0 = cells.Value();
+  const std::uint64_t peeled0 = peeled.Value();
+  (void)RunRange(block, fault_list, sweep, 8, 1);
+
+  // ceil(faults / width) batches per frequency point, every cell batched,
+  // nothing peeled on a healthy circuit.
+  const std::size_t points = sweep.Frequencies().size();
+  const std::size_t per_point = (fault_list.size() + 7) / 8;
+  EXPECT_EQ(batches.Value() - batches0, points * per_point);
+  EXPECT_EQ(cells.Value() - cells0, points * fault_list.size());
+  EXPECT_EQ(peeled.Value() - peeled0, 0u);
+}
+
+TEST(BatchedFaultSolves, ArmedInjectionQuarantinesIdenticallyAtAnyWidth) {
+  // With smw.solve armed, batched cells flagged kFailed must walk the
+  // identical ladder the unbatched path walks after its Solve() throw:
+  // same values, same quarantine verdicts, same retry totals — at every
+  // batch width and thread count (the hashed faultpoint fires per cell
+  // digest, not per call order).
+  const util::metrics::ScopedEnable metrics_on;
+  util::metrics::Counter& retries =
+      util::metrics::GetCounter("faults.sim.retries");
+  const auto sweep = spice::SweepSpec::Decade(50.0, 5e4, 4);
+  const core::AnalogBlock block = circuits::FindInZoo("biquad").build();
+  const std::vector<Fault> fault_list = MakeDeviationFaults(block.netlist);
+
+  util::faultpoint::Arm("smw.solve", 0.2, 99);
+  const std::uint64_t retries0 = retries.Value();
+  const auto reference = RunRange(block, fault_list, sweep, 0, 1);
+  const std::uint64_t unbatched_retries = retries.Value() - retries0;
+  // The 20% rate must actually engage the ladder somewhere in this grid.
+  ASSERT_GT(unbatched_retries, 0u);
+
+  for (const std::size_t width : {1u, 8u, 32u}) {
+    for (const std::size_t threads : {1u, 4u}) {
+      util::faultpoint::Arm("smw.solve", 0.2, 99);
+      const std::uint64_t before = retries.Value();
+      const auto got = RunRange(block, fault_list, sweep, width, threads);
+      EXPECT_EQ(retries.Value() - before, unbatched_retries)
+          << "width=" << width << " threads=" << threads;
+      ExpectBitIdentical(reference, got,
+                         "armed width=" + std::to_string(width) +
+                             " threads=" + std::to_string(threads));
+    }
+  }
+  util::faultpoint::DisarmAll();
+}
+
+}  // namespace
+}  // namespace mcdft::faults

@@ -4,10 +4,11 @@
 //   bench_gate --baseline BENCH_campaign.json --fresh fresh.json
 //              [--min-ratio X] [--report-only] [--summary FILE]
 //
-// Runs are matched by (circuit, threads, cache_factorization, lowrank) —
-// labels embed the hardware thread count and are not stable across
-// machines.  A report predating the low-rank solve path carries no
-// "lowrank" field; such runs are read as lowrank = false (the exact path).  A
+// Runs are matched by (circuit, threads, cache_factorization, lowrank,
+// batched) — labels embed the hardware thread count and are not stable
+// across machines.  A report predating the low-rank solve path carries no
+// "lowrank" field, and one predating batched SMW solves no "batched" field;
+// absent flags are read as false (the narrower solve path).  A
 // run regresses when fresh solves_per_s falls below min-ratio times the
 // baseline value; the default 0.6 tolerates the noise of shared CI boxes
 // while still catching a real 2x slowdown.  Baseline runs with no fresh
@@ -41,12 +42,13 @@ struct RunKey {
   std::size_t threads = 0;
   bool cache = false;
   bool lowrank = false;
+  bool batched = false;
 };
 
-/// The run's "lowrank" flag; false when the field predates the low-rank
-/// solve path.
-bool RunLowRank(const Value& run) {
-  const Value* v = run.Find("lowrank");
+/// A boolean run flag that may predate its introduction ("lowrank",
+/// "batched"); absent reads false — the narrower solve path.
+bool RunFlag(const Value& run, std::string_view field) {
+  const Value* v = run.Find(field);
   return v != nullptr && v->AsBool();
 }
 
@@ -76,7 +78,8 @@ const Value* FindRun(const Value& doc, const RunKey& key) {
       if (static_cast<std::size_t>(run.Get("threads").AsDouble()) ==
               key.threads &&
           run.Get("cache_factorization").AsBool() == key.cache &&
-          RunLowRank(run) == key.lowrank) {
+          RunFlag(run, "lowrank") == key.lowrank &&
+          RunFlag(run, "batched") == key.batched) {
         return &run;
       }
     }
@@ -93,26 +96,26 @@ bool WriteSummary(const std::string& path, const std::vector<SummaryRow>& rows,
     return false;
   }
   out << "### Campaign throughput gate (min ratio " << min_ratio << ")\n\n";
-  out << "| status | circuit | threads | cache | lowrank | "
+  out << "| status | circuit | threads | cache | lowrank | batched | "
          "baseline solves/s | fresh solves/s | ratio | retries | "
          "quarantined |\n";
-  out << "|---|---|---|---|---|---|---|---|---|---|\n";
+  out << "|---|---|---|---|---|---|---|---|---|---|---|\n";
   char buf[256];
   for (const SummaryRow& r : rows) {
     if (r.missing) {
       std::snprintf(buf, sizeof buf,
-                    "| :grey_question: missing | %s | %zu | %d | %d | %.0f "
-                    "| — | — | — | — |\n",
+                    "| :grey_question: missing | %s | %zu | %d | %d | %d "
+                    "| %.0f | — | — | — | — |\n",
                     r.key.circuit.c_str(), r.key.threads, r.key.cache ? 1 : 0,
-                    r.key.lowrank ? 1 : 0, r.base_rate);
+                    r.key.lowrank ? 1 : 0, r.key.batched ? 1 : 0, r.base_rate);
     } else {
       std::snprintf(buf, sizeof buf,
-                    "| %s | %s | %zu | %d | %d | %.0f | %.0f | x%.2f "
+                    "| %s | %s | %zu | %d | %d | %d | %.0f | %.0f | x%.2f "
                     "| %zu | %zu |\n",
                     r.ok ? ":white_check_mark: ok" : ":x: FAIL",
                     r.key.circuit.c_str(), r.key.threads, r.key.cache ? 1 : 0,
-                    r.key.lowrank ? 1 : 0, r.base_rate, r.fresh_rate, r.ratio,
-                    r.retries, r.quarantined);
+                    r.key.lowrank ? 1 : 0, r.key.batched ? 1 : 0, r.base_rate,
+                    r.fresh_rate, r.ratio, r.retries, r.quarantined);
     }
     out << buf;
   }
@@ -172,17 +175,18 @@ int main(int argc, char** argv) {
       for (const Value& run : circuit.Get("runs").Items()) {
         RunKey key{name,
                    static_cast<std::size_t>(run.Get("threads").AsDouble()),
-                   run.Get("cache_factorization").AsBool(), RunLowRank(run)};
+                   run.Get("cache_factorization").AsBool(),
+                   RunFlag(run, "lowrank"), RunFlag(run, "batched")};
         const double base_rate = run.Get("solves_per_s").AsDouble();
         const Value* match = FindRun(fresh, key);
         if (match == nullptr) {
           ++missing;
           rows.push_back(SummaryRow{key, base_rate, 0.0, 0.0, false, true});
           std::printf(
-              "  MISSING %-10s threads=%zu cache=%d lowrank=%d "
+              "  MISSING %-10s threads=%zu cache=%d lowrank=%d batched=%d "
               "(no fresh run)\n",
               name.c_str(), key.threads, key.cache ? 1 : 0,
-              key.lowrank ? 1 : 0);
+              key.lowrank ? 1 : 0, key.batched ? 1 : 0);
           continue;
         }
         const double fresh_rate = match->Get("solves_per_s").AsDouble();
@@ -194,11 +198,11 @@ int main(int argc, char** argv) {
                                   RunCount(*match, "retries"),
                                   RunCount(*match, "quarantined_cells")});
         std::printf(
-            "  %-4s %-10s threads=%zu cache=%d lowrank=%d  %10.0f -> %10.0f "
-            "solves/s (x%.2f) retries=%zu quarantined=%zu\n",
+            "  %-4s %-10s threads=%zu cache=%d lowrank=%d batched=%d  "
+            "%10.0f -> %10.0f solves/s (x%.2f) retries=%zu quarantined=%zu\n",
             ok ? "ok" : "FAIL", name.c_str(), key.threads, key.cache ? 1 : 0,
-            key.lowrank ? 1 : 0, base_rate, fresh_rate, ratio,
-            rows.back().retries, rows.back().quarantined);
+            key.lowrank ? 1 : 0, key.batched ? 1 : 0, base_rate, fresh_rate,
+            ratio, rows.back().retries, rows.back().quarantined);
       }
     }
   } catch (const mcdft::util::Error& e) {

@@ -34,9 +34,10 @@ FAULT_SPEC='checkpoint.write.short:0.05:1234,smw.solve:0.01:99'
 
 # Concurrency-sensitive subset: parallel campaigns, the Monte-Carlo
 # envelope, the pool, solver reuse, the frequency-major low-rank fault
-# solves, and the metrics/trace/run-report layer (striped counters are
-# updated from every pool worker).
-PARALLEL_FILTER='Campaign*:ToleranceEnvelope*:Parallel*:SolverReuse*:LowRank*:Metrics*:Trace*:RunReport*'
+# solves (including the batched multi-RHS path and its shard merges), and
+# the metrics/trace/run-report layer (striped counters are updated from
+# every pool worker).
+PARALLEL_FILTER='Campaign*:ToleranceEnvelope*:Parallel*:SolverReuse*:LowRank*:*Batch*:Metrics*:Trace*:RunReport*'
 
 if [[ "$run_tier1" == 1 ]]; then
   echo "=== tier-1: configure + build + ctest ==="

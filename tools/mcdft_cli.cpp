@@ -25,6 +25,9 @@
 //   --no-lowrank               disable the frequency-major low-rank (SMW)
 //                              fault solves; classic fault-major sweeps
 //                              (MCDFT_LOWRANK=0 does the same globally)
+//   --no-batch                 disable batched (multi-RHS SIMD) SMW fault
+//                              solves, keeping per-fault low-rank updates
+//                              (MCDFT_BATCH=0 does the same globally)
 //   --report FILE              write a JSON run report (timings, solver
 //                              statistics, per-config coverage)
 //
@@ -124,6 +127,7 @@ Session MakeSession(const util::CliArgs& args) {
         static_cast<std::size_t>(args.GetInt("samples", 48));
   }
   if (args.Has("no-lowrank")) options.mna.lowrank_fault_updates = false;
+  if (args.Has("no-batch")) options.mna.fault_batch = 0;
 
   auto space = circuit.Space();
   const std::size_t default_k = space.OpampCount() > 5 ? 2 : space.OpampCount();
@@ -420,7 +424,7 @@ void PrintUsage() {
       "<list|bode|analyze|merge|optimize|plan|diagnose|opamp-test>\n"
       "             [--circuit NAME | --deck FILE] [--eps X] [--tol X]\n"
       "             [--samples N] [--ppd N] [--max-followers K] [--preselect]\n"
-      "             [--no-lowrank] [--report FILE]\n"
+      "             [--no-lowrank] [--no-batch] [--report FILE]\n"
       "             [analyze: --shard i/N --checkpoint DIR]\n"
       "             [merge: --checkpoint DIR]\n"
       "             [plan: --sopt --magnitude-only --exact]\n"
